@@ -1,0 +1,107 @@
+/// E10 — the paper's motivation (Sections 1 and 3).
+///
+/// "The minimal amount of communicated information in self-stabilizing
+///  systems is still fully local: when there are no faults, every
+///  participant has to communicate with every other neighbor repetitively."
+/// The table quantifies what the 1-efficient protocols buy over the
+/// full-read status quo: bits transferred during stabilization and —
+/// the headline — bits per round in the stabilized (fault-free) phase.
+
+#include <cstdio>
+
+#include "baselines/full_read_coloring.hpp"
+#include "baselines/full_read_matching.hpp"
+#include "baselines/full_read_mis.hpp"
+#include "bench_common.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+struct Measurement {
+  std::uint64_t bits_to_silence = 0;
+  double bits_per_round_after = 0.0;
+};
+
+Measurement measure(const sss::Graph& g, const sss::Protocol& protocol,
+                    std::uint64_t seed) {
+  using namespace sss;
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), seed);
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 4'000'000;
+  engine.run(options);
+  Measurement m;
+  m.bits_to_silence = engine.read_counter().total_bits();
+  const std::uint64_t before = engine.read_counter().total_bits();
+  const int rounds = 40;
+  for (int step = 0; step < rounds * g.num_vertices(); ++step) {
+    engine.step();  // enumerator daemon: one round == n steps
+  }
+  m.bits_per_round_after =
+      static_cast<double>(engine.read_counter().total_bits() - before) /
+      rounds;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sss;
+  using namespace sss::bench;
+
+  print_banner("E10: 1-efficient protocols vs full-read baselines");
+  TextTable table({"problem", "graph", "size", "variant",
+                   "bits to silence", "bits/round stabilized", "saving"});
+  std::vector<Graph> graphs = {cycle(20), star(10), grid(4, 5), complete(8)};
+  for (const Graph& g : graphs) {
+    const Coloring colors = identity_coloring(g);
+    struct Pair {
+      const char* problem;
+      const Protocol* efficient;
+      const Protocol* baseline;
+    };
+    const ColoringProtocol c_eff(g);
+    const FullReadColoring c_base(g);
+    const MisProtocol m_eff(g, colors);
+    const FullReadMis m_base(g, colors);
+    const MatchingProtocol t_eff(g, colors);
+    const FullReadMatching t_base(g, colors);
+    for (const Pair& pair :
+         {Pair{"coloring", &c_eff, &c_base}, Pair{"MIS", &m_eff, &m_base},
+          Pair{"matching", &t_eff, &t_base}}) {
+      const Measurement eff = measure(g, *pair.efficient, 91);
+      const Measurement base = measure(g, *pair.baseline, 91);
+      const double saving =
+          base.bits_per_round_after > 0
+              ? base.bits_per_round_after / std::max(1.0,
+                                                     eff.bits_per_round_after)
+              : 0.0;
+      table.row()
+          .add(pair.problem)
+          .add(g.name())
+          .add(graph_stats(g))
+          .add("1-efficient")
+          .add(eff.bits_to_silence)
+          .add(eff.bits_per_round_after, 1)
+          .add("")
+          .row()
+          .add("")
+          .add("")
+          .add("")
+          .add("full-read")
+          .add(base.bits_to_silence)
+          .add(base.bits_per_round_after, 1)
+          .add(saving, 1);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("saving = full-read / 1-efficient bits per round in the "
+             "stabilized phase; expected to track the average degree.");
+  print_note("note: MIS/MATCHING Dominator/free processes keep scanning, "
+             "so the stabilized-phase saving is per-read width (Delta vs 1"
+             " neighbor per evaluation), not total silence.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// E1 — Figure 7 / Theorem 3 / Lemmas 1-2.
+///
+/// Protocol COLORING stabilizes with probability 1 on anonymous networks
+/// while reading a single neighbor per step. For every graph family the
+/// table reports convergence (all runs reach a certified silent, proper
+/// configuration) and the measured k-efficiency certificate, across four
+/// daemons and five seeds each.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/problems.hpp"
+
+int main() {
+  using namespace sss;
+  using namespace sss::bench;
+
+  print_banner("E1: COLORING convergence (Fig 7, Thm 3)");
+  print_note("every run starts from a uniformly random configuration;");
+  print_note("silent = certified by the exact quiescence check;");
+  print_note("k = max distinct neighbors any process read in any step.");
+
+  TextTable table({"graph", "size", "palette", "runs", "silent",
+                   "rounds(med)", "rounds(p90)", "rounds(max)", "steps(med)",
+                   "k"});
+  const ColoringProblem problem;
+  for (const Graph& g : experiment_graphs()) {
+    const ColoringProtocol protocol(g);
+    SweepOptions options;
+    options.daemons = {"distributed", "synchronous", "central-rr",
+                       "adversarial"};
+    options.seeds_per_daemon = 5;
+    options.run.max_steps = 4'000'000;
+    const SweepSummary s = sweep_convergence(g, protocol, &problem, options);
+    table.row()
+        .add(g.name())
+        .add(graph_stats(g))
+        .add(protocol.palette_size())
+        .add(s.runs)
+        .add(s.silent_runs)
+        .add(s.rounds_to_silence.median, 1)
+        .add(s.rounds_to_silence.p90, 1)
+        .add(static_cast<std::int64_t>(s.max_rounds_to_silence))
+        .add(s.steps_to_silence.median, 1)
+        .add(s.k_measured);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("paper claim check: silent == runs everywhere (w.p.-1 "
+             "stabilization), k == 1 everywhere (1-efficiency).");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared plumbing for the bench binaries: the experiment graph menagerie
+/// and small formatting helpers. Every bench is deterministic (fixed
+/// seeds) and runs standalone in a few seconds.
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "graph/properties.hpp"
+#include "support/text_table.hpp"
+
+namespace sss::bench {
+
+/// Graphs used by the convergence/stability tables: spans degree spread,
+/// symmetry, bottlenecks and the paper's own gadgets.
+inline std::vector<Graph> experiment_graphs() {
+  Rng rng(0x2009ULL);
+  std::vector<Graph> graphs;
+  graphs.push_back(path(24));
+  graphs.push_back(cycle(24));
+  graphs.push_back(complete(8));
+  graphs.push_back(star(12));
+  graphs.push_back(grid(5, 6));
+  graphs.push_back(hypercube(4));
+  graphs.push_back(petersen());
+  graphs.push_back(balanced_binary_tree(31));
+  graphs.push_back(erdos_renyi_connected(30, 0.15, rng));
+  graphs.push_back(random_regular(24, 4, rng));
+  return graphs;
+}
+
+/// "n=24 Delta=3" style context cell.
+inline std::string graph_stats(const Graph& g) {
+  return "n=" + std::to_string(g.num_vertices()) +
+         " m=" + std::to_string(g.num_edges()) +
+         " D=" + std::to_string(g.max_degree());
+}
+
+}  // namespace sss::bench

@@ -1,0 +1,57 @@
+/// E11 — scheduler ablation.
+///
+/// The paper assumes one adversary class (distributed fair daemons); this
+/// table probes each protocol against six members of that class. Claims
+/// must hold under all of them — convergence does, and the spread in
+/// rounds shows how much the adversary matters in practice.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "runtime/daemon.hpp"
+
+int main() {
+  using namespace sss;
+  using namespace sss::bench;
+
+  print_banner("E11: daemon ablation (rounds to silence, med over 8 seeds)");
+  const Graph g = grid(5, 5);
+  print_note("graph: " + g.name() + " (" + graph_stats(g) + ")");
+
+  const Coloring colors = greedy_coloring(g);
+  const ColoringProtocol coloring(g);
+  const MisProtocol mis(g, colors);
+  const MatchingProtocol matching(g, colors);
+
+  TextTable table({"daemon", "COLORING med", "COLORING max", "MIS med",
+                   "MIS max", "MATCHING med", "MATCHING max", "all silent"});
+  for (const std::string& daemon : daemon_names()) {
+    SweepOptions options;
+    options.daemons = {daemon};
+    options.seeds_per_daemon = 8;
+    options.run.max_steps = 6'000'000;
+    const SweepSummary c = sweep_convergence(g, coloring, nullptr, options);
+    const SweepSummary m = sweep_convergence(g, mis, nullptr, options);
+    const SweepSummary t = sweep_convergence(g, matching, nullptr, options);
+    const bool all_silent = c.silent_runs == c.runs &&
+                            m.silent_runs == m.runs &&
+                            t.silent_runs == t.runs;
+    table.row()
+        .add(daemon)
+        .add(c.rounds_to_silence.median, 1)
+        .add(static_cast<std::int64_t>(c.max_rounds_to_silence))
+        .add(m.rounds_to_silence.median, 1)
+        .add(static_cast<std::int64_t>(m.max_rounds_to_silence))
+        .add(t.rounds_to_silence.median, 1)
+        .add(static_cast<std::int64_t>(t.max_rounds_to_silence))
+        .add(all_silent);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("paper claim check: silence under every fair daemon; the "
+             "bounds of Lemmas 4 and 9 are daemon-independent.");
+  return 0;
+}

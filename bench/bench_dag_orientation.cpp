@@ -1,0 +1,53 @@
+/// E9 — Theorem 4.
+///
+/// Orienting every edge from the smaller to the larger color yields a dag.
+/// Verified across every graph family x four colorings x seeds, reporting
+/// acyclicity plus source/sink counts (the structure Protocols MIS and
+/// MATCHING exploit).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/orientation.hpp"
+
+int main() {
+  using namespace sss;
+  using namespace sss::bench;
+
+  print_banner("E9: color-induced dag orientation (Theorem 4)");
+  TextTable table({"graph", "size", "coloring", "#C", "acyclic", "sources",
+                   "sinks"});
+  Rng rng(0x7e04ULL);
+  int checked = 0;
+  int acyclic_count = 0;
+  for (const Graph& g : experiment_graphs()) {
+    struct Entry {
+      const char* label;
+      Coloring colors;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"greedy", greedy_coloring(g)});
+    entries.push_back({"dsatur", dsatur_coloring(g)});
+    entries.push_back({"identity", identity_coloring(g)});
+    entries.push_back({"rand-greedy", randomized_greedy_coloring(g, rng)});
+    for (const auto& [label, colors] : entries) {
+      const Orientation o = orient_by_colors(g, colors);
+      const bool ok = is_acyclic(g, o);
+      ++checked;
+      acyclic_count += ok ? 1 : 0;
+      table.row()
+          .add(g.name())
+          .add(graph_stats(g))
+          .add(label)
+          .add(count_colors(colors))
+          .add(ok)
+          .add(static_cast<std::int64_t>(sources(g, o).size()))
+          .add(static_cast<std::int64_t>(sinks(g, o).size()));
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("acyclic: %d/%d orientations\n", acyclic_count, checked);
+  print_note("paper claim check: every color orientation is acyclic "
+             "(transitivity of the total color order).");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// E13 — engineering throughput (google-benchmark).
+///
+/// Not a paper claim: wall-clock steps/second of the simulator for each
+/// protocol, so users can size their own sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/full_read_coloring.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace sss;
+
+void run_steps(benchmark::State& state, const Graph& g,
+               const Protocol& protocol) {
+  Engine engine(g, protocol, make_distributed_random_daemon(), 424242);
+  engine.randomize_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step().fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_vertices());
+}
+
+void BM_ColoringCycle(benchmark::State& state) {
+  const Graph g = cycle(static_cast<int>(state.range(0)));
+  const ColoringProtocol protocol(g);
+  run_steps(state, g, protocol);
+}
+BENCHMARK(BM_ColoringCycle)->Arg(64)->Arg(512);
+
+void BM_ColoringGrid(benchmark::State& state) {
+  const Graph g = grid(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  const ColoringProtocol protocol(g);
+  run_steps(state, g, protocol);
+}
+BENCHMARK(BM_ColoringGrid)->Arg(8)->Arg(16);
+
+void BM_MisGrid(benchmark::State& state) {
+  const Graph g = grid(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  const MisProtocol protocol(g, greedy_coloring(g));
+  run_steps(state, g, protocol);
+}
+BENCHMARK(BM_MisGrid)->Arg(8)->Arg(16);
+
+void BM_MatchingGrid(benchmark::State& state) {
+  const Graph g = grid(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  const MatchingProtocol protocol(g, greedy_coloring(g));
+  run_steps(state, g, protocol);
+}
+BENCHMARK(BM_MatchingGrid)->Arg(8)->Arg(16);
+
+void BM_FullReadColoringGrid(benchmark::State& state) {
+  const Graph g = grid(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  const FullReadColoring protocol(g);
+  run_steps(state, g, protocol);
+}
+BENCHMARK(BM_FullReadColoringGrid)->Arg(8)->Arg(16);
+
+void BM_QuiescenceCheck(benchmark::State& state) {
+  const Graph g = grid(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  const MisProtocol protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 7);
+  engine.randomize_state();
+  engine.run({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.quiescent());
+  }
+}
+BENCHMARK(BM_QuiescenceCheck)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/// E14 — exact expected stabilization time (Markov absorption) vs the
+/// simulator.
+///
+/// Theorem 3 proves COLORING stabilizes with probability 1; on tiny
+/// instances the library sharpens that to exact expected hitting times
+/// under the uniform central daemon and cross-checks the simulator
+/// against them — an end-to-end validation of engine, daemon and rng.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "support/text_table.hpp"
+#include "verify/markov.hpp"
+
+int main() {
+  using namespace sss;
+
+  print_banner("E14: exact E[steps to legitimacy] vs simulation");
+  TextTable table({"protocol", "graph", "states", "legit", "absorbs",
+                   "E[uniform]", "E[worst]", "measured", "meas/exact"});
+
+  struct Case {
+    const char* label;
+    Graph g;
+    int palette;  // 0 = not coloring
+  };
+  const std::vector<Case> cases = {{"COLORING", path(2), 2},
+                                   {"COLORING", path(3), 3},
+                                   {"COLORING", complete(3), 3},
+                                   {"COLORING", path(4), 3},
+                                   {"COLORING", star(3), 4}};
+  for (const Case& c : cases) {
+    const ColoringProtocol protocol(c.g, c.palette);
+    const ColoringProblem problem;
+    const HittingTimeAnalysis a =
+        expected_stabilization_time(c.g, protocol, problem, 1u << 14);
+    const double measured =
+        measured_stabilization_time(c.g, protocol, problem, 3000, 7);
+    table.row()
+        .add(c.label)
+        .add(c.g.name())
+        .add(a.states)
+        .add(a.legitimate)
+        .add(a.absorbs_everywhere)
+        .add(a.expected_steps_uniform_start, 3)
+        .add(a.expected_steps_worst_start, 3)
+        .add(measured, 3)
+        .add(measured / a.expected_steps_uniform_start, 3);
+  }
+  // Deterministic protocols absorb too; their expectation is exact.
+  {
+    const Graph g = path(3);
+    const MisProtocol protocol(g, greedy_coloring(g));
+    const MisProblem problem;
+    const HittingTimeAnalysis a =
+        expected_stabilization_time(g, protocol, problem, 1u << 14);
+    const double measured =
+        measured_stabilization_time(g, protocol, problem, 3000, 11);
+    table.row()
+        .add("MIS")
+        .add(g.name())
+        .add(a.states)
+        .add(a.legitimate)
+        .add(a.absorbs_everywhere)
+        .add(a.expected_steps_uniform_start, 3)
+        .add(a.expected_steps_worst_start, 3)
+        .add(measured, 3)
+        .add(measured / a.expected_steps_uniform_start, 3);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("absorbs = legitimacy reachable w.p. 1 from every state "
+             "(Lemma 2, decided exactly); meas/exact ~ 1.00 validates the "
+             "simulator against the closed-form chain.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// E15 — the Section 6 open question, prototyped.
+///
+/// A rotating-check transformer turns any *universally pairwise
+/// checkable* full-read protocol into one that reads a single neighbor
+/// per step in the stabilized phase, falling back to full-width repairs
+/// only while stabilizing. The table compares the native Fig 7 protocol,
+/// the full-read baseline, and the transformed protocol on both phases.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "baselines/full_read_coloring.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "support/text_table.hpp"
+#include "transformer/rotating_check.hpp"
+
+namespace {
+
+struct PhaseCosts {
+  bool silent = false;
+  std::uint64_t stabilization_bits = 0;
+  double stabilized_bits_per_round = 0.0;
+  int worst_reads_per_step = 0;
+};
+
+PhaseCosts measure(const sss::Graph& g, const sss::Protocol& protocol,
+                   std::uint64_t seed) {
+  using namespace sss;
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), seed);
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 2'000'000;
+  PhaseCosts costs;
+  costs.silent = engine.run(options).silent;
+  costs.stabilization_bits = engine.read_counter().total_bits();
+  costs.worst_reads_per_step =
+      engine.read_counter().max_reads_per_process_step();
+  const std::uint64_t before = engine.read_counter().total_bits();
+  const int rounds = 40;
+  for (int step = 0; step < rounds * g.num_vertices(); ++step) {
+    engine.step();
+  }
+  costs.stabilized_bits_per_round =
+      static_cast<double>(engine.read_counter().total_bits() - before) /
+      rounds;
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sss;
+
+  print_banner("E15: rotating-check transformer (Section 6 prototype)");
+  TextTable table({"graph", "variant", "silent", "worst reads/step",
+                   "bits to silence", "bits/round stabilized"});
+  for (const Graph& g : {cycle(16), star(8), grid(4, 4), complete(7)}) {
+    const ColoringProtocol native(g);
+    const FullReadColoring full(g);
+    const PairwiseColoring source(g);
+    const RotatingCheck transformed(g, source);
+    struct Entry {
+      const char* label;
+      const Protocol* protocol;
+    };
+    for (const Entry& e :
+         {Entry{"native Fig7", &native}, Entry{"full-read", &full},
+          Entry{"transformed", &transformed}}) {
+      const PhaseCosts costs = measure(g, *e.protocol, 0x600d);
+      table.row()
+          .add(g.name())
+          .add(e.label)
+          .add(costs.silent)
+          .add(costs.worst_reads_per_step)
+          .add(costs.stabilization_bits)
+          .add(costs.stabilized_bits_per_round, 1);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("transformed = 1 neighbor/step once stabilized (like Fig 7) "
+             "but full-width repairs while stabilizing (worst reads/step "
+             "can reach Delta) — the trade-off the open question asks to "
+             "beat.");
+
+  print_banner("E15b: beyond coloring — frequency separation");
+  TextTable sep({"graph", "separation", "palette", "silent",
+                 "bits/round stabilized", "separated"});
+  for (int separation : {2, 3}) {
+    const Graph g = cycle(12);
+    const PairwiseSeparation source(g, separation);
+    const RotatingCheck transformed(g, source);
+    Engine engine(g, transformed, make_fair_enumerator_daemon(), 0x5e9);
+    engine.randomize_state();
+    RunOptions options;
+    options.max_steps = 2'000'000;
+    const bool silent = engine.run(options).silent;
+    const std::uint64_t before = engine.read_counter().total_bits();
+    for (int step = 0; step < 40 * g.num_vertices(); ++step) engine.step();
+    sep.row()
+        .add(g.name())
+        .add(separation)
+        .add(source.palette_size())
+        .add(silent)
+        .add(static_cast<double>(engine.read_counter().total_bits() -
+                                 before) /
+                 40,
+             1)
+        .add(PairwiseSeparation::separated(g, engine.config(), separation));
+  }
+  std::printf("%s\n", sep.str().c_str());
+  print_note("the transformer is generic over pairwise predicates; "
+             "existential predicates (MIS domination) need witness "
+             "pinning a la Fig 8 — why the general transformer stays "
+             "open.");
+  return 0;
+}

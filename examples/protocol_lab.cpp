@@ -1,0 +1,180 @@
+/// \file protocol_lab.cpp
+/// A command-line lab for the whole library: pick a graph, a protocol, a
+/// daemon and a seed; run to silence; optionally inject faults; print the
+/// full communication accounting. All library knobs in one binary.
+///
+/// Usage:
+///   protocol_lab [graph] [protocol] [daemon] [seed] [faults]
+///     graph:    path:N | cycle:N | complete:N | star:N | grid:RxC |
+///               hypercube:D | petersen | gnp:N | spider:D | fig11
+///     protocol: coloring | mis | matching | full-coloring | full-mis |
+///               full-matching | rotating
+///     daemon:   synchronous | central-rr | central-random | distributed |
+///               enumerator | adversarial
+///     seed:     any unsigned integer
+///     faults:   number of processes to corrupt after stabilization
+/// Defaults:  grid:4x5 mis distributed 2009 3
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "baselines/full_read_coloring.hpp"
+#include "baselines/full_read_matching.hpp"
+#include "baselines/full_read_mis.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "core/stability.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fault.hpp"
+#include "support/string_util.hpp"
+#include "transformer/rotating_check.hpp"
+
+namespace {
+
+using namespace sss;
+
+Graph parse_graph(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  auto arg = [&](std::size_t i, int fallback) {
+    return parts.size() > i ? std::atoi(parts[i].c_str()) : fallback;
+  };
+  if (kind == "path") return path(arg(1, 10));
+  if (kind == "cycle") return cycle(arg(1, 10));
+  if (kind == "complete") return complete(arg(1, 6));
+  if (kind == "star") return star(arg(1, 6));
+  if (kind == "grid") {
+    const auto dims = split(parts.size() > 1 ? parts[1] : "4x5", 'x');
+    return grid(std::atoi(dims[0].c_str()),
+                dims.size() > 1 ? std::atoi(dims[1].c_str()) : 4);
+  }
+  if (kind == "hypercube") return hypercube(arg(1, 3));
+  if (kind == "petersen") return petersen();
+  if (kind == "gnp") {
+    Rng rng(7);
+    return erdos_renyi_connected(arg(1, 20), 0.2, rng);
+  }
+  if (kind == "spider") return theorem1_spider(arg(1, 3));
+  if (kind == "fig11") return fig11_tight_matching();
+  throw PreconditionError("unknown graph spec: " + spec);
+}
+
+struct Lab {
+  std::unique_ptr<Protocol> protocol;
+  std::unique_ptr<Problem> problem;
+  std::unique_ptr<PairwiseCheckable> source;  // for "rotating"
+};
+
+Lab make_lab(const std::string& name, const Graph& g) {
+  Lab lab;
+  if (name == "coloring") {
+    lab.protocol = std::make_unique<ColoringProtocol>(g);
+    lab.problem = std::make_unique<ColoringProblem>();
+  } else if (name == "mis") {
+    lab.protocol = std::make_unique<MisProtocol>(g, greedy_coloring(g));
+    lab.problem = std::make_unique<MisProblem>();
+  } else if (name == "matching") {
+    lab.protocol = std::make_unique<MatchingProtocol>(g, greedy_coloring(g));
+    lab.problem = std::make_unique<MatchingProblem>();
+  } else if (name == "full-coloring") {
+    lab.protocol = std::make_unique<FullReadColoring>(g);
+    lab.problem = std::make_unique<ColoringProblem>();
+  } else if (name == "full-mis") {
+    lab.protocol = std::make_unique<FullReadMis>(g, identity_coloring(g));
+    lab.problem = std::make_unique<MisProblem>();
+  } else if (name == "full-matching") {
+    lab.protocol =
+        std::make_unique<FullReadMatching>(g, identity_coloring(g));
+    lab.problem = std::make_unique<MutualPrMatchingProblem>();
+  } else if (name == "rotating") {
+    lab.source = std::make_unique<PairwiseColoring>(g);
+    lab.protocol = std::make_unique<RotatingCheck>(g, *lab.source);
+    lab.problem = std::make_unique<ColoringProblem>();
+  } else {
+    throw PreconditionError("unknown protocol: " + name);
+  }
+  return lab;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sss;
+  auto arg = [&](int i, const char* fallback) {
+    return std::string(argc > i ? argv[i] : fallback);
+  };
+  try {
+    const Graph g = parse_graph(arg(1, "grid:4x5"));
+    const std::string protocol_name = arg(2, "mis");
+    const std::string daemon_name = arg(3, "distributed");
+    const auto seed =
+        static_cast<std::uint64_t>(std::strtoull(arg(4, "2009").c_str(),
+                                                 nullptr, 10));
+    const int faults = std::atoi(arg(5, "3").c_str());
+
+    Lab lab = make_lab(protocol_name, g);
+    print_banner("protocol lab: " + lab.protocol->name() + " on " +
+                 g.name() + " under " + daemon_name);
+    std::printf("n=%d m=%d Delta=%d seed=%llu\n", g.num_vertices(),
+                g.num_edges(), g.max_degree(),
+                static_cast<unsigned long long>(seed));
+
+    Engine engine(g, *lab.protocol, make_daemon(daemon_name), seed);
+    engine.randomize_state();
+    RunOptions options;
+    options.max_steps = 10'000'000;
+    options.legitimacy = lab.problem->predicate();
+    const StabilityReport report = analyze_stability(engine, options, 4);
+    std::printf("\nstabilization:\n");
+    std::printf("  silent:              %s\n", report.silent ? "yes" : "NO");
+    std::printf("  rounds to silence:   %llu\n",
+                static_cast<unsigned long long>(report.rounds_to_silence));
+    std::printf("  steps to silence:    %llu\n",
+                static_cast<unsigned long long>(report.steps_to_silence));
+    std::printf("  legitimate:          %s\n",
+                lab.problem->holds(g, engine.config()) ? "yes" : "NO");
+    std::printf("\ncommunication (lifetime):\n");
+    std::printf("  max reads/proc/step: %d\n",
+                engine.read_counter().max_reads_per_process_step());
+    std::printf("  max bits/proc/step:  %d\n",
+                engine.read_counter().max_bits_per_process_step());
+    std::printf("  total reads:         %llu\n",
+                static_cast<unsigned long long>(
+                    engine.read_counter().total_reads()));
+    std::printf("  eventually-1-stable: %d of %d processes\n",
+                report.one_stable_count, g.num_vertices());
+
+    if (faults > 0 && report.silent) {
+      std::printf("\ninjecting %d random faults...\n", faults);
+      Rng fault_rng(seed ^ 0xfa17ULL);
+      Configuration corrupted = engine.config();
+      const auto victims = inject_random_faults(
+          g, lab.protocol->spec(), corrupted,
+          std::min(faults, g.num_vertices()), fault_rng);
+      std::printf("  victims:");
+      for (ProcessId v : victims) std::printf(" %d", v);
+      engine.set_config(corrupted);
+      const RunStats recovery = engine.run(options);
+      std::printf("\n  recovered: %s in %llu rounds (%llu steps); "
+                  "legitimate: %s\n",
+                  recovery.silent ? "yes" : "NO",
+                  static_cast<unsigned long long>(
+                      recovery.rounds_to_silence),
+                  static_cast<unsigned long long>(recovery.steps_to_silence),
+                  lab.problem->holds(g, engine.config()) ? "yes" : "NO");
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::fprintf(stderr,
+                 "usage: protocol_lab [graph] [protocol] [daemon] [seed] "
+                 "[faults]\n");
+    return 1;
+  }
+}

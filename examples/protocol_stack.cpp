@@ -1,0 +1,72 @@
+/// \file protocol_stack.cpp
+/// Composition: a two-layer self-stabilizing stack.
+///
+/// Protocols MIS and MATCHING assume a local coloring. The paper's own
+/// COLORING protocol can *produce* that coloring: run layer 1 (COLORING,
+/// anonymous) to silence, feed its output as the color constants of layer
+/// 2 (MIS), and the composite is a self-stabilizing anonymous MIS stack —
+/// a fair-composition idiom, simulated here sequentially.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/engine.hpp"
+
+int main() {
+  using namespace sss;
+
+  print_banner("two-layer stack: COLORING feeds MIS");
+  const Graph g = torus(4, 5);
+  std::printf("network: %s (n=%d, m=%d, Delta=%d), fully anonymous\n",
+              g.name().c_str(), g.num_vertices(), g.num_edges(),
+              g.max_degree());
+
+  // Layer 1: anonymous coloring.
+  const ColoringProtocol layer1(g);
+  Engine engine1(g, layer1, make_distributed_random_daemon(), 0x57ac);
+  engine1.randomize_state();
+  const RunStats stats1 = engine1.run({});
+  Coloring colors = extract_colors(g, engine1.config());
+  std::printf("layer 1 silent after %llu rounds; colors used: %d; proper: "
+              "%s\n",
+              static_cast<unsigned long long>(stats1.rounds_to_silence),
+              count_colors(colors),
+              is_proper_coloring(g, colors) ? "yes" : "no");
+
+  // Layer 2: MIS over the produced coloring.
+  const MisProtocol layer2(g, colors);
+  Engine engine2(g, layer2, make_distributed_random_daemon(), 0x57ad);
+  engine2.randomize_state();
+  const RunStats stats2 = engine2.run({});
+  std::printf("layer 2 silent after %llu rounds; MIS valid: %s\n",
+              static_cast<unsigned long long>(stats2.rounds_to_silence),
+              MisProblem().holds(g, engine2.config()) ? "yes" : "no");
+
+  int heads = 0;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    heads += engine2.config().comm(p, MisProtocol::kStateVar) ==
+             MisProtocol::kDominator;
+  }
+  std::printf("independent set size: %d of %d processes\n", heads,
+              g.num_vertices());
+
+  std::printf("\nend-to-end communication: both layers read one neighbor "
+              "per step\n");
+  std::printf("  layer 1: max %d reads/process/step, %llu total reads\n",
+              stats1.max_reads_per_process_step,
+              static_cast<unsigned long long>(stats1.total_reads));
+  std::printf("  layer 2: max %d reads/process/step, %llu total reads\n",
+              stats2.max_reads_per_process_step,
+              static_cast<unsigned long long>(stats2.total_reads));
+  std::printf("\nnote: a production composition runs both layers under a\n"
+              "fair composition; the sequential replay matches its\n"
+              "stabilized behaviour because layer 1 is silent (Dolev et\n"
+              "al. [10]) — once its output is fixed, layer 2 stabilizes\n"
+              "against constants, exactly as simulated here.\n");
+  return 0;
+}

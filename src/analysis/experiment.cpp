@@ -1,0 +1,65 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+SweepSummary sweep_convergence(const Graph& g, const Protocol& protocol,
+                               const Problem* problem,
+                               const SweepOptions& options) {
+  SSS_REQUIRE(!options.daemons.empty() && options.seeds_per_daemon >= 1,
+              "sweep needs at least one daemon and one seed");
+  SweepSummary summary;
+  std::vector<double> rounds_to_silence;
+  std::vector<double> steps_to_silence;
+  std::vector<double> rounds_to_legitimate;
+  double total_reads = 0.0;
+  double total_bits = 0.0;
+
+  std::uint64_t seed = options.base_seed;
+  for (const std::string& daemon_name : options.daemons) {
+    for (int s = 0; s < options.seeds_per_daemon; ++s) {
+      ++seed;
+      Engine engine(g, protocol, make_daemon(daemon_name), seed);
+      engine.randomize_state();
+      RunOptions run = options.run;
+      if (problem != nullptr && !run.legitimacy) {
+        run.legitimacy = problem->predicate();
+      }
+      const RunStats stats = engine.run(run);
+      ++summary.runs;
+      if (stats.silent) {
+        ++summary.silent_runs;
+        rounds_to_silence.push_back(
+            static_cast<double>(stats.rounds_to_silence));
+        steps_to_silence.push_back(
+            static_cast<double>(stats.steps_to_silence));
+        summary.max_rounds_to_silence = std::max(
+            summary.max_rounds_to_silence, stats.rounds_to_silence);
+        summary.max_steps_to_silence =
+            std::max(summary.max_steps_to_silence, stats.steps_to_silence);
+      }
+      if (stats.reached_legitimate) {
+        rounds_to_legitimate.push_back(
+            static_cast<double>(stats.rounds_to_legitimate));
+      }
+      summary.k_measured =
+          std::max(summary.k_measured, stats.max_reads_per_process_step);
+      summary.bits_measured =
+          std::max(summary.bits_measured, stats.max_bits_per_process_step);
+      total_reads += static_cast<double>(stats.total_reads);
+      total_bits += static_cast<double>(stats.total_read_bits);
+    }
+  }
+
+  summary.rounds_to_silence = summarize(std::move(rounds_to_silence));
+  summary.steps_to_silence = summarize(std::move(steps_to_silence));
+  summary.rounds_to_legitimate = summarize(std::move(rounds_to_legitimate));
+  summary.mean_total_reads = total_reads / summary.runs;
+  summary.mean_total_bits = total_bits / summary.runs;
+  return summary;
+}
+
+}  // namespace sss

@@ -1,0 +1,48 @@
+#pragma once
+/// \file experiment.hpp
+/// Seeded experiment sweeps shared by the bench harness: run a protocol on
+/// a graph across daemons x seeds, aggregate convergence and communication
+/// metrics. Everything is deterministic in (base_seed, daemons, seeds).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problems.hpp"
+#include "runtime/engine.hpp"
+#include "support/stats.hpp"
+
+namespace sss {
+
+struct SweepOptions {
+  std::vector<std::string> daemons = {"distributed", "central-rr",
+                                      "synchronous"};
+  int seeds_per_daemon = 5;
+  RunOptions run;
+  std::uint64_t base_seed = 42;
+};
+
+struct SweepSummary {
+  int runs = 0;
+  int silent_runs = 0;
+  std::uint64_t max_rounds_to_silence = 0;
+  std::uint64_t max_steps_to_silence = 0;
+  Summary rounds_to_silence;
+  Summary steps_to_silence;
+  Summary rounds_to_legitimate;
+  /// Worst per-process per-step read count over all runs (measured k).
+  int k_measured = 0;
+  /// Worst per-process per-step bits over all runs.
+  int bits_measured = 0;
+  double mean_total_reads = 0.0;
+  double mean_total_bits = 0.0;
+};
+
+/// Runs `protocol` on `g` from a fresh arbitrary configuration for every
+/// (daemon, seed) pair. If `problem` is non-null its predicate feeds the
+/// rounds-to-legitimate statistics.
+SweepSummary sweep_convergence(const Graph& g, const Protocol& protocol,
+                               const Problem* problem,
+                               const SweepOptions& options);
+
+}  // namespace sss

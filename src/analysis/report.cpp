@@ -1,0 +1,28 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sss {
+
+void print_banner(const std::string& title) {
+  const std::string bar(title.size() + 10, '=');
+  std::printf("\n%s\n==== %s ====\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+}
+
+void print_note(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+std::string format_vs_bound(double measured, double bound) {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed << measured << "/" << bound;
+  if (bound > 0) {
+    out << " (" << (100.0 * measured / bound) << "%)";
+  }
+  return out.str();
+}
+
+}  // namespace sss

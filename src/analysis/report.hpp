@@ -1,0 +1,18 @@
+#pragma once
+/// \file report.hpp
+/// Console formatting shared by bench binaries and examples.
+
+#include <string>
+
+namespace sss {
+
+/// "==== title ====" banner sized to the title.
+void print_banner(const std::string& title);
+
+/// Indented context line ("  note ...").
+void print_note(const std::string& note);
+
+/// "measured/bound (pct%)" — the paper-vs-measured cell format.
+std::string format_vs_bound(double measured, double bound);
+
+}  // namespace sss

@@ -1,0 +1,46 @@
+#include "baselines/full_read_coloring.hpp"
+
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+FullReadColoring::FullReadColoring(const Graph& g, int palette_size)
+    : palette_size_(palette_size == 0 ? g.max_degree() + 1 : palette_size) {
+  SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
+              "FULL-READ-COLORING requires a connected network with n >= 2");
+  SSS_REQUIRE(palette_size_ >= g.max_degree() + 1,
+              "palette must have at least Delta+1 colors");
+  spec_.comm.emplace_back("C", VarDomain{1, static_cast<Value>(palette_size_)});
+}
+
+int FullReadColoring::first_enabled(GuardContext& ctx) const {
+  const Value own = ctx.self_comm(kColorVar);
+  // Local checking: scan the entire neighborhood for a conflict.
+  bool conflict = false;
+  for (NbrIndex ch = 1; ch <= ctx.degree(); ++ch) {
+    if (ctx.nbr_comm(ch, kColorVar) == own) conflict = true;
+  }
+  return conflict ? 0 : kDisabled;
+}
+
+void FullReadColoring::execute(int action, ActionContext& ctx) const {
+  SSS_ASSERT(action == 0, "FULL-READ-COLORING has one action");
+  std::vector<bool> used(static_cast<std::size_t>(palette_size_) + 1, false);
+  for (NbrIndex ch = 1; ch <= ctx.degree(); ++ch) {
+    const Value c = ctx.nbr_comm(ch, kColorVar);
+    used[static_cast<std::size_t>(c)] = true;
+  }
+  std::vector<Value> free_colors;
+  for (Value c = 1; c <= static_cast<Value>(palette_size_); ++c) {
+    if (!used[static_cast<std::size_t>(c)]) free_colors.push_back(c);
+  }
+  SSS_ASSERT(!free_colors.empty(),
+             "a Delta+1 palette always leaves a free color");
+  const auto pick = static_cast<std::size_t>(ctx.random_range(
+      0, static_cast<Value>(free_colors.size()) - 1));
+  ctx.set_comm(kColorVar, free_colors[pick]);
+}
+
+}  // namespace sss

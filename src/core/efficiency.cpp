@@ -1,0 +1,19 @@
+#include "core/efficiency.hpp"
+
+namespace sss {
+
+EfficiencyCertificate certify_efficiency(Engine& engine,
+                                         std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    engine.step();
+  }
+  EfficiencyCertificate cert;
+  cert.k_measured = engine.read_counter().max_reads_per_process_step();
+  cert.bits_measured = engine.read_counter().max_bits_per_process_step();
+  cert.steps_observed = steps;
+  cert.total_reads = engine.read_counter().total_reads();
+  cert.total_bits = engine.read_counter().total_bits();
+  return cert;
+}
+
+}  // namespace sss

@@ -1,0 +1,29 @@
+#pragma once
+/// \file efficiency.hpp
+/// k-efficiency certification (Definition 4): a protocol is k-efficient if
+/// in every step every process reads communication variables of at most k
+/// neighbors. The certifier observes a computation and reports the maximum
+/// per-process per-step read count and bit count actually incurred.
+
+#include <cstdint>
+
+#include "runtime/engine.hpp"
+
+namespace sss {
+
+struct EfficiencyCertificate {
+  /// Max distinct neighbors any process read in any observed step — the
+  /// measured k of Definition 4.
+  int k_measured = 0;
+  /// Max bits any process read in one step (Definition 5, measured).
+  int bits_measured = 0;
+  std::uint64_t steps_observed = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_bits = 0;
+};
+
+/// Steps `engine` `steps` times from its current configuration and reports
+/// the engine-lifetime maxima (which upper-bound the run's maxima).
+EfficiencyCertificate certify_efficiency(Engine& engine, std::uint64_t steps);
+
+}  // namespace sss

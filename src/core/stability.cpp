@@ -1,0 +1,44 @@
+#include "core/stability.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+int StabilityReport::count_at_most(int k) const {
+  int count = 0;
+  for (int size : suffix_read_set_sizes) {
+    if (size <= k) ++count;
+  }
+  return count;
+}
+
+StabilityReport analyze_stability(Engine& engine, const RunOptions& options,
+                                  int window_factor) {
+  SSS_REQUIRE(window_factor >= 1, "window factor must be positive");
+  StabilityReport report;
+
+  RunStats stats = engine.run(options);
+  report.silent = stats.silent;
+  report.steps_to_silence = stats.steps_to_silence;
+  report.rounds_to_silence = stats.rounds_to_silence;
+  if (!stats.silent) return report;
+
+  const auto n = static_cast<std::uint64_t>(engine.graph().num_vertices());
+  const auto delta = static_cast<std::uint64_t>(engine.graph().max_degree());
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(window_factor) * n * (delta + 2);
+
+  StabilityTracker tracker(engine.graph());
+  engine.attach_read_logger(&tracker);
+  for (std::uint64_t i = 0; i < window; ++i) {
+    engine.step();
+  }
+  engine.detach_read_logger(&tracker);
+
+  report.window_steps = window;
+  report.suffix_read_set_sizes = tracker.read_set_sizes();
+  report.one_stable_count = tracker.count_at_most(1);
+  return report;
+}
+
+}  // namespace sss

@@ -1,0 +1,44 @@
+#pragma once
+/// \file stability.hpp
+/// Empirical ♦-(x,k)-stability measurement (Definitions 7-9).
+///
+/// ♦-(x,k)-stability says: in every computation there is a suffix in which
+/// some x processes each read from at most k distinct neighbors. The
+/// natural suffix to measure is the one starting at the silence point, so
+/// the analyzer (1) drives the engine to a certified silent configuration,
+/// (2) resets a StabilityTracker, (3) keeps the computation running for an
+/// observation window long enough for every process to be selected through
+/// several full cur-pointer cycles, and (4) reports |R_p| per process.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
+
+namespace sss {
+
+struct StabilityReport {
+  /// False if the run hit max_steps before silence; counts then meaningless.
+  bool silent = false;
+  std::uint64_t steps_to_silence = 0;
+  std::uint64_t rounds_to_silence = 0;
+  /// |R_p(C')| for the post-silence suffix C', per process.
+  std::vector<int> suffix_read_set_sizes;
+  /// Number of processes with |R_p(C')| <= 1 (the measured x of
+  /// ♦-(x,1)-stability).
+  int one_stable_count = 0;
+  /// Steps observed after silence.
+  std::uint64_t window_steps = 0;
+
+  int count_at_most(int k) const;
+};
+
+/// Runs `engine` to silence under `options`, then observes the suffix for
+/// `window_factor * n * (Delta + 2)` further steps. The engine's current
+/// configuration is the starting point (call randomize_state() first for
+/// an arbitrary start).
+StabilityReport analyze_stability(Engine& engine, const RunOptions& options,
+                                  int window_factor = 4);
+
+}  // namespace sss

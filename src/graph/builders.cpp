@@ -1,0 +1,378 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+Graph named(Graph g, const std::string& name) {
+  g.set_name(name);
+  return g;
+}
+}  // namespace
+
+Graph path(int n) {
+  SSS_REQUIRE(n >= 1, "path requires n >= 1");
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return named(Graph::from_edges(n, edges), "path(" + std::to_string(n) + ")");
+}
+
+Graph cycle(int n) {
+  SSS_REQUIRE(n >= 3, "cycle requires n >= 3");
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return named(Graph::from_edges(n, edges),
+               "cycle(" + std::to_string(n) + ")");
+}
+
+Graph complete(int n) {
+  SSS_REQUIRE(n >= 1, "complete requires n >= 1");
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return named(Graph::from_edges(n, edges),
+               "complete(" + std::to_string(n) + ")");
+}
+
+Graph star(int leaves) {
+  SSS_REQUIRE(leaves >= 1, "star requires at least one leaf");
+  std::vector<Edge> edges;
+  for (int i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return named(Graph::from_edges(leaves + 1, edges),
+               "star(" + std::to_string(leaves) + ")");
+}
+
+Graph wheel(int rim) {
+  SSS_REQUIRE(rim >= 3, "wheel requires rim >= 3");
+  std::vector<Edge> edges;
+  for (int i = 1; i <= rim; ++i) {
+    edges.emplace_back(0, i);
+    edges.emplace_back(i, i == rim ? 1 : i + 1);
+  }
+  return named(Graph::from_edges(rim + 1, edges),
+               "wheel(" + std::to_string(rim) + ")");
+}
+
+Graph grid(int rows, int cols) {
+  SSS_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return named(Graph::from_edges(rows * cols, edges),
+               "grid(" + std::to_string(rows) + "x" + std::to_string(cols) +
+                   ")");
+}
+
+Graph torus(int rows, int cols) {
+  SSS_REQUIRE(rows >= 3 && cols >= 3, "torus requires dimensions >= 3");
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return named(Graph::from_edges(rows * cols, edges),
+               "torus(" + std::to_string(rows) + "x" + std::to_string(cols) +
+                   ")");
+}
+
+Graph hypercube(int dim) {
+  SSS_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension out of range");
+  const int n = 1 << dim;
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const int u = v ^ (1 << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return named(Graph::from_edges(n, edges),
+               "hypercube(" + std::to_string(dim) + ")");
+}
+
+Graph complete_bipartite(int a, int b) {
+  SSS_REQUIRE(a >= 1 && b >= 1, "complete_bipartite requires positive parts");
+  std::vector<Edge> edges;
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) edges.emplace_back(i, a + j);
+  }
+  return named(Graph::from_edges(a + b, edges),
+               "K(" + std::to_string(a) + "," + std::to_string(b) + ")");
+}
+
+Graph balanced_binary_tree(int n) {
+  SSS_REQUIRE(n >= 1, "tree requires n >= 1");
+  std::vector<Edge> edges;
+  for (int i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+  return named(Graph::from_edges(n, edges),
+               "bintree(" + std::to_string(n) + ")");
+}
+
+Graph caterpillar(int spine, int legs) {
+  SSS_REQUIRE(spine >= 1 && legs >= 0, "caterpillar parameters invalid");
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < spine; ++i) edges.emplace_back(i, i + 1);
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) edges.emplace_back(i, next++);
+  }
+  return named(Graph::from_edges(next, edges),
+               "caterpillar(" + std::to_string(spine) + "," +
+                   std::to_string(legs) + ")");
+}
+
+Graph lollipop(int clique, int tail) {
+  SSS_REQUIRE(clique >= 3 && tail >= 1, "lollipop parameters invalid");
+  std::vector<Edge> edges;
+  for (int i = 0; i < clique; ++i) {
+    for (int j = i + 1; j < clique; ++j) edges.emplace_back(i, j);
+  }
+  for (int t = 0; t < tail; ++t) {
+    edges.emplace_back(t == 0 ? clique - 1 : clique + t - 1, clique + t);
+  }
+  return named(Graph::from_edges(clique + tail, edges),
+               "lollipop(" + std::to_string(clique) + "," +
+                   std::to_string(tail) + ")");
+}
+
+Graph barbell(int k, int bridge) {
+  SSS_REQUIRE(k >= 3 && bridge >= 0, "barbell parameters invalid");
+  std::vector<Edge> edges;
+  auto add_clique = [&edges](int base, int size) {
+    for (int i = 0; i < size; ++i) {
+      for (int j = i + 1; j < size; ++j) {
+        edges.emplace_back(base + i, base + j);
+      }
+    }
+  };
+  add_clique(0, k);
+  add_clique(k, k);
+  int prev = k - 1;  // last vertex of the first clique
+  for (int b = 0; b < bridge; ++b) {
+    edges.emplace_back(prev, 2 * k + b);
+    prev = 2 * k + b;
+  }
+  edges.emplace_back(prev, k);  // into the second clique
+  return named(Graph::from_edges(2 * k + bridge, edges),
+               "barbell(" + std::to_string(k) + "," + std::to_string(bridge) +
+                   ")");
+}
+
+Graph petersen() {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);        // outer pentagon
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    edges.emplace_back(i, 5 + i);              // spokes
+  }
+  return named(Graph::from_edges(10, edges), "petersen");
+}
+
+Graph random_tree(int n, Rng& rng) {
+  SSS_REQUIRE(n >= 1, "random_tree requires n >= 1");
+  if (n == 1) return named(Graph::from_edges(1, {}), "rtree(1)");
+  if (n == 2) return named(Graph::from_edges(2, {{0, 1}}), "rtree(2)");
+  // Decode a uniformly random Pruefer sequence.
+  std::vector<int> pruefer(static_cast<std::size_t>(n - 2));
+  for (auto& x : pruefer) x = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (int x : pruefer) ++deg[static_cast<std::size_t>(x)];
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] == 1) leaves.insert(v);
+  }
+  std::vector<Edge> edges;
+  for (int x : pruefer) {
+    const int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.emplace_back(leaf, x);
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  SSS_ASSERT(leaves.size() == 2, "Pruefer decoding must leave two vertices");
+  const int a = *leaves.begin();
+  const int b = *std::next(leaves.begin());
+  edges.emplace_back(a, b);
+  return named(Graph::from_edges(n, edges),
+               "rtree(" + std::to_string(n) + ")");
+}
+
+namespace {
+/// Union-find for the connectivity completion in erdos_renyi_connected.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+}  // namespace
+
+Graph erdos_renyi_connected(int n, double p, Rng& rng) {
+  SSS_REQUIRE(n >= 1, "erdos_renyi requires n >= 1");
+  SSS_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  std::vector<Edge> edges;
+  DisjointSets components(n);
+  int num_components = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.chance(p)) {
+        edges.emplace_back(i, j);
+        if (components.unite(i, j)) --num_components;
+      }
+    }
+  }
+  // Join any remaining components with uniformly drawn cross edges.
+  std::set<Edge> present(edges.begin(), edges.end());
+  while (num_components > 1) {
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (a == b || components.find(a) == components.find(b)) continue;
+    const Edge e{std::min(a, b), std::max(a, b)};
+    if (present.count(e)) continue;
+    present.insert(e);
+    edges.push_back(e);
+    components.unite(a, b);
+    --num_components;
+  }
+  return named(Graph::from_edges(n, edges),
+               "gnp(" + std::to_string(n) + ")");
+}
+
+Graph random_regular(int n, int d, Rng& rng) {
+  SSS_REQUIRE(n >= 2 && d >= 1 && d < n, "random_regular parameters invalid");
+  SSS_REQUIRE((static_cast<long long>(n) * d) % 2 == 0,
+              "n*d must be even for a d-regular graph");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int v = 0; v < n; ++v) {
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    shuffle(stubs, rng);
+    std::set<Edge> chosen;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const int a = std::min(stubs[i], stubs[i + 1]);
+      const int b = std::max(stubs[i], stubs[i + 1]);
+      if (a == b || chosen.count({a, b})) {
+        ok = false;
+        break;
+      }
+      chosen.insert({a, b});
+    }
+    if (!ok) continue;
+    // Connectivity check via union-find.
+    DisjointSets components(n);
+    int num_components = n;
+    for (const auto& [a, b] : chosen) {
+      if (components.unite(a, b)) --num_components;
+    }
+    if (num_components != 1) continue;
+    return named(
+        Graph::from_edges(n, {chosen.begin(), chosen.end()}),
+        "regular(" + std::to_string(n) + "," + std::to_string(d) + ")");
+  }
+  throw PreconditionError(
+      "random_regular: no simple connected graph found in 200 attempts");
+}
+
+Graph theorem1_spider(int delta) {
+  SSS_REQUIRE(delta >= 2, "theorem1_spider requires delta >= 2");
+  // Vertex 0 is the center (the role of p3 in the Delta = 2 chain).
+  // Vertices 1..delta are the middle layer, each of degree delta.
+  // Each middle vertex i carries delta-1 pendants.
+  std::vector<Edge> edges;
+  int next = delta + 1;
+  for (int i = 1; i <= delta; ++i) {
+    edges.emplace_back(0, i);
+    for (int l = 0; l < delta - 1; ++l) edges.emplace_back(i, next++);
+  }
+  SSS_ASSERT(next == delta * delta + 1,
+             "spider must have Delta^2 + 1 vertices");
+  return named(Graph::from_edges(next, edges),
+               "spider(" + std::to_string(delta) + ")");
+}
+
+RootedDag theorem2_gadget(int delta) {
+  SSS_REQUIRE(delta >= 2, "theorem2_gadget requires delta >= 2");
+  // Core six processes, ids 0..5 for the paper's p1..p6. The network is the
+  // 6-cycle p1-p2-p5-p4-p6-p3-p1, oriented so that p1 (the root) and p4 are
+  // sources while p5 and p6 are sinks (Figure 3).
+  const ProcessId p1 = 0, p2 = 1, p3 = 2, p4 = 3, p5 = 4, p6 = 5;
+  std::vector<Edge> oriented = {{p1, p2}, {p1, p3}, {p2, p5},
+                                {p3, p6}, {p4, p5}, {p4, p6}};
+  std::vector<Edge> edges = oriented;
+  int next = 6;
+  // Figure 6 generalization: delta-2 pendants per core process, oriented to
+  // keep p1 and p4 sources and p5 and p6 sinks.
+  for (ProcessId core = 0; core < 6; ++core) {
+    for (int l = 0; l < delta - 2; ++l) {
+      const ProcessId leaf = next++;
+      if (core == p1 || core == p4) {
+        oriented.emplace_back(core, leaf);  // source keeps out-edges
+      } else if (core == p5 || core == p6) {
+        oriented.emplace_back(leaf, core);  // sink keeps in-edges
+      } else {
+        oriented.emplace_back(core, leaf);  // internal: orientation free
+      }
+      edges.emplace_back(core, leaf);
+    }
+  }
+  return RootedDag{named(Graph::from_edges(next, edges),
+                         "thm2(" + std::to_string(delta) + ")"),
+                   p1, std::move(oriented)};
+}
+
+Graph fig9_path(int n) {
+  Graph g = path(n);
+  g.set_name("fig9-path(" + std::to_string(n) + ")");
+  return g;
+}
+
+Graph fig11_tight_matching() {
+  // Matched core: edges {0,1} and {2,3}. A shared degree-2 vertex (id 4)
+  // bridges the two pairs, vertices 0 and 3 carry three pendant leaves and
+  // vertices 1 and 2 two each: m = 2 + 2 + 10 = 14, Delta = 4, connected,
+  // and {01, 23} is a maximal matching of exactly ceil(m/(2*Delta-1)) = 2
+  // edges (every other edge touches a matched vertex).
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {1, 4}, {2, 4}};
+  int next = 5;
+  const int pendants[4] = {3, 2, 2, 3};
+  for (ProcessId core = 0; core < 4; ++core) {
+    for (int l = 0; l < pendants[core]; ++l) edges.emplace_back(core, next++);
+  }
+  SSS_ASSERT(edges.size() == 14, "Figure 11 graph must have m = 14");
+  return named(Graph::from_edges(next, edges), "fig11");
+}
+
+}  // namespace sss

@@ -1,0 +1,83 @@
+#pragma once
+/// \file builders.hpp
+/// Graph families used throughout the paper's analysis and our benches.
+///
+/// Besides the classical families, this module provides the paper's own
+/// constructions:
+///  * `theorem1_spider(delta)` — the Delta^2+1-node generalization graph of
+///    Theorem 1 / Figure 2 (a center of degree Delta joined to Delta nodes
+///    of degree Delta, each carrying Delta-1 pendant leaves);
+///  * `theorem2_gadget(delta)` — the rooted, dag-oriented 6-node network of
+///    Theorem 2 / Figure 3, generalized per Figure 6 by attaching Delta-2
+///    pendants to each of the six processes;
+///  * `fig9_path(n)` — the path on which Theorem 6's stability bound is
+///    tight (Figure 9);
+///  * `fig11_tight_matching()` — the Delta=4, m=14 graph on which
+///    Theorem 8's stability bound is tight (Figure 11).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace sss {
+
+Graph path(int n);                ///< P_n. Requires n >= 1.
+Graph cycle(int n);               ///< C_n. Requires n >= 3.
+Graph complete(int n);            ///< K_n. Requires n >= 1.
+Graph star(int leaves);           ///< center 0 plus `leaves` leaves. >= 1.
+Graph wheel(int rim);             ///< hub 0 plus a rim cycle. Requires rim >= 3.
+Graph grid(int rows, int cols);   ///< rows x cols lattice. Requires >= 1 each.
+Graph torus(int rows, int cols);  ///< wrap-around lattice. Requires >= 3 each.
+Graph hypercube(int dim);         ///< Q_dim. Requires 1 <= dim <= 20.
+Graph complete_bipartite(int a, int b);  ///< K_{a,b}. Requires a,b >= 1.
+Graph balanced_binary_tree(int n);       ///< heap-shaped tree. Requires n >= 1.
+/// Spine of `spine` vertices, each with `legs` pendant legs.
+Graph caterpillar(int spine, int legs);
+/// K_clique with a pendant path of `tail` vertices. Requires clique >= 3.
+Graph lollipop(int clique, int tail);
+/// Two K_k cliques joined by a path of `bridge` intermediate vertices.
+Graph barbell(int k, int bridge);
+Graph petersen();  ///< the Petersen graph (3-regular, 10 vertices).
+
+/// Uniform random labelled tree via Pruefer sequences. Requires n >= 1.
+Graph random_tree(int n, Rng& rng);
+
+/// G(n, p) conditioned on connectivity: components left disconnected by the
+/// Bernoulli draw are joined with uniformly chosen inter-component edges
+/// (documented substitution; keeps edge density close to p for the sweep
+/// sizes used here). Requires n >= 1, 0 <= p <= 1.
+Graph erdos_renyi_connected(int n, double p, Rng& rng);
+
+/// Random d-regular simple connected graph via the configuration model with
+/// rejection. Requires n*d even, 0 < d < n; throws if 200 attempts fail.
+Graph random_regular(int n, int d, Rng& rng);
+
+/// Theorem 1 generalization graph (Figure 2): Delta^2 + 1 vertices.
+/// Requires delta >= 2.
+Graph theorem1_spider(int delta);
+
+/// A rooted, dag-oriented network: the fixed orientation is part of the
+/// system model of Theorem 2, not derived from process state.
+struct RootedDag {
+  Graph graph;
+  ProcessId root = 0;
+  /// Directed edges (from, to) of the fixed dag orientation.
+  std::vector<Edge> oriented;
+};
+
+/// Theorem 2 network (Figure 3 for delta=2; Figure 6 generalization for
+/// delta>2). The core six processes are ids 0..5 standing for p1..p6;
+/// p1 and p4 are sources and p5, p6 sinks, as the proof requires.
+/// Requires delta >= 2.
+RootedDag theorem2_gadget(int delta);
+
+/// Figure 9: the path on which MIS's ♦-(x,1)-stability bound is tight.
+Graph fig9_path(int n);
+
+/// Figure 11: Delta = 4, m = 14, and a maximal matching of exactly
+/// 2 = ceil(m / (2*Delta - 1)) edges exists (vertices 0-1 and 2-3 matched,
+/// twelve pendant leaves).
+Graph fig11_tight_matching();
+
+}  // namespace sss

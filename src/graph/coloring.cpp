@@ -1,0 +1,114 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+bool is_proper_coloring(const Graph& g, const Coloring& colors) {
+  if (static_cast<int>(colors.size()) != g.num_vertices()) return false;
+  for (int c : colors) {
+    if (c < 1) return false;
+  }
+  for (const auto& [a, b] : g.edges()) {
+    if (colors[static_cast<std::size_t>(a)] ==
+        colors[static_cast<std::size_t>(b)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int count_colors(const Coloring& colors) {
+  return static_cast<int>(std::set<int>(colors.begin(), colors.end()).size());
+}
+
+namespace {
+/// Smallest color >= 1 not used by any neighbor of `v`.
+int first_free_color(const Graph& g, const Coloring& colors, ProcessId v) {
+  std::vector<int> used;
+  for (ProcessId u : g.neighbors(v)) {
+    const int c = colors[static_cast<std::size_t>(u)];
+    if (c >= 1) used.push_back(c);
+  }
+  std::sort(used.begin(), used.end());
+  int candidate = 1;
+  for (int c : used) {
+    if (c == candidate) {
+      ++candidate;
+    } else if (c > candidate) {
+      break;
+    }
+  }
+  return candidate;
+}
+
+Coloring greedy_in_order(const Graph& g, const std::vector<ProcessId>& order) {
+  Coloring colors(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (ProcessId v : order) {
+    colors[static_cast<std::size_t>(v)] = first_free_color(g, colors, v);
+  }
+  return colors;
+}
+}  // namespace
+
+Coloring greedy_coloring(const Graph& g) {
+  std::vector<ProcessId> order(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  return greedy_in_order(g, order);
+}
+
+Coloring randomized_greedy_coloring(const Graph& g, Rng& rng) {
+  std::vector<ProcessId> order(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  shuffle(order, rng);
+  return greedy_in_order(g, order);
+}
+
+Coloring dsatur_coloring(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Coloring colors(n, 0);
+  std::vector<std::set<int>> neighbor_colors(n);
+  std::vector<bool> done(n, false);
+  for (int step = 0; step < g.num_vertices(); ++step) {
+    // Pick the uncolored vertex with the largest saturation degree,
+    // breaking ties by degree then id.
+    ProcessId best = -1;
+    for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+      if (done[static_cast<std::size_t>(v)]) continue;
+      if (best < 0) {
+        best = v;
+        continue;
+      }
+      const auto sat_v = neighbor_colors[static_cast<std::size_t>(v)].size();
+      const auto sat_b = neighbor_colors[static_cast<std::size_t>(best)].size();
+      if (sat_v > sat_b ||
+          (sat_v == sat_b && g.degree(v) > g.degree(best))) {
+        best = v;
+      }
+    }
+    const int c = first_free_color(g, colors, best);
+    colors[static_cast<std::size_t>(best)] = c;
+    done[static_cast<std::size_t>(best)] = true;
+    for (ProcessId u : g.neighbors(best)) {
+      neighbor_colors[static_cast<std::size_t>(u)].insert(c);
+    }
+  }
+  return colors;
+}
+
+Coloring identity_coloring(const Graph& g) {
+  Coloring colors(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    colors[static_cast<std::size_t>(i)] = i + 1;
+  }
+  return colors;
+}
+
+}  // namespace sss

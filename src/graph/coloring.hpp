@@ -1,0 +1,38 @@
+#pragma once
+/// \file coloring.hpp
+/// Proper vertex colorings used as the "local identifier" substrate of
+/// Protocols MIS and MATCHING (Section 5): each process carries a constant
+/// color C.p that differs from every neighbor's, and colors are totally
+/// ordered by `<`. Colors here are integers starting at 1.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace sss {
+
+/// A proper coloring: `colors[p]` is the color of process p, >= 1.
+using Coloring = std::vector<int>;
+
+/// True if neighbors never share a color and all colors are >= 1.
+bool is_proper_coloring(const Graph& g, const Coloring& colors);
+
+/// Number of distinct colors used (#C in the paper's Lemma 4 bound).
+int count_colors(const Coloring& colors);
+
+/// Greedy coloring in id order; uses at most Delta+1 colors.
+Coloring greedy_coloring(const Graph& g);
+
+/// Greedy coloring in a uniformly random vertex order.
+Coloring randomized_greedy_coloring(const Graph& g, Rng& rng);
+
+/// DSATUR coloring (saturation-degree heuristic); never worse than greedy
+/// in color count on the families used here.
+Coloring dsatur_coloring(const Graph& g);
+
+/// The trivially proper coloring by globally unique ids (#C = n).
+/// Models the "ordered global identifiers" setting of [13].
+Coloring identity_coloring(const Graph& g);
+
+}  // namespace sss

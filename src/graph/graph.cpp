@@ -1,0 +1,111 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+Graph Graph::from_edges(int num_vertices, const std::vector<Edge>& edges) {
+  SSS_REQUIRE(num_vertices >= 1, "a graph needs at least one vertex");
+  Graph g;
+  g.adjacency_.assign(static_cast<std::size_t>(num_vertices), {});
+  for (const auto& [a, b] : edges) {
+    SSS_REQUIRE(a >= 0 && a < num_vertices && b >= 0 && b < num_vertices,
+                "edge endpoint out of range");
+    SSS_REQUIRE(a != b, "self-loops are not allowed");
+    g.adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    g.adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : g.adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    SSS_REQUIRE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end(),
+                "duplicate edge in edge list");
+  }
+  g.num_edges_ = static_cast<int>(edges.size());
+  g.finish_init();
+  return g;
+}
+
+Graph Graph::from_ports(const std::vector<std::vector<ProcessId>>& ports) {
+  const int n = static_cast<int>(ports.size());
+  SSS_REQUIRE(n >= 1, "a graph needs at least one vertex");
+  Graph g;
+  g.adjacency_ = ports;
+  int total_endpoints = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& nbrs = g.adjacency_[static_cast<std::size_t>(p)];
+    total_endpoints += static_cast<int>(nbrs.size());
+    std::vector<ProcessId> sorted = nbrs;
+    std::sort(sorted.begin(), sorted.end());
+    SSS_REQUIRE(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate neighbor in port list");
+    for (ProcessId q : nbrs) {
+      SSS_REQUIRE(q >= 0 && q < n, "port neighbor out of range");
+      SSS_REQUIRE(q != p, "self-loops are not allowed");
+      const auto& back = g.adjacency_[static_cast<std::size_t>(q)];
+      SSS_REQUIRE(std::find(back.begin(), back.end(), p) != back.end(),
+                  "port relation must be symmetric");
+    }
+  }
+  g.num_edges_ = total_endpoints / 2;
+  g.finish_init();
+  return g;
+}
+
+void Graph::finish_init() {
+  max_degree_ = 0;
+  min_degree_ = adjacency_.empty() ? 0 : num_vertices();
+  for (const auto& nbrs : adjacency_) {
+    max_degree_ = std::max(max_degree_, static_cast<int>(nbrs.size()));
+    min_degree_ = std::min(min_degree_, static_cast<int>(nbrs.size()));
+  }
+}
+
+int Graph::degree(ProcessId p) const {
+  SSS_REQUIRE(p >= 0 && p < num_vertices(), "process id out of range");
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(p)].size());
+}
+
+ProcessId Graph::neighbor(ProcessId p, NbrIndex index) const {
+  SSS_REQUIRE(p >= 0 && p < num_vertices(), "process id out of range");
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(p)];
+  SSS_REQUIRE(index >= 1 && index <= static_cast<int>(nbrs.size()),
+              "local channel index out of range");
+  return nbrs[static_cast<std::size_t>(index - 1)];
+}
+
+NbrIndex Graph::local_index_of(ProcessId p, ProcessId q) const {
+  SSS_REQUIRE(p >= 0 && p < num_vertices(), "process id out of range");
+  // Linear scan: port lists need not be sorted (from_ports), and degrees
+  // in this library are small.
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(p)];
+  const auto it = std::find(nbrs.begin(), nbrs.end(), q);
+  if (it == nbrs.end()) return 0;
+  return static_cast<NbrIndex>(it - nbrs.begin()) + 1;
+}
+
+const std::vector<ProcessId>& Graph::neighbors(ProcessId p) const {
+  SSS_REQUIRE(p >= 0 && p < num_vertices(), "process id out of range");
+  return adjacency_[static_cast<std::size_t>(p)];
+}
+
+bool Graph::has_edge(ProcessId p, ProcessId q) const {
+  if (p == q) return false;
+  return local_index_of(p, q) != 0;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (ProcessId p = 0; p < num_vertices(); ++p) {
+    for (ProcessId q : adjacency_[static_cast<std::size_t>(p)]) {
+      if (p < q) out.emplace_back(p, q);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

@@ -1,0 +1,92 @@
+#pragma once
+/// \file graph.hpp
+/// The network topology substrate of the paper's model (Section 2).
+///
+/// A distributed system is an undirected connected graph G = (Pi, E); each
+/// process distinguishes its neighbors only through *local channel indices*
+/// numbered 1..delta.p. `Graph` is immutable after construction and exposes
+/// exactly that local view, plus the global view needed by checkers and
+/// experiment harnesses (which are outside the anonymous model).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sss {
+
+/// Global process identifier, 0-based. Protocol code never sees these;
+/// they exist for the simulator, checkers, and reports.
+using ProcessId = int;
+
+/// 1-based local channel index, as in the paper ("numbered from 1 to
+/// delta.p"). The value 0 is reserved to mean "no neighbor" (e.g. the free
+/// state of the PR pointer in Protocol MATCHING).
+using NbrIndex = int;
+
+/// An undirected edge between two process ids.
+using Edge = std::pair<ProcessId, ProcessId>;
+
+/// Immutable undirected graph with per-process local channel numbering.
+///
+/// With `from_edges`, neighbor lists are sorted by global id and the local
+/// index of a neighbor is its 1-based position in that sorted list —
+/// deterministic, which keeps every experiment reproducible. The model
+/// itself, however, permits *arbitrary* port numberings (the paper's
+/// impossibility proofs pick them adversarially: "there exists a possible
+/// network where p4 is the neighbor i in the local order of p6"), so
+/// `from_ports` accepts explicit per-vertex neighbor orders.
+class Graph {
+ public:
+  /// Builds a graph on `num_vertices` vertices from an edge list.
+  /// Requires: num_vertices >= 1; endpoints in range; no self-loops;
+  /// duplicate edges are rejected.
+  static Graph from_edges(int num_vertices, const std::vector<Edge>& edges);
+
+  /// Builds a graph from explicit port lists: ports[p][i] is the neighbor
+  /// of p on channel i+1. Requires a symmetric, loop-free, duplicate-free
+  /// relation.
+  static Graph from_ports(const std::vector<std::vector<ProcessId>>& ports);
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// delta.p — the number of neighbors of p.
+  int degree(ProcessId p) const;
+
+  /// Delta — the maximum degree over all processes.
+  int max_degree() const { return max_degree_; }
+
+  /// Minimum degree over all processes.
+  int min_degree() const { return min_degree_; }
+
+  /// The neighbor of `p` on local channel `index` (1-based).
+  ProcessId neighbor(ProcessId p, NbrIndex index) const;
+
+  /// The local index of `q` in `p`'s numbering, or 0 if not adjacent.
+  NbrIndex local_index_of(ProcessId p, ProcessId q) const;
+
+  /// Global ids of p's neighbors in channel order; position i holds
+  /// channel i+1.
+  const std::vector<ProcessId>& neighbors(ProcessId p) const;
+
+  bool has_edge(ProcessId p, ProcessId q) const;
+
+  /// All edges with first < second, sorted lexicographically.
+  std::vector<Edge> edges() const;
+
+  /// Human-readable name, settable by builders ("path(5)", "spider(3)", ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  Graph() = default;
+  void finish_init();
+
+  std::vector<std::vector<ProcessId>> adjacency_;
+  int num_edges_ = 0;
+  int max_degree_ = 0;
+  int min_degree_ = 0;
+  std::string name_ = "graph";
+};
+
+}  // namespace sss

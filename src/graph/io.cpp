@@ -1,0 +1,60 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "support/require.hpp"
+#include "support/string_util.hpp"
+
+namespace sss {
+
+std::string to_dot(const Graph& g, const std::optional<Coloring>& colors) {
+  static constexpr std::array<const char*, 8> kPalette = {
+      "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+      "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+  std::ostringstream out;
+  out << "graph \"" << g.name() << "\" {\n";
+  out << "  node [style=filled];\n";
+  for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v;
+    if (colors) {
+      const int c = (*colors)[static_cast<std::size_t>(v)];
+      out << " [label=\"" << v << ":" << c << "\" fillcolor=\""
+          << kPalette[static_cast<std::size_t>(c) % kPalette.size()] << "\"]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [a, b] : g.edges()) {
+    out << "  " << a << " -- " << b << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [a, b] : g.edges()) out << a << ' ' << b << '\n';
+  return out.str();
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  int n = 0;
+  int m = 0;
+  SSS_REQUIRE(static_cast<bool>(in >> n >> m),
+              "edge list must start with 'n m'");
+  SSS_REQUIRE(n >= 1 && m >= 0, "invalid vertex or edge count");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    int a = 0;
+    int b = 0;
+    SSS_REQUIRE(static_cast<bool>(in >> a >> b),
+                "edge list ended before all edges were read");
+    edges.emplace_back(a, b);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace sss

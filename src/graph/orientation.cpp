@@ -1,0 +1,91 @@
+#include "graph/orientation.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+Orientation build(const Graph& g, std::vector<Edge> arcs) {
+  Orientation o;
+  o.arcs = std::move(arcs);
+  o.successors.assign(static_cast<std::size_t>(g.num_vertices()), {});
+  for (const auto& [from, to] : o.arcs) {
+    o.successors[static_cast<std::size_t>(from)].push_back(to);
+  }
+  for (auto& succ : o.successors) std::sort(succ.begin(), succ.end());
+  return o;
+}
+}  // namespace
+
+Orientation orient_by_colors(const Graph& g, const Coloring& colors) {
+  SSS_REQUIRE(is_proper_coloring(g, colors),
+              "orient_by_colors requires a proper coloring");
+  std::vector<Edge> arcs;
+  arcs.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const auto& [a, b] : g.edges()) {
+    const int ca = colors[static_cast<std::size_t>(a)];
+    const int cb = colors[static_cast<std::size_t>(b)];
+    SSS_ASSERT(ca != cb, "proper coloring must separate neighbors");
+    arcs.emplace_back(ca < cb ? a : b, ca < cb ? b : a);
+  }
+  return build(g, std::move(arcs));
+}
+
+Orientation orientation_from_arcs(const Graph& g,
+                                  const std::vector<Edge>& arcs) {
+  SSS_REQUIRE(static_cast<int>(arcs.size()) == g.num_edges(),
+              "need exactly one arc per edge");
+  for (const auto& [from, to] : arcs) {
+    SSS_REQUIRE(g.has_edge(from, to), "arc is not an edge of the graph");
+  }
+  return build(g, arcs);
+}
+
+bool is_acyclic(const Graph& g, const Orientation& orientation) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<int> indegree(n, 0);
+  for (const auto& [from, to] : orientation.arcs) {
+    (void)from;
+    ++indegree[static_cast<std::size_t>(to)];
+  }
+  std::deque<ProcessId> ready;
+  for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  int emitted = 0;
+  while (!ready.empty()) {
+    const ProcessId v = ready.front();
+    ready.pop_front();
+    ++emitted;
+    for (ProcessId u : orientation.successors[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(u)] == 0) ready.push_back(u);
+    }
+  }
+  return emitted == g.num_vertices();
+}
+
+std::vector<ProcessId> sources(const Graph& g, const Orientation& o) {
+  std::vector<bool> has_in(static_cast<std::size_t>(g.num_vertices()), false);
+  for (const auto& [from, to] : o.arcs) {
+    (void)from;
+    has_in[static_cast<std::size_t>(to)] = true;
+  }
+  std::vector<ProcessId> out;
+  for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+    if (!has_in[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<ProcessId> sinks(const Graph& g, const Orientation& o) {
+  std::vector<ProcessId> out;
+  for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+    if (o.successors[static_cast<std::size_t>(v)].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace sss

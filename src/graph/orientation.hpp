@@ -1,0 +1,43 @@
+#pragma once
+/// \file orientation.hpp
+/// Color-induced dag orientation (Theorem 4): orienting every edge from the
+/// smaller to the larger color yields a directed acyclic graph, because the
+/// color order is total and transitive. This is exactly why the "local
+/// identifier" assumption of Protocols MIS and MATCHING is a
+/// symmetry-breaking device (Definition 11).
+
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace sss {
+
+/// A fixed orientation of every edge of a graph.
+struct Orientation {
+  /// Directed edges (from, to); one entry per undirected edge.
+  std::vector<Edge> arcs;
+
+  /// Out-neighbors per vertex (the Succ.p sets of Definition 11).
+  std::vector<std::vector<ProcessId>> successors;
+};
+
+/// Orients each edge {p,q} as (p,q) iff colors[p] < colors[q].
+/// Requires a proper coloring (equal endpoint colors are impossible).
+Orientation orient_by_colors(const Graph& g, const Coloring& colors);
+
+/// Builds an Orientation from explicit arcs (e.g. theorem2_gadget's fixed
+/// dag). Requires exactly one arc per edge of `g`.
+Orientation orientation_from_arcs(const Graph& g,
+                                  const std::vector<Edge>& arcs);
+
+/// True if the orientation has no directed cycle (Kahn's algorithm).
+bool is_acyclic(const Graph& g, const Orientation& orientation);
+
+/// Vertices with no incoming arc.
+std::vector<ProcessId> sources(const Graph& g, const Orientation& o);
+
+/// Vertices with no outgoing arc.
+std::vector<ProcessId> sinks(const Graph& g, const Orientation& o);
+
+}  // namespace sss

@@ -1,0 +1,141 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+std::vector<int> bfs_distances(const Graph& g, ProcessId source) {
+  SSS_REQUIRE(source >= 0 && source < g.num_vertices(),
+              "BFS source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::deque<ProcessId> queue{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const ProcessId v = queue.front();
+    queue.pop_front();
+    for (ProcessId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int diameter(const Graph& g) {
+  SSS_REQUIRE(is_connected(g), "diameter requires a connected graph");
+  int best = 0;
+  for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    best = std::max(best, *std::max_element(dist.begin(), dist.end()));
+  }
+  return best;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<int> side(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (ProcessId start = 0; start < g.num_vertices(); ++start) {
+    if (side[static_cast<std::size_t>(start)] >= 0) continue;
+    side[static_cast<std::size_t>(start)] = 0;
+    std::deque<ProcessId> queue{start};
+    while (!queue.empty()) {
+      const ProcessId v = queue.front();
+      queue.pop_front();
+      for (ProcessId u : g.neighbors(v)) {
+        if (side[static_cast<std::size_t>(u)] < 0) {
+          side[static_cast<std::size_t>(u)] =
+              1 - side[static_cast<std::size_t>(v)];
+          queue.push_back(u);
+        } else if (side[static_cast<std::size_t>(u)] ==
+                   side[static_cast<std::size_t>(v)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// DFS state for the exact longest-path search.
+struct PathSearch {
+  const Graph& g;
+  std::vector<bool> visited;
+  int best = 0;
+
+  explicit PathSearch(const Graph& graph)
+      : g(graph),
+        visited(static_cast<std::size_t>(graph.num_vertices()), false) {}
+
+  void extend(ProcessId v, int length, int unvisited_remaining) {
+    best = std::max(best, length);
+    // Branch-and-bound: even visiting every remaining vertex cannot beat
+    // the incumbent.
+    if (length + unvisited_remaining <= best) return;
+    for (ProcessId u : g.neighbors(v)) {
+      if (visited[static_cast<std::size_t>(u)]) continue;
+      visited[static_cast<std::size_t>(u)] = true;
+      extend(u, length + 1, unvisited_remaining - 1);
+      visited[static_cast<std::size_t>(u)] = false;
+    }
+  }
+};
+
+}  // namespace
+
+int longest_path_exact(const Graph& g, int max_vertices) {
+  SSS_REQUIRE(g.num_vertices() <= max_vertices,
+              "longest_path_exact refused: graph too large for exhaustive "
+              "search (raise max_vertices explicitly to override)");
+  PathSearch search(g);
+  for (ProcessId start = 0; start < g.num_vertices(); ++start) {
+    search.visited[static_cast<std::size_t>(start)] = true;
+    search.extend(start, 0, g.num_vertices() - 1);
+    search.visited[static_cast<std::size_t>(start)] = false;
+  }
+  return search.best;
+}
+
+int longest_path_lower_bound(const Graph& g, Rng& rng, int restarts) {
+  SSS_REQUIRE(restarts >= 1, "need at least one restart");
+  int best = 0;
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<ProcessId> options;
+  for (int r = 0; r < restarts; ++r) {
+    std::fill(visited.begin(), visited.end(), false);
+    ProcessId v = static_cast<ProcessId>(
+        rng.below(static_cast<std::uint64_t>(g.num_vertices())));
+    visited[static_cast<std::size_t>(v)] = true;
+    int length = 0;
+    for (;;) {
+      options.clear();
+      for (ProcessId u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)]) options.push_back(u);
+      }
+      if (options.empty()) break;
+      v = options[rng.below(options.size())];
+      visited[static_cast<std::size_t>(v)] = true;
+      ++length;
+    }
+    best = std::max(best, length);
+  }
+  return best;
+}
+
+double average_degree(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  return 2.0 * g.num_edges() / g.num_vertices();
+}
+
+}  // namespace sss

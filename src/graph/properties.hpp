@@ -1,0 +1,37 @@
+#pragma once
+/// \file properties.hpp
+/// Structural graph properties used by the checkers and by the paper's
+/// bounds: connectivity, diameter D, degree statistics, and the length
+/// Lmax of the longest elementary path (Theorem 6's parameter).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace sss {
+
+/// BFS distances from `source`; unreachable vertices get -1.
+std::vector<int> bfs_distances(const Graph& g, ProcessId source);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via n BFS runs; requires a connected graph.
+int diameter(const Graph& g);
+
+/// True if the graph is bipartite (2-colorable).
+bool is_bipartite(const Graph& g);
+
+/// Exact length (number of edges) of the longest elementary (simple) path,
+/// via exhaustive DFS with branch-and-bound. Exponential in the worst case;
+/// refuses graphs with more than `max_vertices` vertices.
+int longest_path_exact(const Graph& g, int max_vertices = 32);
+
+/// Lower bound on the longest elementary path length found by randomized
+/// DFS restarts; cheap and usable at any scale.
+int longest_path_lower_bound(const Graph& g, Rng& rng, int restarts = 32);
+
+/// Average degree 2m/n.
+double average_degree(const Graph& g);
+
+}  // namespace sss

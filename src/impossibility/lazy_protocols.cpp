@@ -1,0 +1,50 @@
+#include "impossibility/lazy_protocols.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+constexpr int kConflict = 0;
+constexpr int kAdvance = 1;
+}  // namespace
+
+LazyScanColoring::LazyScanColoring(const Graph& g, int palette_size)
+    : palette_size_(palette_size == 0 ? g.max_degree() + 1 : palette_size) {
+  SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
+              "LAZY-SCAN-COLORING requires a connected network with n >= 2");
+  SSS_REQUIRE(palette_size_ >= g.max_degree() + 1,
+              "palette must have at least Delta+1 colors");
+  spec_.comm.emplace_back("C",
+                          VarDomain{1, static_cast<Value>(palette_size_)});
+  spec_.internal.emplace_back(
+      "cur", [](const Graph& graph, ProcessId p) {
+        return VarDomain{1, static_cast<Value>(scan_limit(graph.degree(p)))};
+      });
+}
+
+int LazyScanColoring::first_enabled(GuardContext& ctx) const {
+  const Value own = ctx.self_comm(kColorVar);
+  const auto cur = static_cast<NbrIndex>(ctx.self_internal(kCurVar));
+  return ctx.nbr_comm(cur, kColorVar) == own ? kConflict : kAdvance;
+}
+
+void LazyScanColoring::execute(int action, ActionContext& ctx) const {
+  const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
+  const auto limit = static_cast<Value>(scan_limit(ctx.degree()));
+  const Value next = (cur % limit) + 1;
+  switch (action) {
+    case kConflict:
+      ctx.set_comm(kColorVar,
+                   ctx.random_range(1, static_cast<Value>(palette_size_)));
+      ctx.set_internal(kCurVar, next);
+      break;
+    case kAdvance:
+      ctx.set_internal(kCurVar, next);
+      break;
+    default:
+      SSS_ASSERT(false, "LAZY-SCAN-COLORING has exactly two actions");
+  }
+}
+
+}  // namespace sss

@@ -1,0 +1,51 @@
+#pragma once
+/// \file lazy_protocols.hpp
+/// The "cheating" candidate protocols that the impossibility constructions
+/// refute.
+///
+/// Theorem 1 says no ♦-k-stable neighbor-complete protocol exists for
+/// k < Delta; Theorem 2 strengthens this for always-k-stable protocols even
+/// on rooted dag-oriented networks. To *execute* those proofs we need a
+/// concrete k-stable candidate: `LazyScanColoring` is Protocol COLORING
+/// with its cur pointer confined to channels 1..max(1, delta.p - 1) — each
+/// process simply never looks at its last channel, making the protocol
+/// (Delta-1)-stable by construction. On friendly port numberings it colors
+/// the network perfectly well; the constructions of theorem1.hpp and
+/// theorem2.hpp pick the port numberings adversarially and exhibit silent
+/// illegitimate configurations, mechanically confirming it is not
+/// self-stabilizing — exactly the paper's argument.
+
+#include <string>
+
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+class LazyScanColoring final : public Protocol {
+ public:
+  static constexpr int kColorVar = 0;  ///< comm
+  static constexpr int kCurVar = 0;    ///< internal
+
+  /// Requires palette_size >= Delta+1 (same palette as Protocol COLORING).
+  explicit LazyScanColoring(const Graph& g, int palette_size = 0);
+
+  const std::string& name() const override { return name_; }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 2; }
+  bool is_probabilistic() const override { return true; }
+
+  int first_enabled(GuardContext& ctx) const override;
+  void execute(int action, ActionContext& ctx) const override;
+
+  int palette_size() const { return palette_size_; }
+
+  /// Channels a process of degree `degree` ever scans: 1..scan_limit.
+  static int scan_limit(int degree) { return degree > 1 ? degree - 1 : 1; }
+
+ private:
+  std::string name_ = "LAZY-SCAN-COLORING";
+  int palette_size_;
+  ProtocolSpec spec_;
+};
+
+}  // namespace sss

@@ -1,0 +1,189 @@
+#include "impossibility/theorem1.hpp"
+
+#include <map>
+#include <optional>
+
+#include "impossibility/lazy_protocols.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+
+Graph chain_reading_left(int n) {
+  SSS_REQUIRE(n >= 2, "chain needs n >= 2");
+  std::vector<std::vector<ProcessId>> ports(static_cast<std::size_t>(n));
+  ports[0] = {1};
+  for (int i = 1; i + 1 < n; ++i) {
+    ports[static_cast<std::size_t>(i)] = {i - 1, i + 1};  // channel 1 = left
+  }
+  ports[static_cast<std::size_t>(n - 1)] = {n - 2};
+  Graph g = Graph::from_ports(ports);
+  g.set_name("chain-left(" + std::to_string(n) + ")");
+  return g;
+}
+
+Graph chain7_mixed() {
+  // Positions 0..2 keep channel 1 = left; positions 3..5 flip to channel
+  // 1 = right; 6 is the right endpoint. The unread edge is {2,3}.
+  std::vector<std::vector<ProcessId>> ports = {
+      {1}, {0, 2}, {1, 3}, {4, 2}, {5, 3}, {6, 4}, {5}};
+  Graph g = Graph::from_ports(ports);
+  g.set_name("chain7-mixed(fig1c)");
+  return g;
+}
+
+namespace {
+
+/// Runs LazyScanColoring on `g` from a fresh random configuration until
+/// silence; returns the silent configuration, or nullopt on step budget
+/// exhaustion (does not happen for the chain at these sizes).
+std::optional<Configuration> silent_run(const Graph& g,
+                                        const LazyScanColoring& protocol,
+                                        std::uint64_t seed) {
+  Engine engine(g, protocol, make_distributed_random_daemon(), seed);
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 200'000;
+  const RunStats stats = engine.run(options);
+  if (!stats.silent) return std::nullopt;
+  return engine.config();
+}
+
+}  // namespace
+
+StitchOutcome theorem1_chain_stitch(int palette_size, std::uint64_t seed,
+                                    int max_search_runs) {
+  const Graph chain5 = chain_reading_left(5);
+  const LazyScanColoring protocol5(chain5, palette_size);
+
+  // The proof's p3 is the center (position 2); its p4 is position 3.
+  constexpr ProcessId kSpliceA = 2;
+  constexpr ProcessId kSpliceB = 3;
+
+  // Search silent configurations until one pair agrees on the color across
+  // the future hidden edge — the communication states alpha_3 and alpha_4.
+  std::map<Value, Configuration> by_color_at_a;
+  std::map<Value, Configuration> by_color_at_b;
+  std::optional<Configuration> gamma_a;
+  std::optional<Configuration> gamma_b;
+  int runs = 0;
+  Rng seeder(seed);
+  while (runs < max_search_runs && (!gamma_a || !gamma_b)) {
+    ++runs;
+    const auto silent = silent_run(chain5, protocol5, seeder());
+    if (!silent) continue;
+    const bool to_a = runs % 2 == 1;
+    const ProcessId target = to_a ? kSpliceA : kSpliceB;
+    const Value color = silent->comm(target, LazyScanColoring::kColorVar);
+    auto& own_bucket = to_a ? by_color_at_a : by_color_at_b;
+    const auto& other_bucket = to_a ? by_color_at_b : by_color_at_a;
+    own_bucket.emplace(color, *silent);
+    const auto match = other_bucket.find(color);
+    if (match != other_bucket.end()) {
+      gamma_a = to_a ? *silent : match->second;
+      gamma_b = to_a ? match->second : *silent;
+    }
+  }
+  SSS_REQUIRE(gamma_a && gamma_b,
+              "no matching silent pair found (raise max_search_runs)");
+
+  // Figure 1(c): positions 0..2 from gamma_a (p1..p3), positions 3..6 from
+  // gamma_b reversed (p4, p3, p2, p1).
+  Graph chain7 = chain7_mixed();
+  const LazyScanColoring protocol7(chain7, palette_size);
+  Configuration stitched(chain7, protocol7.spec());
+  stitched.copy_process_state(0, *gamma_a, 0);
+  stitched.copy_process_state(1, *gamma_a, 1);
+  stitched.copy_process_state(2, *gamma_a, 2);
+  stitched.copy_process_state(3, *gamma_b, 3);
+  stitched.copy_process_state(4, *gamma_b, 2);
+  stitched.copy_process_state(5, *gamma_b, 1);
+  stitched.copy_process_state(6, *gamma_b, 0);
+
+  StitchOutcome outcome{chain7, stitched};
+  outcome.search_runs = runs;
+  outcome.silent = is_comm_quiescent(chain7, protocol7, stitched);
+  outcome.violates_predicate =
+      !ColoringProblem(LazyScanColoring::kColorVar).holds(chain7, stitched);
+  return outcome;
+}
+
+Graph spider_with_hidden_edge(int delta) {
+  SSS_REQUIRE(delta >= 2, "spider requires delta >= 2");
+  const int n = delta * delta + 1;
+  std::vector<std::vector<ProcessId>> ports(static_cast<std::size_t>(n));
+  // Vertex 0 = center; 1..delta = middles; pendants follow.
+  // Center's LAST channel is middle 1, so the center never scans it.
+  for (int i = 2; i <= delta; ++i) ports[0].push_back(i);
+  ports[0].push_back(1);
+  int next = delta + 1;
+  for (int i = 1; i <= delta; ++i) {
+    auto& mid = ports[static_cast<std::size_t>(i)];
+    if (i == 1) {
+      // Middle 1: pendants first, center last (never scanned).
+      for (int l = 0; l < delta - 1; ++l) {
+        mid.push_back(next);
+        ports[static_cast<std::size_t>(next)].push_back(i);
+        ++next;
+      }
+      mid.push_back(0);
+    } else {
+      // Other middles: center first, then pendants (the last pendant is
+      // unscanned by the middle but scans the middle itself).
+      mid.push_back(0);
+      for (int l = 0; l < delta - 1; ++l) {
+        mid.push_back(next);
+        ports[static_cast<std::size_t>(next)].push_back(i);
+        ++next;
+      }
+    }
+  }
+  SSS_ASSERT(next == n, "spider must have delta^2 + 1 vertices");
+  Graph g = Graph::from_ports(ports);
+  g.set_name("spider-hidden(" + std::to_string(delta) + ")");
+  return g;
+}
+
+StitchOutcome theorem1_spider_counterexample(int delta) {
+  Graph spider = spider_with_hidden_edge(delta);
+  const LazyScanColoring protocol(spider, delta + 1);
+  Configuration config(spider, protocol.spec());
+
+  // Explicit silent illegitimate configuration: center and middle 1 share
+  // color 1 across the edge neither scans; every scanned edge is proper.
+  auto set_color = [&](ProcessId p, Value c) {
+    config.set_comm(p, LazyScanColoring::kColorVar, c);
+    config.set_internal(p, LazyScanColoring::kCurVar, 1);
+  };
+  set_color(0, 1);  // center
+  set_color(1, 1);  // middle 1 — the violation
+  for (ProcessId m = 2; m <= delta; ++m) set_color(m, 2);
+  for (ProcessId p = delta + 1; p < spider.num_vertices(); ++p) {
+    // Pendants: differ from their middle. Middle 1 has color 1, others 2.
+    const ProcessId parent = spider.neighbors(p).front();
+    set_color(p, parent == 1 ? 2 : 3);
+  }
+
+  StitchOutcome outcome{spider, config};
+  outcome.silent = is_comm_quiescent(spider, protocol, config);
+  outcome.violates_predicate =
+      !ColoringProblem(LazyScanColoring::kColorVar).holds(spider, config);
+  return outcome;
+}
+
+double theorem1_spider_failure_rate(int delta, int runs, std::uint64_t seed) {
+  SSS_REQUIRE(runs >= 1, "need at least one run");
+  const Graph spider = spider_with_hidden_edge(delta);
+  const LazyScanColoring protocol(spider, delta + 1);
+  const ColoringProblem problem(LazyScanColoring::kColorVar);
+  Rng seeder(seed);
+  int failures = 0;
+  for (int r = 0; r < runs; ++r) {
+    const auto silent = silent_run(spider, protocol, seeder());
+    if (silent && !problem.holds(spider, *silent)) ++failures;
+  }
+  return static_cast<double>(failures) / runs;
+}
+
+}  // namespace sss

@@ -1,0 +1,63 @@
+#pragma once
+/// \file theorem1.hpp
+/// Executable Theorem 1 (Figures 1-2): no ♦-k-stable neighbor-complete
+/// protocol exists in anonymous networks of degree Delta > k.
+///
+/// The proof is constructive: take a candidate that eventually stops
+/// reading one neighbor, run it to silence twice on a 5-process chain,
+/// splice the two silent configurations into a 7-process chain whose port
+/// numbering hides the middle edge from both endpoints, and observe a
+/// configuration that is silent yet violates the predicate — so the
+/// candidate is not self-stabilizing. This module performs exactly that
+/// splice for `LazyScanColoring` and checks both properties mechanically.
+
+#include <cstdint>
+
+#include "core/problems.hpp"
+#include "runtime/configuration.hpp"
+
+namespace sss {
+
+/// Result of a stitching construction. `silent` and `violates_predicate`
+/// are established by the exact quiescence check and the problem predicate
+/// respectively — both must be true for the construction to succeed.
+struct StitchOutcome {
+  Graph graph;
+  Configuration config;
+  bool silent = false;
+  bool violates_predicate = false;
+  /// Number of silent runs searched to match the communication states
+  /// (the proof's "there exist silent configurations gamma_3, gamma_4").
+  int search_runs = 0;
+};
+
+/// Port-labeled path of n vertices where every inner process's channel 1 is
+/// its left neighbor — under LazyScanColoring, everyone scans leftward.
+Graph chain_reading_left(int n);
+
+/// The 7-chain of Figure 1(c): positions 0..2 scan left, 3..5 scan right,
+/// so the edge between positions 2 and 3 is read by neither endpoint.
+Graph chain7_mixed();
+
+/// Figure 1 construction: searches silent runs of LazyScanColoring on the
+/// 5-chain until two have matching colors at the splice processes, then
+/// stitches them into chain7_mixed and certifies silence + violation.
+StitchOutcome theorem1_chain_stitch(int palette_size, std::uint64_t seed,
+                                    int max_search_runs = 256);
+
+/// Figure 2 generalization: the Delta-spider whose ports hide the
+/// center-to-first-middle edge from both endpoints.
+Graph spider_with_hidden_edge(int delta);
+
+/// Builds the silent illegitimate configuration on the hidden-edge spider
+/// (center and first middle share a color across the unread edge) and
+/// certifies it. Deterministic: the configuration is explicit, as in the
+/// paper's generalization.
+StitchOutcome theorem1_spider_counterexample(int delta);
+
+/// Empirical support: fraction of `runs` random-start executions of
+/// LazyScanColoring on the hidden-edge spider that end in a *silent but
+/// illegitimate* configuration (each such run is itself a counterexample).
+double theorem1_spider_failure_rate(int delta, int runs, std::uint64_t seed);
+
+}  // namespace sss

@@ -1,0 +1,102 @@
+#include "impossibility/theorem2.hpp"
+
+#include <map>
+#include <optional>
+
+#include "core/problems.hpp"
+#include "impossibility/lazy_protocols.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+constexpr ProcessId kP1 = 0, kP2 = 1, kP3 = 2, kP4 = 3, kP5 = 4, kP6 = 5;
+}  // namespace
+
+Graph theorem2_ports() {
+  // 6-cycle p1-p2-p5-p4-p6-p3-p1. Channel 1 (the only scanned channel of a
+  // degree-2 process under LazyScanColoring) realizes Figure 4: p2 and p5
+  // do not read each other, nor do p4 and p6.
+  std::vector<std::vector<ProcessId>> ports(6);
+  ports[kP1] = {kP2, kP3};
+  ports[kP2] = {kP1, kP5};
+  ports[kP3] = {kP1, kP6};
+  ports[kP4] = {kP5, kP6};
+  ports[kP5] = {kP4, kP2};
+  ports[kP6] = {kP3, kP4};
+  Graph g = Graph::from_ports(ports);
+  g.set_name("thm2-gadget(fig3)");
+  return g;
+}
+
+RootedDag theorem2_rooted_dag() {
+  RootedDag dag{theorem2_ports(), kP1,
+                {{kP1, kP2},
+                 {kP1, kP3},
+                 {kP2, kP5},
+                 {kP3, kP6},
+                 {kP4, kP5},
+                 {kP4, kP6}}};
+  return dag;
+}
+
+StitchOutcome theorem2_gadget_stitch(int palette_size, std::uint64_t seed,
+                                     int max_search_runs) {
+  const Graph gadget = theorem2_ports();
+  const LazyScanColoring protocol(gadget, palette_size);
+  const ColoringProblem problem(LazyScanColoring::kColorVar);
+
+  RunOptions options;
+  options.max_steps = 200'000;
+
+  // Search for gamma_2 (provides p1,p2,p3,p6) and gamma_5 (provides p4,p5)
+  // with C.p2 = C.p5 — the collision across the unread edge p2-p5.
+  std::map<Value, Configuration> by_color_p2;
+  std::map<Value, Configuration> by_color_p5;
+  std::optional<Configuration> gamma_2;
+  std::optional<Configuration> gamma_5;
+  int runs = 0;
+  Rng seeder(seed);
+  while (runs < max_search_runs && (!gamma_2 || !gamma_5)) {
+    ++runs;
+    Engine engine(gadget, protocol, make_distributed_random_daemon(),
+                  seeder());
+    engine.randomize_state();
+    const RunStats stats = engine.run(options);
+    if (!stats.silent) continue;
+    const Configuration& silent = engine.config();
+    const bool to_2 = runs % 2 == 1;
+    const ProcessId target = to_2 ? kP2 : kP5;
+    const Value color = silent.comm(target, LazyScanColoring::kColorVar);
+    auto& own_bucket = to_2 ? by_color_p2 : by_color_p5;
+    const auto& other_bucket = to_2 ? by_color_p5 : by_color_p2;
+    own_bucket.emplace(color, silent);
+    const auto match = other_bucket.find(color);
+    if (match != other_bucket.end()) {
+      gamma_2 = to_2 ? silent : match->second;
+      gamma_5 = to_2 ? match->second : silent;
+    }
+  }
+  SSS_REQUIRE(gamma_2 && gamma_5,
+              "no matching silent pair found (raise max_search_runs)");
+
+  // Figure 4(c): {p1,p2,p3,p6} from gamma_2, {p4,p5} from gamma_5. Every
+  // scanned edge lies inside one source, so silence is inherited.
+  Configuration stitched(gadget, protocol.spec());
+  stitched.copy_process_state(kP1, *gamma_2, kP1);
+  stitched.copy_process_state(kP2, *gamma_2, kP2);
+  stitched.copy_process_state(kP3, *gamma_2, kP3);
+  stitched.copy_process_state(kP6, *gamma_2, kP6);
+  stitched.copy_process_state(kP4, *gamma_5, kP4);
+  stitched.copy_process_state(kP5, *gamma_5, kP5);
+
+  StitchOutcome outcome{gadget, stitched};
+  outcome.search_runs = runs;
+  outcome.silent = is_comm_quiescent(gadget, protocol, stitched);
+  outcome.violates_predicate = !problem.holds(gadget, stitched);
+  return outcome;
+}
+
+}  // namespace sss

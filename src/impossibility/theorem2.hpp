@@ -1,0 +1,39 @@
+#pragma once
+/// \file theorem2.hpp
+/// Executable Theorem 2 (Figures 3-6): even on a *rooted, dag-oriented*
+/// network, no always-k-stable neighbor-complete protocol exists for
+/// k < Delta.
+///
+/// The network is the 6-cycle p1-p2-p5-p4-p6-p3 of Figure 3, rooted at p1
+/// and oriented with p1, p4 as sources and p5, p6 as sinks. A k-stable
+/// candidate must fix, per process, which neighbor it never reads; the port
+/// numbering below realizes Figure 4(a)/(b): the edges p2-p5 and p4-p6 are
+/// read by neither endpoint. Splicing the states {p1,p2,p3,p6} of one
+/// silent run with the states {p4,p5} of another (Figure 4(c)) yields a
+/// configuration that is silent by construction; searching run pairs whose
+/// colors collide across the unread edge makes it violate the predicate.
+
+#include <cstdint>
+
+#include "graph/builders.hpp"
+#include "impossibility/theorem1.hpp"
+
+namespace sss {
+
+/// The Figure 3 network with the adversarial port numbering (channel 1:
+/// p1->p2, p2->p1, p3->p1, p4->p5, p5->p4, p6->p3). Vertices 0..5 stand
+/// for p1..p6.
+Graph theorem2_ports();
+
+/// The fixed dag orientation and root of Figure 3 for the port-numbered
+/// gadget (context of the theorem; the candidate is free to ignore it,
+/// which only strengthens the refutation).
+RootedDag theorem2_rooted_dag();
+
+/// Figure 4 construction for LazyScanColoring on the gadget: silent runs
+/// are spliced as {p1,p2,p3,p6 | p4,p5} until the colors of p2 and p5
+/// collide across the unread edge. Returns the certified outcome.
+StitchOutcome theorem2_gadget_stitch(int palette_size, std::uint64_t seed,
+                                     int max_search_runs = 512);
+
+}  // namespace sss

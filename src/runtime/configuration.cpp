@@ -1,0 +1,102 @@
+#include "runtime/configuration.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+Configuration::Configuration(const Graph& g, const ProtocolSpec& spec)
+    : num_processes_(g.num_vertices()),
+      num_comm_(spec.num_comm()),
+      num_internal_(spec.num_internal()),
+      stride_(spec.stride()),
+      data_(static_cast<std::size_t>(g.num_vertices()) *
+                static_cast<std::size_t>(spec.stride()),
+            0) {
+  for (ProcessId p = 0; p < num_processes_; ++p) {
+    for (int v = 0; v < num_comm_; ++v) {
+      set_comm(p, v, spec.comm[static_cast<std::size_t>(v)].domain(g, p).lo);
+    }
+    for (int v = 0; v < num_internal_; ++v) {
+      set_internal(p, v,
+                   spec.internal[static_cast<std::size_t>(v)].domain(g, p).lo);
+    }
+  }
+}
+
+std::vector<Value> Configuration::comm_state(ProcessId p) const {
+  std::vector<Value> out(static_cast<std::size_t>(num_comm_));
+  for (int v = 0; v < num_comm_; ++v) {
+    out[static_cast<std::size_t>(v)] = comm(p, v);
+  }
+  return out;
+}
+
+void Configuration::copy_process_state(ProcessId p, const Configuration& other,
+                                       ProcessId other_p) {
+  SSS_REQUIRE(other.stride_ == stride_,
+              "configurations belong to different protocols");
+  for (int v = 0; v < stride_; ++v) {
+    data_[index_comm(p, v)] = other.data_[other.index_comm(other_p, v)];
+  }
+}
+
+bool Configuration::same_comm(const Configuration& other) const {
+  if (num_processes_ != other.num_processes_ || num_comm_ != other.num_comm_) {
+    return false;
+  }
+  for (ProcessId p = 0; p < num_processes_; ++p) {
+    for (int v = 0; v < num_comm_; ++v) {
+      if (comm(p, v) != other.comm(p, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Configuration::hash() const {
+  // FNV-1a over the flat data; collisions only cost model-checker time.
+  std::size_t h = 1469598103934665603ULL;
+  for (Value v : data_) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void randomize_configuration(const Graph& g, const ProtocolSpec& spec,
+                             Configuration& config, Rng& rng) {
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    for (int v = 0; v < spec.num_comm(); ++v) {
+      const auto& var = spec.comm[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      const VarDomain d = var.domain(g, p);
+      config.set_comm(p, v, static_cast<Value>(rng.range(d.lo, d.hi)));
+    }
+    for (int v = 0; v < spec.num_internal(); ++v) {
+      const auto& var = spec.internal[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      const VarDomain d = var.domain(g, p);
+      config.set_internal(p, v, static_cast<Value>(rng.range(d.lo, d.hi)));
+    }
+  }
+}
+
+bool configuration_in_domains(const Graph& g, const ProtocolSpec& spec,
+                              const Configuration& config) {
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    for (int v = 0; v < spec.num_comm(); ++v) {
+      if (!spec.comm[static_cast<std::size_t>(v)].domain(g, p).contains(
+              config.comm(p, v))) {
+        return false;
+      }
+    }
+    for (int v = 0; v < spec.num_internal(); ++v) {
+      if (!spec.internal[static_cast<std::size_t>(v)].domain(g, p).contains(
+              config.internal_var(p, v))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sss

@@ -1,0 +1,84 @@
+#pragma once
+/// \file configuration.hpp
+/// A configuration is an instance of the states of all processes
+/// (Section 2). Stored flat for speed and hashability; the layout is
+/// [process 0: comm vars, internal vars][process 1: ...] ...
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/spec.hpp"
+#include "support/rng.hpp"
+
+namespace sss {
+
+class Configuration {
+ public:
+  /// All variables initialized to the low end of their domains.
+  Configuration(const Graph& g, const ProtocolSpec& spec);
+
+  int num_processes() const { return num_processes_; }
+  int num_comm() const { return num_comm_; }
+  int num_internal() const { return num_internal_; }
+
+  Value comm(ProcessId p, int var) const {
+    return data_[index_comm(p, var)];
+  }
+  void set_comm(ProcessId p, int var, Value v) {
+    data_[index_comm(p, var)] = v;
+  }
+  Value internal_var(ProcessId p, int var) const {
+    return data_[index_internal(p, var)];
+  }
+  void set_internal(ProcessId p, int var, Value v) {
+    data_[index_internal(p, var)] = v;
+  }
+
+  /// The communication state of p (Section 2): its comm variables only.
+  std::vector<Value> comm_state(ProcessId p) const;
+
+  /// Copies all of `other`'s state of process p into this configuration.
+  /// Used by the Theorem 1/2 stitching constructions, which transplant
+  /// process states between silent configurations.
+  void copy_process_state(ProcessId p, const Configuration& other,
+                          ProcessId other_p);
+
+  /// True if the two configurations agree on every communication variable.
+  bool same_comm(const Configuration& other) const;
+
+  bool operator==(const Configuration& other) const = default;
+
+  std::size_t hash() const;
+
+  /// Raw flat storage; used by the exhaustive enumerator.
+  const std::vector<Value>& raw() const { return data_; }
+  std::vector<Value>& raw() { return data_; }
+
+ private:
+  std::size_t index_comm(ProcessId p, int var) const {
+    return static_cast<std::size_t>(p) * static_cast<std::size_t>(stride_) +
+           static_cast<std::size_t>(var);
+  }
+  std::size_t index_internal(ProcessId p, int var) const {
+    return index_comm(p, num_comm_ + var);
+  }
+
+  int num_processes_ = 0;
+  int num_comm_ = 0;
+  int num_internal_ = 0;
+  int stride_ = 0;
+  std::vector<Value> data_;
+};
+
+/// Draws every non-constant variable uniformly from its domain: an
+/// *arbitrary configuration*, the universal starting point of
+/// self-stabilization. Constant variables are left untouched.
+void randomize_configuration(const Graph& g, const ProtocolSpec& spec,
+                             Configuration& config, Rng& rng);
+
+/// Checks every variable is inside its domain (constants included).
+bool configuration_in_domains(const Graph& g, const ProtocolSpec& spec,
+                              const Configuration& config);
+
+}  // namespace sss

@@ -1,0 +1,55 @@
+#include "runtime/context.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+GuardContext::GuardContext(const Graph& g, const Configuration& pre,
+                           ProcessId self, ReadLogger* logger)
+    : graph_(g), pre_(pre), self_(self), logger_(logger) {
+  SSS_REQUIRE(self >= 0 && self < g.num_vertices(),
+              "context process id out of range");
+}
+
+Value GuardContext::nbr_comm(NbrIndex channel, int var) const {
+  const ProcessId subject = graph_.neighbor(self_, channel);
+  if (logger_ != nullptr) logger_->on_read(self_, subject, var);
+  return pre_.comm(subject, var);
+}
+
+NbrIndex GuardContext::self_index_at(NbrIndex channel) const {
+  const ProcessId subject = graph_.neighbor(self_, channel);
+  const NbrIndex back = graph_.local_index_of(subject, self_);
+  SSS_ASSERT(back != 0, "neighbor relation must be symmetric");
+  return back;
+}
+
+ActionContext::ActionContext(const Graph& g, const Configuration& pre,
+                             ProcessId self, Rng& rng, ReadLogger* logger)
+    : GuardContext(g, pre, self, logger), rng_(rng) {}
+
+void ActionContext::set_comm(int var, Value v) {
+  comm_write_attempted_ = true;
+  writes_.push_back(PendingWrite{true, var, v});
+}
+
+void ActionContext::set_internal(int var, Value v) {
+  writes_.push_back(PendingWrite{false, var, v});
+}
+
+void ActionContext::set_random_script(const std::vector<Value>* script) {
+  script_ = script;
+  script_pos_ = 0;
+}
+
+Value ActionContext::random_range(Value lo, Value hi) {
+  draws_.push_back(VarDomain{lo, hi});
+  if (script_ != nullptr && script_pos_ < script_->size()) {
+    const Value v = (*script_)[script_pos_++];
+    SSS_REQUIRE(v >= lo && v <= hi, "scripted draw outside requested range");
+    return v;
+  }
+  return static_cast<Value>(rng_.range(lo, hi));
+}
+
+}  // namespace sss

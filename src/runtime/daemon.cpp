@@ -1,0 +1,203 @@
+#include "runtime/daemon.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// Appends every enabled id; if none, appends every id (the step becomes a
+/// no-op, which the paper's footnote 1 permits: gamma_{i+1} = gamma_i).
+void all_enabled_or_everyone(const Graph& g,
+                             const std::vector<std::uint8_t>& enabled,
+                             std::vector<ProcessId>& out) {
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    if (enabled[static_cast<std::size_t>(p)]) out.push_back(p);
+  }
+  if (out.empty()) {
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) out.push_back(p);
+  }
+}
+
+class SynchronousDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "synchronous";
+    return kName;
+  }
+  bool wants_enabled() const override { return true; }
+  void select(const Graph& g, const std::vector<std::uint8_t>& enabled, Rng&,
+              std::vector<ProcessId>& out) override {
+    all_enabled_or_everyone(g, enabled, out);
+  }
+};
+
+class CentralRoundRobinDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "central-rr";
+    return kName;
+  }
+  bool wants_enabled() const override { return true; }
+  void select(const Graph& g, const std::vector<std::uint8_t>& enabled, Rng&,
+              std::vector<ProcessId>& out) override {
+    const int n = g.num_vertices();
+    for (int offset = 1; offset <= n; ++offset) {
+      const ProcessId p = static_cast<ProcessId>((last_ + offset) % n);
+      if (enabled[static_cast<std::size_t>(p)]) {
+        last_ = p;
+        out.push_back(p);
+        return;
+      }
+    }
+    // Nobody enabled: select the next process anyway (no-op step) so the
+    // daemon still covers everyone for round accounting.
+    last_ = static_cast<ProcessId>((last_ + 1) % n);
+    out.push_back(last_);
+  }
+
+ private:
+  ProcessId last_ = -1;
+};
+
+class CentralRandomDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "central-random";
+    return kName;
+  }
+  bool wants_enabled() const override { return true; }
+  void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
+              Rng& rng, std::vector<ProcessId>& out) override {
+    scratch_.clear();
+    all_enabled_or_everyone(g, enabled, scratch_);
+    out.push_back(scratch_[rng.below(scratch_.size())]);
+  }
+
+ private:
+  std::vector<ProcessId> scratch_;
+};
+
+class DistributedRandomDaemon final : public Daemon {
+ public:
+  explicit DistributedRandomDaemon(double q) : q_(q) {
+    SSS_REQUIRE(q > 0.0 && q <= 1.0,
+                "selection probability must be in (0,1]");
+  }
+  const std::string& name() const override {
+    static const std::string kName = "distributed";
+    return kName;
+  }
+  bool wants_enabled() const override { return false; }
+  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng& rng,
+              std::vector<ProcessId>& out) override {
+    // Redraw until non-empty; expected < 2 draws for any n and q >= 0.5/n.
+    while (out.empty()) {
+      for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+        if (rng.chance(q_)) out.push_back(p);
+      }
+    }
+  }
+
+ private:
+  double q_;
+};
+
+class FairEnumeratorDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "enumerator";
+    return kName;
+  }
+  bool wants_enabled() const override { return false; }
+  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng&,
+              std::vector<ProcessId>& out) override {
+    out.push_back(next_);
+    next_ = static_cast<ProcessId>((next_ + 1) % g.num_vertices());
+  }
+
+ private:
+  ProcessId next_ = 0;
+};
+
+class AdversarialClusterDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "adversarial";
+    return kName;
+  }
+  bool wants_enabled() const override { return true; }
+  void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
+              Rng& rng, std::vector<ProcessId>& out) override {
+    const int n = g.num_vertices();
+    if (idle_steps_.empty()) {
+      idle_steps_.assign(static_cast<std::size_t>(n), 0);
+    }
+    scratch_.clear();
+    all_enabled_or_everyone(g, enabled, scratch_);
+    const ProcessId seed_process = scratch_[rng.below(scratch_.size())];
+    out.push_back(seed_process);
+    for (ProcessId q : g.neighbors(seed_process)) {
+      if (enabled[static_cast<std::size_t>(q)]) out.push_back(q);
+    }
+    // Starvation patch: stay fair by force-selecting long-idle processes.
+    const int patience = 8 * n;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (idle_steps_[static_cast<std::size_t>(p)] >= patience &&
+          std::find(out.begin(), out.end(), p) == out.end()) {
+        out.push_back(p);
+      }
+    }
+    for (ProcessId p = 0; p < n; ++p) {
+      ++idle_steps_[static_cast<std::size_t>(p)];
+    }
+    for (ProcessId p : out) idle_steps_[static_cast<std::size_t>(p)] = 0;
+    std::sort(out.begin(), out.end());
+  }
+
+ private:
+  std::vector<ProcessId> scratch_;
+  std::vector<int> idle_steps_;
+};
+
+}  // namespace
+
+std::unique_ptr<Daemon> make_synchronous_daemon() {
+  return std::make_unique<SynchronousDaemon>();
+}
+std::unique_ptr<Daemon> make_central_round_robin_daemon() {
+  return std::make_unique<CentralRoundRobinDaemon>();
+}
+std::unique_ptr<Daemon> make_central_random_daemon() {
+  return std::make_unique<CentralRandomDaemon>();
+}
+std::unique_ptr<Daemon> make_distributed_random_daemon(double q) {
+  return std::make_unique<DistributedRandomDaemon>(q);
+}
+std::unique_ptr<Daemon> make_fair_enumerator_daemon() {
+  return std::make_unique<FairEnumeratorDaemon>();
+}
+std::unique_ptr<Daemon> make_adversarial_cluster_daemon() {
+  return std::make_unique<AdversarialClusterDaemon>();
+}
+
+const std::vector<std::string>& daemon_names() {
+  static const std::vector<std::string> kNames = {
+      "synchronous", "central-rr",  "central-random",
+      "distributed", "enumerator",  "adversarial"};
+  return kNames;
+}
+
+std::unique_ptr<Daemon> make_daemon(const std::string& name) {
+  if (name == "synchronous") return make_synchronous_daemon();
+  if (name == "central-rr") return make_central_round_robin_daemon();
+  if (name == "central-random") return make_central_random_daemon();
+  if (name == "distributed") return make_distributed_random_daemon();
+  if (name == "enumerator") return make_fair_enumerator_daemon();
+  if (name == "adversarial") return make_adversarial_cluster_daemon();
+  throw PreconditionError("unknown daemon: " + name);
+}
+
+}  // namespace sss

@@ -1,0 +1,65 @@
+#pragma once
+/// \file daemon.hpp
+/// Schedulers (daemons) of the paper's model: at each step a non-empty
+/// subset of processes is chosen and every chosen process executes its
+/// first enabled action against the pre-step snapshot, if any (Section 2).
+///
+/// The paper assumes a *distributed fair* daemon — any non-empty subset may
+/// be chosen, and every process is selected infinitely often. Each class
+/// below is one member of that adversary class; sweeping over them probes
+/// protocol claims against several adversaries:
+///
+///  * `SynchronousDaemon` — all enabled processes at once.
+///  * `CentralRoundRobinDaemon` — one process per step, cyclic among the
+///    enabled ones (classic fair central daemon).
+///  * `CentralRandomDaemon` — one uniformly random enabled process.
+///  * `DistributedRandomDaemon` — every process tossed in independently
+///    with probability q (redrawn if empty); selects disabled processes
+///    too, which makes it fair in the paper's literal sense.
+///  * `FairEnumeratorDaemon` — step i selects process i mod n; the simplest
+///    deterministic fair daemon (a round is exactly n steps).
+///  * `AdversarialClusterDaemon` — picks an enabled process and co-selects
+///    its whole enabled neighborhood, maximizing simultaneous neighbor
+///    moves (the hostile case for randomized symmetry breaking); a
+///    starvation patch force-includes any process unselected for 8n steps
+///    so the daemon stays fair.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace sss {
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// True if `select` wants the `enabled` bitmap filled in.
+  virtual bool wants_enabled() const = 0;
+
+  /// Chooses the step's selection. `enabled[p]` is meaningful only when
+  /// wants_enabled(). Must write at least one distinct id into `out`.
+  virtual void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
+                      Rng& rng, std::vector<ProcessId>& out) = 0;
+};
+
+std::unique_ptr<Daemon> make_synchronous_daemon();
+std::unique_ptr<Daemon> make_central_round_robin_daemon();
+std::unique_ptr<Daemon> make_central_random_daemon();
+std::unique_ptr<Daemon> make_distributed_random_daemon(double q = 0.5);
+std::unique_ptr<Daemon> make_fair_enumerator_daemon();
+std::unique_ptr<Daemon> make_adversarial_cluster_daemon();
+
+/// The names accepted by `make_daemon`, in canonical order.
+const std::vector<std::string>& daemon_names();
+
+/// Factory by name ("synchronous", "central-rr", "central-random",
+/// "distributed", "enumerator", "adversarial"). Throws on unknown names.
+std::unique_ptr<Daemon> make_daemon(const std::string& name);
+
+}  // namespace sss

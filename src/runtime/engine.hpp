@@ -1,0 +1,169 @@
+#pragma once
+/// \file engine.hpp
+/// The computation engine: drives a protocol over a graph under a daemon,
+/// producing computations (gamma_0 s_0 gamma_1), (gamma_1 s_1 gamma_2), ...
+/// exactly as Section 2 defines them, while measuring everything Section 3
+/// asks about.
+///
+/// Fidelity notes:
+///  * Subset steps use snapshot semantics: every process selected in a step
+///    evaluates guards and computes writes against gamma_i; commits happen
+///    together to form gamma_{i+1}.
+///  * Rounds: a round completes when every process has been covered, where
+///    covered means "selected by the daemon" or "disabled at some moment
+///    during the round". This is the paper's round for daemons that select
+///    disabled processes, and the standard Dolev-Israeli-Moran round for
+///    daemons that never waste selections on disabled processes.
+///  * Enabledness probes and quiescence checks are simulator devices: they
+///    never touch the main rng stream and are never counted as model reads.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/daemon.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/protocol.hpp"
+#include "runtime/quiescence.hpp"
+#include "runtime/trace.hpp"
+
+namespace sss {
+
+/// Legitimacy predicate over (graph, configuration); supplied by the caller
+/// because "the problem" is a layer above the runtime.
+using LegitimacyPredicate =
+    std::function<bool(const Graph&, const Configuration&)>;
+
+struct RunOptions {
+  std::uint64_t max_steps = 1'000'000;
+  /// Stop as soon as an exact quiescence check certifies silence.
+  bool stop_on_silence = true;
+  /// Steps without a communication change before attempting the (exact but
+  /// not free) quiescence check; 0 picks max(16, n) automatically.
+  std::uint64_t quiescence_patience = 0;
+  /// Optional legitimacy predicate for first-legitimate bookkeeping.
+  LegitimacyPredicate legitimacy;
+};
+
+struct RunStats {
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;
+
+  bool reached_legitimate = false;
+  std::uint64_t steps_to_legitimate = 0;
+  std::uint64_t rounds_to_legitimate = 0;
+
+  bool silent = false;  ///< certified by the exact quiescence check
+  /// Step/round count after which no communication variable changed again
+  /// (the silence point; meaningful when `silent`).
+  std::uint64_t steps_to_silence = 0;
+  std::uint64_t rounds_to_silence = 0;
+
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_read_bits = 0;
+  int max_reads_per_process_step = 0;
+  int max_bits_per_process_step = 0;
+};
+
+class Engine {
+ public:
+  /// The engine keeps references to `g` and `protocol`; both must outlive
+  /// it. The daemon is owned. The seed fixes every stochastic choice.
+  Engine(const Graph& g, const Protocol& protocol,
+         std::unique_ptr<Daemon> daemon, std::uint64_t seed);
+
+  const Graph& graph() const { return graph_; }
+  const Protocol& protocol() const { return protocol_; }
+  const Configuration& config() const { return config_; }
+  Daemon& daemon() { return *daemon_; }
+
+  /// Replaces the configuration (domains are validated) and re-installs
+  /// protocol constants.
+  void set_config(const Configuration& config);
+
+  /// Draws an arbitrary configuration: every non-constant variable uniform
+  /// in its domain, constants re-installed.
+  void randomize_state();
+
+  /// Executes one scheduler step. Returns whether any process fired and
+  /// whether any communication variable changed.
+  struct StepInfo {
+    int selected = 0;
+    int fired = 0;
+    bool comm_changed = false;
+  };
+  StepInfo step();
+
+  /// Runs until silence (if stop_on_silence) or max_steps. Accumulates into
+  /// the engine's lifetime counters and returns the stats of this run.
+  RunStats run(const RunOptions& options);
+
+  std::uint64_t steps() const { return steps_; }
+  /// Completed rounds so far.
+  std::uint64_t rounds() const { return rounds_completed_; }
+  /// Rounds in the "within k rounds" sense: completed rounds, plus one if
+  /// the current round has begun.
+  std::uint64_t rounds_inclusive() const;
+
+  /// Enabledness of p in the current configuration (cached probe).
+  bool is_enabled(ProcessId p);
+  int num_enabled();
+
+  /// Exact silence check of the current configuration.
+  bool quiescent() const;
+
+  /// Attach an extra read observer (e.g. StabilityTracker). Not owned.
+  void attach_read_logger(ReadLogger* logger);
+  void detach_read_logger(ReadLogger* logger);
+
+  /// Attach a trace recorder. Not owned; pass nullptr to detach.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Step-level read metrics for the engine's lifetime.
+  const StepReadCounter& read_counter() const { return read_counter_; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  void invalidate_all_probes();
+  void refresh_enabled();
+  void note_comm_changed(ProcessId p);
+  void update_round_accounting();
+
+  const Graph& graph_;
+  const Protocol& protocol_;
+  std::unique_ptr<Daemon> daemon_;
+  Rng rng_;
+  Rng probe_rng_;
+  Configuration config_;
+
+  // Enabledness cache.
+  std::vector<std::uint8_t> enabled_;
+  std::vector<std::uint8_t> probe_valid_;
+
+  // Round accounting.
+  std::vector<std::uint8_t> covered_;
+  int covered_count_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t steps_at_round_start_ = 0;
+
+  // Lifetime counters.
+  std::uint64_t steps_ = 0;
+  std::uint64_t last_comm_change_step_ = 0;
+  std::uint64_t rounds_at_last_comm_change_ = 0;
+  bool comm_ever_changed_ = false;
+
+  // Scratch buffers reused across steps.
+  std::vector<ProcessId> selection_;
+  std::vector<ProcessStep> staged_;
+
+  ReadLoggerMux logger_mux_;
+  StepReadCounter read_counter_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace sss

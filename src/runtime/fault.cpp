@@ -1,0 +1,46 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+void corrupt_processes(const Graph& g, const ProtocolSpec& spec,
+                       Configuration& config,
+                       const std::vector<ProcessId>& victims, Rng& rng) {
+  for (ProcessId p : victims) {
+    SSS_REQUIRE(p >= 0 && p < g.num_vertices(), "victim id out of range");
+    for (int v = 0; v < spec.num_comm(); ++v) {
+      const auto& var = spec.comm[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      const VarDomain d = var.domain(g, p);
+      config.set_comm(p, v, static_cast<Value>(rng.range(d.lo, d.hi)));
+    }
+    for (int v = 0; v < spec.num_internal(); ++v) {
+      const auto& var = spec.internal[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      const VarDomain d = var.domain(g, p);
+      config.set_internal(p, v, static_cast<Value>(rng.range(d.lo, d.hi)));
+    }
+  }
+}
+
+std::vector<ProcessId> inject_random_faults(const Graph& g,
+                                            const ProtocolSpec& spec,
+                                            Configuration& config, int count,
+                                            Rng& rng) {
+  SSS_REQUIRE(count >= 0 && count <= g.num_vertices(),
+              "fault count out of range");
+  std::vector<ProcessId> all(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  shuffle(all, rng);
+  std::vector<ProcessId> victims(all.begin(), all.begin() + count);
+  std::sort(victims.begin(), victims.end());
+  corrupt_processes(g, spec, config, victims, rng);
+  return victims;
+}
+
+}  // namespace sss

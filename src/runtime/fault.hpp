@@ -1,0 +1,31 @@
+#pragma once
+/// \file fault.hpp
+/// Transient fault injection.
+///
+/// Self-stabilization promises recovery from *any* transient corruption of
+/// variable state. The injector corrupts the non-constant variables of a
+/// chosen set of victims with uniform draws from their domains — the
+/// communication constants (colors) are immune by definition of the model
+/// (they parameterize the system, they are not state).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/spec.hpp"
+
+namespace sss {
+
+/// Corrupts every non-constant variable of every process in `victims`.
+void corrupt_processes(const Graph& g, const ProtocolSpec& spec,
+                       Configuration& config,
+                       const std::vector<ProcessId>& victims, Rng& rng);
+
+/// Picks `count` distinct victims uniformly and corrupts them.
+/// Returns the victims (sorted). Requires 0 <= count <= n.
+std::vector<ProcessId> inject_random_faults(const Graph& g,
+                                            const ProtocolSpec& spec,
+                                            Configuration& config, int count,
+                                            Rng& rng);
+
+}  // namespace sss

@@ -1,0 +1,114 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+void ReadLoggerMux::add(ReadLogger* logger) {
+  SSS_REQUIRE(logger != nullptr, "null logger");
+  loggers_.push_back(logger);
+}
+
+void ReadLoggerMux::remove(ReadLogger* logger) {
+  loggers_.erase(std::remove(loggers_.begin(), loggers_.end(), logger),
+                 loggers_.end());
+}
+
+void ReadLoggerMux::on_read(ProcessId reader, ProcessId subject,
+                            int comm_var) {
+  for (ReadLogger* logger : loggers_) {
+    logger->on_read(reader, subject, comm_var);
+  }
+}
+
+StepReadCounter::StepReadCounter(const Graph& g, const ProtocolSpec& spec)
+    : graph_(g), readers_(static_cast<std::size_t>(g.num_vertices())) {
+  var_bits_.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    auto& bits = var_bits_[static_cast<std::size_t>(p)];
+    bits.resize(static_cast<std::size_t>(spec.num_comm()));
+    for (int v = 0; v < spec.num_comm(); ++v) {
+      bits[static_cast<std::size_t>(v)] =
+          spec.comm[static_cast<std::size_t>(v)].domain(g, p).bits();
+    }
+  }
+}
+
+void StepReadCounter::begin_step() {
+  for (ProcessId p : touched_) {
+    auto& reader = readers_[static_cast<std::size_t>(p)];
+    reader.seen.clear();
+    reader.subjects.clear();
+    reader.bits = 0;
+  }
+  touched_.clear();
+}
+
+void StepReadCounter::on_read(ProcessId reader_id, ProcessId subject,
+                              int comm_var) {
+  auto& reader = readers_[static_cast<std::size_t>(reader_id)];
+  const std::pair<ProcessId, int> key{subject, comm_var};
+  if (std::find(reader.seen.begin(), reader.seen.end(), key) !=
+      reader.seen.end()) {
+    return;  // the same variable re-read within one atomic step is free
+  }
+  if (reader.seen.empty()) touched_.push_back(reader_id);
+  reader.seen.push_back(key);
+  if (std::find(reader.subjects.begin(), reader.subjects.end(), subject) ==
+      reader.subjects.end()) {
+    reader.subjects.push_back(subject);
+    ++total_reads_;
+    max_reads_ =
+        std::max(max_reads_, static_cast<int>(reader.subjects.size()));
+  }
+  const int bits =
+      var_bits_[static_cast<std::size_t>(subject)][static_cast<std::size_t>(
+          comm_var)];
+  reader.bits += bits;
+  total_bits_ += static_cast<std::uint64_t>(bits);
+  max_bits_ = std::max(max_bits_, reader.bits);
+}
+
+int StepReadCounter::step_reads_of(ProcessId reader) const {
+  return static_cast<int>(
+      readers_[static_cast<std::size_t>(reader)].subjects.size());
+}
+
+StabilityTracker::StabilityTracker(const Graph& g)
+    : read_sets_(static_cast<std::size_t>(g.num_vertices())) {}
+
+void StabilityTracker::on_read(ProcessId reader, ProcessId subject, int) {
+  auto& set = read_sets_[static_cast<std::size_t>(reader)];
+  if (std::find(set.begin(), set.end(), subject) == set.end()) {
+    set.push_back(subject);
+  }
+}
+
+void StabilityTracker::reset() {
+  for (auto& set : read_sets_) set.clear();
+}
+
+int StabilityTracker::distinct_reads(ProcessId p) const {
+  return static_cast<int>(read_sets_[static_cast<std::size_t>(p)].size());
+}
+
+int StabilityTracker::count_at_most(int k) const {
+  int count = 0;
+  for (const auto& set : read_sets_) {
+    if (static_cast<int>(set.size()) <= k) ++count;
+  }
+  return count;
+}
+
+std::vector<int> StabilityTracker::read_set_sizes() const {
+  std::vector<int> sizes;
+  sizes.reserve(read_sets_.size());
+  for (const auto& set : read_sets_) {
+    sizes.push_back(static_cast<int>(set.size()));
+  }
+  return sizes;
+}
+
+}  // namespace sss

@@ -1,0 +1,91 @@
+#pragma once
+/// \file metrics.hpp
+/// Communication accounting (Section 3).
+///
+/// `StepReadCounter` measures per-step quantities: the number of distinct
+/// neighbors each selected process read (k-efficiency, Definition 4) and
+/// the bits it read (communication complexity, Definition 5).
+///
+/// `StabilityTracker` accumulates R_p(C') — the set of distinct neighbors
+/// process p reads over a computation suffix C' — which is what the
+/// stability notions of Definitions 7-9 quantify. Reset it at the moment
+/// the suffix starts (e.g. when the configuration becomes silent) and read
+/// off ♦-(x,k)-stability: x = count_at_most(k).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/context.hpp"
+#include "runtime/spec.hpp"
+
+namespace sss {
+
+/// Fans a read event out to several loggers.
+class ReadLoggerMux final : public ReadLogger {
+ public:
+  void add(ReadLogger* logger);
+  void remove(ReadLogger* logger);
+  void on_read(ProcessId reader, ProcessId subject, int comm_var) override;
+
+ private:
+  std::vector<ReadLogger*> loggers_;
+};
+
+/// Per-step read statistics with per-(reader,subject,var) deduplication.
+/// The engine calls begin_step() before processing a selection.
+class StepReadCounter final : public ReadLogger {
+ public:
+  StepReadCounter(const Graph& g, const ProtocolSpec& spec);
+
+  void begin_step();
+  void on_read(ProcessId reader, ProcessId subject, int comm_var) override;
+
+  /// Distinct neighbors read by `reader` in the current step.
+  int step_reads_of(ProcessId reader) const;
+  /// Max over all processes and all steps so far (the protocol's measured
+  /// k-efficiency).
+  int max_reads_per_process_step() const { return max_reads_; }
+  /// Max bits any process read in one step (measured communication
+  /// complexity).
+  int max_bits_per_process_step() const { return max_bits_; }
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+
+ private:
+  struct PerReader {
+    /// (subject, var) pairs seen this step; tiny (<= Delta * vars).
+    std::vector<std::pair<ProcessId, int>> seen;
+    std::vector<ProcessId> subjects;
+    int bits = 0;
+  };
+
+  const Graph& graph_;
+  std::vector<std::vector<int>> var_bits_;  ///< [process][comm var] bits
+  std::vector<PerReader> readers_;
+  std::vector<ProcessId> touched_;  ///< readers active this step
+  int max_reads_ = 0;
+  int max_bits_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Accumulates distinct-neighbor read sets per process since last reset.
+class StabilityTracker final : public ReadLogger {
+ public:
+  explicit StabilityTracker(const Graph& g);
+
+  void on_read(ProcessId reader, ProcessId subject, int comm_var) override;
+  void reset();
+
+  /// |R_p| for the tracked suffix.
+  int distinct_reads(ProcessId p) const;
+  /// Number of processes with |R_p| <= k (the x of ♦-(x,k)-stability).
+  int count_at_most(int k) const;
+  std::vector<int> read_set_sizes() const;
+
+ private:
+  std::vector<std::vector<ProcessId>> read_sets_;
+};
+
+}  // namespace sss

@@ -1,0 +1,47 @@
+#include "runtime/protocol.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+void Protocol::install_constants(const Graph&, Configuration&) const {}
+
+ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
+                             const Configuration& pre, ProcessId p, Rng& rng,
+                             ReadLogger* logger) {
+  ProcessStep result;
+  GuardContext guard(g, pre, p, logger);
+  result.action = protocol.first_enabled(guard);
+  if (result.action == Protocol::kDisabled) return result;
+  ActionContext action(g, pre, p, rng, logger);
+  protocol.execute(result.action, action);
+  result.comm_write_attempted = action.comm_write_attempted();
+  result.writes = action.writes();
+  return result;
+}
+
+bool commit_writes(Configuration& config, ProcessId p,
+                   const std::vector<PendingWrite>& writes) {
+  bool comm_changed = false;
+  for (const auto& w : writes) {
+    if (w.is_comm) {
+      if (config.comm(p, w.var) != w.value) comm_changed = true;
+      config.set_comm(p, w.var, w.value);
+    } else {
+      config.set_internal(p, w.var, w.value);
+    }
+  }
+  return comm_changed;
+}
+
+ProcessStep apply_solo_step(const Graph& g, const Protocol& protocol,
+                            Configuration& config, ProcessId p, Rng& rng,
+                            ReadLogger* logger) {
+  ProcessStep step = evaluate_process(g, protocol, config, p, rng, logger);
+  if (step.action != Protocol::kDisabled) {
+    commit_writes(config, p, step.writes);
+  }
+  return step;
+}
+
+}  // namespace sss

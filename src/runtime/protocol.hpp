@@ -1,0 +1,68 @@
+#pragma once
+/// \file protocol.hpp
+/// A protocol is a finite list of prioritized guarded actions per process
+/// (Section 2). Guard evaluation is separated from action execution so the
+/// engine can (a) probe enabledness without disturbing the model's read
+/// accounting, and (b) execute the guard+action pair atomically against the
+/// pre-step snapshot.
+
+#include <memory>
+#include <string>
+
+#include "runtime/context.hpp"
+#include "runtime/spec.hpp"
+
+namespace sss {
+
+class Protocol {
+ public:
+  /// Returned by first_enabled when no guard holds.
+  static constexpr int kDisabled = -1;
+
+  virtual ~Protocol() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const ProtocolSpec& spec() const = 0;
+  virtual int num_actions() const = 0;
+
+  /// Index of the highest-priority enabled action (0 = highest, matching
+  /// the order of appearance in the paper's figures), or kDisabled.
+  virtual int first_enabled(GuardContext& ctx) const = 0;
+
+  /// Executes action `action`; must be the value first_enabled returned for
+  /// the same pre-state.
+  virtual void execute(int action, ActionContext& ctx) const = 0;
+
+  virtual bool is_probabilistic() const { return false; }
+
+  /// Writes the protocol's communication constants (e.g. colors C.p) into
+  /// `config`. Called once after construction and again after any state
+  /// randomization, so constants survive "arbitrary" initialization.
+  virtual void install_constants(const Graph& g, Configuration& config) const;
+};
+
+/// Result of evaluating-and-executing one process against a snapshot.
+struct ProcessStep {
+  int action = Protocol::kDisabled;
+  bool comm_write_attempted = false;
+  std::vector<PendingWrite> writes;
+};
+
+/// Runs guard evaluation and (if enabled) action execution for process `p`
+/// against the snapshot `pre`, without committing anything.
+ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
+                             const Configuration& pre, ProcessId p, Rng& rng,
+                             ReadLogger* logger);
+
+/// Applies a process's pending writes to `config`. Returns true if any
+/// communication variable actually changed value.
+bool commit_writes(Configuration& config, ProcessId p,
+                   const std::vector<PendingWrite>& writes);
+
+/// Convenience: evaluate + commit for a single process ("solo step", the
+/// central-daemon semantics). Returns the ProcessStep that was applied.
+ProcessStep apply_solo_step(const Graph& g, const Protocol& protocol,
+                            Configuration& config, ProcessId p, Rng& rng,
+                            ReadLogger* logger = nullptr);
+
+}  // namespace sss

@@ -1,0 +1,30 @@
+#include "runtime/quiescence.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+bool is_comm_quiescent(const Graph& g, const Protocol& protocol,
+                       const Configuration& config,
+                       const QuiescenceOptions& options) {
+  SSS_REQUIRE(options.margin >= 1, "margin must be positive");
+  // The scratch rng only feeds randomized actions, whose outcome never
+  // affects *whether* a communication write is attempted; any seed works.
+  Rng scratch_rng(0x5157u);
+  Configuration scratch = config;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    // Earlier processes' solo runs may have advanced their internal state
+    // in `scratch`, but internal variables are invisible to other
+    // processes, so p still sees exactly the frozen communication state.
+    const int budget = g.degree(p) + options.margin;
+    for (int i = 0; i < budget; ++i) {
+      const ProcessStep step =
+          apply_solo_step(g, protocol, scratch, p, scratch_rng);
+      if (step.action == Protocol::kDisabled) break;  // stable forever
+      if (step.comm_write_attempted) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sss

@@ -1,0 +1,33 @@
+#pragma once
+/// \file quiescence.hpp
+/// Exact silence detection (Definition 3).
+///
+/// A configuration is *silent* if no computation from it ever changes a
+/// communication variable. Because a process's behaviour depends only on
+/// its own state and its neighbors' communication variables, freezing all
+/// communication variables decouples the processes: each one evolves solo.
+/// For the protocols in this library the internal state (the cur pointer)
+/// is periodic within delta.p solo activations, so running each process
+/// solo for delta.p + 2 activations on a scratch copy either surfaces an
+/// attempted communication write (not silent) or proves none is reachable
+/// (silent). Write *attempts* are used rather than value changes so that a
+/// randomized action redrawing the old value cannot fake silence.
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+struct QuiescenceOptions {
+  /// Extra solo activations beyond degree(p); 2 covers the pointer cycling
+  /// plus one confirmation activation.
+  int margin = 2;
+};
+
+/// True iff `config` is a silent configuration of `protocol` on `g`.
+bool is_comm_quiescent(const Graph& g, const Protocol& protocol,
+                       const Configuration& config,
+                       const QuiescenceOptions& options = {});
+
+}  // namespace sss

@@ -1,0 +1,48 @@
+#include "runtime/spec.hpp"
+
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+VarSpec::VarSpec(std::string name, VarDomain fixed_domain, bool is_constant)
+    : name_(std::move(name)),
+      domain_([fixed_domain](const Graph&, ProcessId) { return fixed_domain; }),
+      is_constant_(is_constant) {
+  SSS_REQUIRE(fixed_domain.lo <= fixed_domain.hi, "empty variable domain");
+}
+
+VarSpec::VarSpec(std::string name, DomainFn domain, bool is_constant)
+    : name_(std::move(name)),
+      domain_(std::move(domain)),
+      is_constant_(is_constant) {
+  SSS_REQUIRE(static_cast<bool>(domain_), "domain function must be callable");
+}
+
+int ProtocolSpec::comm_state_bits(const Graph& g, ProcessId p) const {
+  int bits = 0;
+  for (const auto& var : comm) bits += var.domain(g, p).bits();
+  return bits;
+}
+
+VarSpec::DomainFn domain_fixed(Value lo, Value hi) {
+  SSS_REQUIRE(lo <= hi, "empty variable domain");
+  return [lo, hi](const Graph&, ProcessId) { return VarDomain{lo, hi}; };
+}
+
+VarSpec::DomainFn domain_channel() {
+  return [](const Graph& g, ProcessId p) {
+    // Connected graphs with n >= 2 give every process a neighbor; protocol
+    // constructors enforce that, so the domain is never empty here.
+    return VarDomain{1, static_cast<Value>(g.degree(p))};
+  };
+}
+
+VarSpec::DomainFn domain_channel_or_none() {
+  return [](const Graph& g, ProcessId p) {
+    return VarDomain{0, static_cast<Value>(g.degree(p))};
+  };
+}
+
+}  // namespace sss

@@ -1,0 +1,83 @@
+#pragma once
+/// \file spec.hpp
+/// Variable schemas for protocols in the paper's state model (Section 2).
+///
+/// Each process maintains *communication variables* (readable by neighbors)
+/// and *internal variables* (private). Every variable ranges over a fixed
+/// finite domain, which may depend on the process (e.g. cur.p ranges over
+/// [1..delta.p]). The schema drives four substrates at once: arbitrary
+/// initial configurations, fault injection, exhaustive enumeration for the
+/// model checker, and communication-complexity accounting in bits.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/bits.hpp"
+
+namespace sss {
+
+/// Values of protocol variables. Every domain in the paper is tiny; 32 bits
+/// is generous.
+using Value = std::int32_t;
+
+/// Inclusive value range [lo, hi] of one variable at one process.
+struct VarDomain {
+  Value lo = 0;
+  Value hi = 0;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo) + 1;
+  }
+  bool contains(Value v) const { return v >= lo && v <= hi; }
+  /// Bits to encode one value (communication complexity unit, Definition 5).
+  int bits() const { return ceil_log2(size()); }
+};
+
+/// Schema of a single variable. `is_constant` marks communication constants
+/// such as the colors C.p of Protocols MIS and MATCHING: they are part of
+/// the communication state (neighbors read them) but are never corrupted by
+/// arbitrary initialization or transient faults.
+class VarSpec {
+ public:
+  using DomainFn = std::function<VarDomain(const Graph&, ProcessId)>;
+
+  /// Variable whose domain is the same at every process.
+  VarSpec(std::string name, VarDomain fixed_domain, bool is_constant = false);
+
+  /// Variable whose domain depends on the process (e.g. [1..delta.p]).
+  VarSpec(std::string name, DomainFn domain, bool is_constant = false);
+
+  const std::string& name() const { return name_; }
+  bool is_constant() const { return is_constant_; }
+  VarDomain domain(const Graph& g, ProcessId p) const { return domain_(g, p); }
+
+ private:
+  std::string name_;
+  DomainFn domain_;
+  bool is_constant_;
+};
+
+/// Full variable schema of a protocol: communication variables first
+/// (indices 0..num_comm-1), then internal variables (0..num_internal-1).
+struct ProtocolSpec {
+  std::vector<VarSpec> comm;
+  std::vector<VarSpec> internal;
+
+  int num_comm() const { return static_cast<int>(comm.size()); }
+  int num_internal() const { return static_cast<int>(internal.size()); }
+  int stride() const { return num_comm() + num_internal(); }
+
+  /// Total bits of p's communication state (what a neighbor reading all of
+  /// p's communication variables would transfer).
+  int comm_state_bits(const Graph& g, ProcessId p) const;
+};
+
+/// Convenience domain functions for the recurring cases.
+VarSpec::DomainFn domain_fixed(Value lo, Value hi);
+/// [1..delta.p] — the domain of the cur pointer in all three protocols.
+VarSpec::DomainFn domain_channel();
+/// [0..delta.p] — the domain of the PR pointer in Protocol MATCHING.
+VarSpec::DomainFn domain_channel_or_none();
+
+}  // namespace sss

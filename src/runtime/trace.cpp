@@ -1,0 +1,42 @@
+#include "runtime/trace.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  SSS_REQUIRE(capacity >= 1, "trace capacity must be positive");
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::str() const {
+  std::ostringstream out;
+  for (const auto& e : events_) {
+    out << "step " << e.step << ": selected {";
+    for (std::size_t i = 0; i < e.selected.size(); ++i) {
+      if (i) out << ',';
+      out << e.selected[i];
+    }
+    out << "} actions {";
+    for (std::size_t i = 0; i < e.actions.size(); ++i) {
+      if (i) out << ',';
+      if (e.actions[i] < 0) {
+        out << '-';
+      } else {
+        out << e.actions[i];
+      }
+    }
+    out << '}';
+    if (e.comm_changed) out << " comm*";
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sss

@@ -1,0 +1,41 @@
+#pragma once
+/// \file trace.hpp
+/// Optional step-by-step recording, used by examples and debugging aids.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sss {
+
+/// One scheduler step as seen from the outside.
+struct TraceEvent {
+  std::uint64_t step = 0;
+  std::vector<ProcessId> selected;
+  /// Action index fired per selected process (aligned with `selected`);
+  /// -1 when the process was disabled.
+  std::vector<int> actions;
+  bool comm_changed = false;
+};
+
+/// Ring buffer of the most recent `capacity` steps.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 256);
+
+  void record(TraceEvent event);
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Compact multi-line rendering ("step 12: {0,3} fired {1,0} comm*").
+  std::string str() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace sss

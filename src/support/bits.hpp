@@ -1,0 +1,31 @@
+#pragma once
+/// \file bits.hpp
+/// Small integer helpers used by the communication-complexity accounting.
+
+#include <cstdint>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+/// Number of bits needed to distinguish `domain_size` values:
+/// ceil(log2(domain_size)), with the convention that a 1-value domain
+/// costs 0 bits. This is the unit of the paper's communication complexity
+/// measure (Definition 5).
+constexpr int ceil_log2(std::int64_t domain_size) {
+  if (domain_size <= 1) return 0;
+  int bits = 0;
+  std::int64_t capacity = 1;
+  while (capacity < domain_size) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Integer ceiling division for non-negative numerators.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sss

@@ -1,0 +1,26 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission so experiment sweeps can be post-processed.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sss {
+
+/// Writes rows of cells as RFC-4180-style CSV (quoting only when needed).
+class CsvWriter {
+ public:
+  /// The writer keeps only a reference; `out` must outlive it.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace sss

@@ -1,0 +1,54 @@
+#pragma once
+/// \file require.hpp
+/// Checked preconditions and invariants.
+///
+/// The library throws on contract violations instead of aborting: simulator
+/// inputs (graphs, protocol parameters, configurations) frequently come from
+/// user code or from randomized test drivers, and a recoverable error with a
+/// precise message is worth far more than a core dump.
+
+#include <stdexcept>
+#include <string>
+
+namespace sss {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& message);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace sss
+
+/// Validate a documented precondition of a public entry point.
+#define SSS_REQUIRE(expr, message)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sss::detail::throw_precondition(#expr, __FILE__, __LINE__,        \
+                                        (message));                      \
+    }                                                                     \
+  } while (false)
+
+/// Validate an internal invariant; failure means a bug in this library.
+#define SSS_ASSERT(expr, message)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sss::detail::throw_invariant(#expr, __FILE__, __LINE__,           \
+                                     (message));                         \
+    }                                                                     \
+  } while (false)

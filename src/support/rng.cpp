@@ -1,0 +1,83 @@
+#include "support/rng.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 guarantees the state is not all-zero, which xoshiro requires.
+  for (auto& word : state_) word = splitmix64(seed);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  SSS_REQUIRE(bound > 0, "Rng::below requires a positive bound");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  SSS_REQUIRE(lo <= hi, "Rng::range requires lo <= hi");
+  const auto width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (width == 0) {  // full 64-bit span
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(below(width));
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::split() {
+  // Deriving the child from two fresh draws keeps parent/child streams
+  // decorrelated for simulation purposes.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace sss

@@ -1,0 +1,62 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  SSS_REQUIRE(!sorted.empty(), "percentile of an empty sample");
+  SSS_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0,100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.count = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  s.mean = sum / static_cast<double>(sample.size());
+  s.median = percentile_sorted(sample, 50.0);
+  s.p90 = percentile_sorted(sample, 90.0);
+  if (sample.size() > 1) {
+    double sq = 0.0;
+    for (double x : sample) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(sample.size() - 1));
+  }
+  return s;
+}
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  // Welford's online update keeps the variance numerically stable.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace sss

@@ -1,0 +1,48 @@
+#pragma once
+/// \file stats.hpp
+/// Descriptive statistics for experiment aggregation.
+
+#include <cstddef>
+#include <vector>
+
+namespace sss {
+
+/// Summary of a sample of measurements.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double p90 = 0.0;     ///< 90th percentile (nearest-rank interpolation)
+};
+
+/// Computes the summary of `sample`. An empty sample yields all zeros.
+Summary summarize(std::vector<double> sample);
+
+/// Percentile in [0,100] via linear interpolation between closest ranks.
+/// Requires a non-empty, already-sorted sample.
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
+/// Accumulates doubles without storing them; used by long-running sweeps.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1); zero for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sss

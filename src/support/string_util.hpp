@@ -1,0 +1,23 @@
+#pragma once
+/// \file string_util.hpp
+/// Small string helpers shared by reports and graph I/O.
+
+#include <string>
+#include <vector>
+
+namespace sss {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace sss

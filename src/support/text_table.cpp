@@ -1,0 +1,77 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SSS_REQUIRE(!header_.empty(), "a table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+namespace {
+template <typename T>
+std::string to_cell(T value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+}  // namespace
+
+TextTable& TextTable::add(std::string cell) {
+  SSS_REQUIRE(!cells_.empty(), "call row() before add()");
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(const char* cell) { return add(std::string(cell)); }
+TextTable& TextTable::add(std::int64_t value) { return add(to_cell(value)); }
+TextTable& TextTable::add(std::uint64_t value) { return add(to_cell(value)); }
+TextTable& TextTable::add(int value) { return add(to_cell(value)); }
+TextTable& TextTable::add(bool value) {
+  return add(std::string(value ? "yes" : "no"));
+}
+
+TextTable& TextTable::add(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return add(out.str());
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << std::left << std::setw(static_cast<int>(width[c])) << cell;
+      if (c + 1 < header_.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    total += width[c] + (c + 1 < header_.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+  return out.str();
+}
+
+}  // namespace sss

@@ -1,0 +1,39 @@
+#pragma once
+/// \file text_table.hpp
+/// Aligned plain-text tables; the output format of every bench binary.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sss {
+
+/// Column-aligned text table with a header row. Cells are strings; numeric
+/// convenience overloads format with minimal digits.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `add` calls append cells to it.
+  TextTable& row();
+
+  TextTable& add(std::string cell);
+  TextTable& add(const char* cell);
+  TextTable& add(std::int64_t value);
+  TextTable& add(std::uint64_t value);
+  TextTable& add(int value);
+  /// Formats with `digits` places after the decimal point.
+  TextTable& add(double value, int digits = 2);
+  TextTable& add(bool value);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Renders the table with a separator line below the header.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace sss

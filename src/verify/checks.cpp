@@ -1,0 +1,172 @@
+#include "verify/checks.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/transition.hpp"
+
+namespace sss {
+
+namespace {
+
+struct ConfigHash {
+  std::size_t operator()(const Configuration& c) const { return c.hash(); }
+};
+
+}  // namespace
+
+CheckResult check_silent_implies_legitimate(const Graph& g,
+                                            const Protocol& protocol,
+                                            const Problem& problem,
+                                            std::uint64_t limit) {
+  CheckResult result;
+  result.configurations = for_each_configuration(
+      g, protocol, limit, [&](const Configuration& config) {
+        if (!is_comm_quiescent(g, protocol, config)) return;
+        ++result.relevant;
+        if (!problem.holds(g, config)) {
+          ++result.violations;
+          if (!result.counterexample) result.counterexample = config;
+        }
+      });
+  result.ok = result.violations == 0;
+  result.detail = "silent configurations checked against " + problem.name();
+  return result;
+}
+
+CheckResult check_closure(const Graph& g, const Protocol& protocol,
+                          const Problem& problem, std::uint64_t limit) {
+  CheckResult result;
+  result.configurations = for_each_configuration(
+      g, protocol, limit, [&](const Configuration& config) {
+        if (!problem.holds(g, config)) return;
+        ++result.relevant;
+        for (const Configuration& next :
+             successors_all_subsets(g, protocol, config)) {
+          if (!problem.holds(g, next)) {
+            ++result.violations;
+            if (!result.counterexample) result.counterexample = config;
+            return;
+          }
+        }
+      });
+  result.ok = result.violations == 0;
+  result.detail = "closure of " + problem.name() +
+                  " under all subset steps and random resolutions";
+  return result;
+}
+
+CheckResult check_legitimacy_reachable(const Graph& g,
+                                       const Protocol& protocol,
+                                       const Problem& problem,
+                                       std::uint64_t limit) {
+  // Collect the whole space, then reverse-BFS from the legitimate
+  // configurations along central-daemon transitions (a subset of the
+  // distributed daemon's, so reachability here implies reachability there).
+  std::vector<Configuration> space;
+  std::unordered_map<Configuration, std::size_t, ConfigHash> index;
+  for_each_configuration(g, protocol, limit, [&](const Configuration& c) {
+    index.emplace(c, space.size());
+    space.push_back(c);
+  });
+
+  std::vector<std::vector<std::size_t>> predecessors(space.size());
+  std::deque<std::size_t> frontier;
+  std::vector<bool> can_reach(space.size(), false);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    for (const Configuration& next :
+         successors_central(g, protocol, space[i])) {
+      const auto it = index.find(next);
+      SSS_ASSERT(it != index.end(), "successor escaped the enumerated space");
+      predecessors[it->second].push_back(i);
+    }
+    if (problem.holds(g, space[i])) {
+      can_reach[i] = true;
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t i = frontier.front();
+    frontier.pop_front();
+    for (std::size_t pred : predecessors[i]) {
+      if (!can_reach[pred]) {
+        can_reach[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+
+  CheckResult result;
+  result.configurations = space.size();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    ++result.relevant;
+    if (!can_reach[i]) {
+      ++result.violations;
+      if (!result.counterexample) result.counterexample = space[i];
+    }
+  }
+  result.ok = result.violations == 0;
+  result.detail =
+      "every configuration can reach " + problem.name() + " (central steps)";
+  return result;
+}
+
+CheckResult check_synchronous_convergence(const Graph& g,
+                                          const Protocol& protocol,
+                                          const Problem& problem,
+                                          std::uint64_t limit,
+                                          std::uint64_t max_iterations) {
+  SSS_REQUIRE(!protocol.is_probabilistic(),
+              "synchronous convergence check needs a deterministic protocol");
+  CheckResult result;
+  // Configurations already proven to converge (deterministic dynamics make
+  // this memoization sound: every trajectory through them is the same).
+  std::unordered_set<Configuration, ConfigHash> proven;
+
+  result.configurations = for_each_configuration(
+      g, protocol, limit, [&](const Configuration& start) {
+        ++result.relevant;
+        std::unordered_map<Configuration, std::uint64_t, ConfigHash> seen;
+        std::vector<Configuration> trajectory;
+        Configuration current = start;
+        bool converged = false;
+        for (std::uint64_t iter = 0; iter < max_iterations; ++iter) {
+          if (proven.count(current) != 0) {
+            converged = true;
+            break;
+          }
+          const auto [it, inserted] = seen.emplace(current, iter);
+          if (!inserted) {
+            // Cycle from position it->second: must be communication-fixed
+            // and legitimate throughout to count as convergence.
+            converged = true;
+            for (std::uint64_t k = it->second; k < trajectory.size(); ++k) {
+              if (!trajectory[k].same_comm(current) ||
+                  !problem.holds(g, trajectory[k])) {
+                converged = false;
+                break;
+              }
+            }
+            break;
+          }
+          trajectory.push_back(current);
+          current = synchronous_successor(g, protocol, current);
+        }
+        if (converged) {
+          for (const Configuration& c : trajectory) proven.insert(c);
+        } else {
+          ++result.violations;
+          if (!result.counterexample) result.counterexample = start;
+        }
+      });
+  result.ok = result.violations == 0;
+  result.detail = "synchronous convergence to silent " + problem.name();
+  return result;
+}
+
+}  // namespace sss

@@ -1,0 +1,56 @@
+#pragma once
+/// \file checks.hpp
+/// Mechanical discharge of the paper's per-protocol lemmas on tiny
+/// instances, by exhausting the configuration space:
+///
+///  * `check_silent_implies_legitimate` — Lemma 3 (MIS) and Lemmas 5-6
+///    (MATCHING): every silent configuration satisfies the predicate.
+///  * `check_closure` — Lemma 1 (COLORING): the predicate is closed under
+///    every subset step and every random resolution.
+///  * `check_legitimacy_reachable` — the combinatorial core of Lemma 2:
+///    from every configuration some computation reaches the predicate
+///    (positive probability of progress, hence convergence w.p. 1).
+///  * `check_synchronous_convergence` — deterministic protocols: from
+///    every configuration the synchronous computation reaches a silent,
+///    legitimate configuration.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/problems.hpp"
+#include "graph/graph.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+struct CheckResult {
+  bool ok = false;
+  std::uint64_t configurations = 0;  ///< configurations enumerated
+  std::uint64_t relevant = 0;        ///< configurations the property binds
+  std::uint64_t violations = 0;
+  std::optional<Configuration> counterexample;
+  std::string detail;
+};
+
+CheckResult check_silent_implies_legitimate(const Graph& g,
+                                            const Protocol& protocol,
+                                            const Problem& problem,
+                                            std::uint64_t limit = 1u << 22);
+
+CheckResult check_closure(const Graph& g, const Protocol& protocol,
+                          const Problem& problem,
+                          std::uint64_t limit = 1u << 18);
+
+CheckResult check_legitimacy_reachable(const Graph& g,
+                                       const Protocol& protocol,
+                                       const Problem& problem,
+                                       std::uint64_t limit = 1u << 18);
+
+CheckResult check_synchronous_convergence(const Graph& g,
+                                          const Protocol& protocol,
+                                          const Problem& problem,
+                                          std::uint64_t limit = 1u << 20,
+                                          std::uint64_t max_iterations = 4096);
+
+}  // namespace sss

@@ -1,0 +1,102 @@
+#include "verify/enumerate.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// One odometer digit: a (process, variable) slot and its domain.
+struct Digit {
+  ProcessId process;
+  int var;
+  bool is_comm;
+  VarDomain domain;
+};
+
+std::vector<Digit> collect_digits(const Graph& g, const ProtocolSpec& spec) {
+  std::vector<Digit> digits;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    for (int v = 0; v < spec.num_comm(); ++v) {
+      const auto& var = spec.comm[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      digits.push_back(Digit{p, v, true, var.domain(g, p)});
+    }
+    for (int v = 0; v < spec.num_internal(); ++v) {
+      const auto& var = spec.internal[static_cast<std::size_t>(v)];
+      if (var.is_constant()) continue;
+      digits.push_back(Digit{p, v, false, var.domain(g, p)});
+    }
+  }
+  return digits;
+}
+
+}  // namespace
+
+std::uint64_t configuration_space_size(const Graph& g,
+                                       const ProtocolSpec& spec) {
+  constexpr std::uint64_t kCap = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t total = 1;
+  for (const Digit& d : collect_digits(g, spec)) {
+    const auto size = static_cast<std::uint64_t>(d.domain.size());
+    if (total > kCap / size) return kCap;
+    total *= size;
+  }
+  return total;
+}
+
+std::uint64_t for_each_configuration(
+    const Graph& g, const Protocol& protocol, std::uint64_t limit,
+    const std::function<void(const Configuration&)>& fn) {
+  const ProtocolSpec& spec = protocol.spec();
+  const std::uint64_t space = configuration_space_size(g, spec);
+  SSS_REQUIRE(space <= limit,
+              "configuration space too large for exhaustive enumeration");
+
+  std::vector<Digit> digits = collect_digits(g, spec);
+  Configuration config(g, spec);
+  protocol.install_constants(g, config);
+  // Start every digit at its domain minimum.
+  for (const Digit& d : digits) {
+    if (d.is_comm) {
+      config.set_comm(d.process, d.var, d.domain.lo);
+    } else {
+      config.set_internal(d.process, d.var, d.domain.lo);
+    }
+  }
+
+  std::uint64_t visited = 0;
+  for (;;) {
+    fn(config);
+    ++visited;
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < digits.size(); ++i) {
+      const Digit& d = digits[i];
+      const Value current = d.is_comm
+                                ? config.comm(d.process, d.var)
+                                : config.internal_var(d.process, d.var);
+      if (current < d.domain.hi) {
+        if (d.is_comm) {
+          config.set_comm(d.process, d.var, current + 1);
+        } else {
+          config.set_internal(d.process, d.var, current + 1);
+        }
+        break;
+      }
+      if (d.is_comm) {
+        config.set_comm(d.process, d.var, d.domain.lo);
+      } else {
+        config.set_internal(d.process, d.var, d.domain.lo);
+      }
+    }
+    if (i == digits.size()) break;  // odometer wrapped: done
+  }
+  SSS_ASSERT(visited == space, "odometer must cover the whole space");
+  return visited;
+}
+
+}  // namespace sss

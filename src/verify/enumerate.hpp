@@ -1,0 +1,31 @@
+#pragma once
+/// \file enumerate.hpp
+/// Exhaustive configuration enumeration for tiny instances.
+///
+/// Self-stabilization quantifies over *all* configurations, so on graphs
+/// small enough the quantifier can be discharged mechanically. Constants
+/// (colors) stay at their installed values; every other variable sweeps its
+/// domain like an odometer.
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+/// Number of configurations (product of non-constant domain sizes),
+/// saturating at 2^63-1.
+std::uint64_t configuration_space_size(const Graph& g,
+                                       const ProtocolSpec& spec);
+
+/// Calls `fn` once per configuration of `protocol` on `g` (constants
+/// installed). Returns the number of configurations visited. Throws
+/// PreconditionError if the space exceeds `limit`.
+std::uint64_t for_each_configuration(
+    const Graph& g, const Protocol& protocol, std::uint64_t limit,
+    const std::function<void(const Configuration&)>& fn);
+
+}  // namespace sss

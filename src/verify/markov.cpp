@@ -1,0 +1,182 @@
+#include "verify/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "runtime/engine.hpp"
+#include "support/require.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/transition.hpp"
+
+namespace sss {
+
+namespace {
+
+struct ConfigHash {
+  std::size_t operator()(const Configuration& c) const { return c.hash(); }
+};
+
+/// Selects one process uniformly among ALL processes — the daemon the
+/// Markov analysis models (selecting a disabled process is the paper's
+/// no-op step, a self-loop in the chain).
+class UniformCentralDaemon final : public Daemon {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "uniform-central";
+    return kName;
+  }
+  bool wants_enabled() const override { return false; }
+  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng& rng,
+              std::vector<ProcessId>& out) override {
+    out.push_back(static_cast<ProcessId>(
+        rng.below(static_cast<std::uint64_t>(g.num_vertices()))));
+  }
+};
+
+struct SparseRow {
+  /// (successor index, probability); missing mass is a self-loop.
+  std::vector<std::pair<std::size_t, double>> entries;
+  double self_loop = 0.0;
+};
+
+}  // namespace
+
+HittingTimeAnalysis expected_stabilization_time(const Graph& g,
+                                                const Protocol& protocol,
+                                                const Problem& problem,
+                                                std::uint64_t limit) {
+  HittingTimeAnalysis analysis;
+
+  // Enumerate and index the configuration space.
+  std::vector<Configuration> space;
+  std::unordered_map<Configuration, std::size_t, ConfigHash> index;
+  for_each_configuration(g, protocol, limit, [&](const Configuration& c) {
+    index.emplace(c, space.size());
+    space.push_back(c);
+  });
+  analysis.states = space.size();
+
+  std::vector<bool> legit(space.size(), false);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    legit[i] = problem.holds(g, space[i]);
+    if (legit[i]) ++analysis.legitimate;
+  }
+
+  // Build the sparse transition rows of the transient states.
+  const double per_process = 1.0 / g.num_vertices();
+  std::vector<SparseRow> rows(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (legit[i]) continue;  // absorbing: no outgoing row needed
+    SparseRow& row = rows[i];
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+      const auto outcomes = process_step_outcomes(g, protocol, space[i], p);
+      if (outcomes.empty()) {
+        row.self_loop += per_process;  // disabled: no-op step
+        continue;
+      }
+      const double per_outcome =
+          per_process / static_cast<double>(outcomes.size());
+      for (const ProcessStep& step : outcomes) {
+        Configuration next = space[i];
+        commit_writes(next, p, step.writes);
+        const auto it = index.find(next);
+        SSS_ASSERT(it != index.end(), "successor escaped the state space");
+        if (it->second == i) {
+          row.self_loop += per_outcome;
+        } else {
+          row.entries.emplace_back(it->second, per_outcome);
+        }
+      }
+    }
+  }
+
+  // Reverse reachability: every transient state must reach absorption.
+  std::vector<bool> drains(space.size(), false);
+  {
+    std::vector<std::vector<std::size_t>> preds(space.size());
+    std::deque<std::size_t> frontier;
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      if (legit[i]) {
+        drains[i] = true;
+        frontier.push_back(i);
+        continue;
+      }
+      for (const auto& [j, prob] : rows[i].entries) {
+        (void)prob;
+        preds[j].push_back(i);
+      }
+    }
+    while (!frontier.empty()) {
+      const std::size_t i = frontier.front();
+      frontier.pop_front();
+      for (std::size_t pred : preds[i]) {
+        if (!drains[pred]) {
+          drains[pred] = true;
+          frontier.push_back(pred);
+        }
+      }
+    }
+  }
+  analysis.absorbs_everywhere =
+      std::all_of(drains.begin(), drains.end(), [](bool d) { return d; });
+  if (!analysis.absorbs_everywhere) return analysis;
+
+  // Value iteration on x = 1 + Q x (x = 0 on absorbing states). The
+  // self-loop mass is folded analytically: x_i = (1 + sum_j q_ij x_j) /
+  /// (1 - selfloop_i), which accelerates convergence dramatically for
+  // states that mostly loop.
+  std::vector<double> x(space.size(), 0.0);
+  for (int iteration = 0; iteration < 1'000'000; ++iteration) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      if (legit[i]) continue;
+      double acc = 1.0;
+      for (const auto& [j, prob] : rows[i].entries) acc += prob * x[j];
+      const double updated = acc / (1.0 - rows[i].self_loop);
+      max_delta = std::max(max_delta, std::abs(updated - x[i]));
+      x[i] = updated;  // Gauss-Seidel style in-place update
+    }
+    if (max_delta < 1e-11) break;
+  }
+
+  double sum = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    sum += x[i];
+    worst = std::max(worst, x[i]);
+  }
+  analysis.expected_steps_uniform_start = sum / static_cast<double>(space.size());
+  analysis.expected_steps_worst_start = worst;
+  return analysis;
+}
+
+double measured_stabilization_time(const Graph& g, const Protocol& protocol,
+                                   const Problem& problem, int runs,
+                                   std::uint64_t seed) {
+  SSS_REQUIRE(runs >= 1, "need at least one run");
+  Rng seeder(seed);
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    Engine engine(g, protocol, std::make_unique<UniformCentralDaemon>(),
+                  seeder());
+    engine.randomize_state();
+    RunOptions options;
+    options.max_steps = 10'000'000;
+    options.stop_on_silence = false;
+    options.legitimacy = problem.predicate();
+    // Run only until first legitimacy: step manually for exactness.
+    std::uint64_t steps = 0;
+    while (!problem.holds(g, engine.config())) {
+      engine.step();
+      ++steps;
+      SSS_REQUIRE(steps < options.max_steps,
+                  "run failed to reach legitimacy (diverging chain?)");
+    }
+    total += static_cast<double>(steps);
+  }
+  return total / runs;
+}
+
+}  // namespace sss

@@ -1,0 +1,51 @@
+#pragma once
+/// \file markov.hpp
+/// Exact expected stabilization time for probabilistic protocols on tiny
+/// instances, via Markov-chain absorption analysis.
+///
+/// Under the uniform central daemon (each step selects one process
+/// uniformly at random; a selected randomized action resolves its draws
+/// uniformly), a protocol is a finite Markov chain over configurations.
+/// Treating the legitimate configurations as absorbing, the expected
+/// hitting times solve (I - Q) x = 1 over the transient states. This
+/// turns Theorem 3's "stabilizes with probability 1" into sharp numbers
+/// that the simulator must reproduce — a strong end-to-end cross-check of
+/// engine, daemon, and rng.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problems.hpp"
+#include "graph/graph.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+struct HittingTimeAnalysis {
+  std::uint64_t states = 0;      ///< configurations enumerated
+  std::uint64_t legitimate = 0;  ///< absorbing states
+  /// True if legitimacy is reached with probability 1 from every state
+  /// (no transient state fails to drain).
+  bool absorbs_everywhere = false;
+  /// Expected steps to first legitimate configuration, averaged over a
+  /// uniformly random initial configuration.
+  double expected_steps_uniform_start = 0.0;
+  /// Worst-case expected steps over all initial configurations.
+  double expected_steps_worst_start = 0.0;
+};
+
+/// Builds and solves the absorption system. Requires the configuration
+/// space to stay under `limit` states (dense Gaussian elimination).
+HittingTimeAnalysis expected_stabilization_time(const Graph& g,
+                                                const Protocol& protocol,
+                                                const Problem& problem,
+                                                std::uint64_t limit = 2000);
+
+/// Empirical counterpart: mean steps to first legitimacy over `runs`
+/// simulator executions under the uniform central daemon, each from a
+/// uniformly random configuration.
+double measured_stabilization_time(const Graph& g, const Protocol& protocol,
+                                   const Problem& problem, int runs,
+                                   std::uint64_t seed);
+
+}  // namespace sss

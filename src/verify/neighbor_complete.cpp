@@ -1,0 +1,87 @@
+#include "verify/neighbor_complete.hpp"
+
+#include <algorithm>
+
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+#include "verify/enumerate.hpp"
+
+namespace sss {
+
+namespace {
+
+/// Distinct communication states a process exhibits across the silent
+/// configurations.
+using CommStates = std::vector<std::vector<Value>>;
+
+void insert_unique(CommStates& states, std::vector<Value> state) {
+  if (std::find(states.begin(), states.end(), state) == states.end()) {
+    states.push_back(std::move(state));
+  }
+}
+
+}  // namespace
+
+NeighborCompletenessReport check_neighbor_completeness(
+    const Graph& g, const Protocol& protocol, const Problem& problem,
+    std::uint64_t limit) {
+  NeighborCompletenessReport report;
+  const int n = g.num_vertices();
+
+  // Pass 1: store the space and the per-process silent comm states.
+  std::vector<Configuration> space;
+  std::vector<CommStates> silent_states(static_cast<std::size_t>(n));
+  report.configurations = for_each_configuration(
+      g, protocol, limit, [&](const Configuration& config) {
+        space.push_back(config);
+        if (!is_comm_quiescent(g, protocol, config)) return;
+        ++report.silent_configurations;
+        for (ProcessId p = 0; p < n; ++p) {
+          insert_unique(silent_states[static_cast<std::size_t>(p)],
+                        config.comm_state(p));
+        }
+      });
+
+  // "Every configuration where p carries alpha_p and q carries alpha_q
+  // violates P."
+  auto pair_always_violates = [&](ProcessId p, const std::vector<Value>& ap,
+                                  ProcessId q, const std::vector<Value>& aq) {
+    for (const Configuration& config : space) {
+      if (config.comm_state(p) != ap || config.comm_state(q) != aq) continue;
+      if (problem.holds(g, config)) return false;
+    }
+    return true;
+  };
+
+  report.alpha.assign(static_cast<std::size_t>(n), {});
+  bool all_have_witness = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    bool found = false;
+    for (const auto& ap : silent_states[static_cast<std::size_t>(p)]) {
+      bool every_neighbor_blocked = true;
+      for (ProcessId q : g.neighbors(p)) {
+        bool some_aq = false;
+        for (const auto& aq : silent_states[static_cast<std::size_t>(q)]) {
+          if (pair_always_violates(p, ap, q, aq)) {
+            some_aq = true;
+            break;
+          }
+        }
+        if (!some_aq) {
+          every_neighbor_blocked = false;
+          break;
+        }
+      }
+      if (every_neighbor_blocked) {
+        report.alpha[static_cast<std::size_t>(p)] = ap;
+        found = true;
+        break;
+      }
+    }
+    if (!found) all_have_witness = false;
+  }
+  report.neighbor_complete = all_have_witness;
+  return report;
+}
+
+}  // namespace sss

@@ -1,0 +1,39 @@
+#pragma once
+/// \file neighbor_complete.hpp
+/// Mechanical witness search for Definition 10 (neighbor-completeness).
+///
+/// A silent self-stabilizing protocol A is neighbor-complete for P when
+/// every process p has a silent communication state alpha_p such that for
+/// every neighbor q some silent communication state alpha_q makes every
+/// configuration carrying (alpha_p, alpha_q) violate P. This is the
+/// premise of both impossibility theorems; the checker discharges it
+/// exhaustively on tiny instances, confirming that coloring, MIS and
+/// maximal matching all satisfy it (Section 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problems.hpp"
+#include "graph/graph.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+struct NeighborCompletenessReport {
+  bool neighbor_complete = false;
+  std::uint64_t configurations = 0;
+  std::uint64_t silent_configurations = 0;
+  /// The witness: alpha[p] is the chosen silent communication state of p
+  /// (empty when no witness exists for p).
+  std::vector<std::vector<Value>> alpha;
+};
+
+/// Requires the protocol's configuration space to fit under `limit`.
+/// The silence and self-stabilization halves of Definition 10 are covered
+/// by the other checks in checks.hpp; this one establishes the structural
+/// state condition.
+NeighborCompletenessReport check_neighbor_completeness(
+    const Graph& g, const Protocol& protocol, const Problem& problem,
+    std::uint64_t limit = 1u << 18);
+
+}  // namespace sss

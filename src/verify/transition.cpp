@@ -1,0 +1,153 @@
+#include "verify/transition.hpp"
+
+#include <unordered_set>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// Hash-set keying configurations by value for deduplication.
+struct ConfigHash {
+  std::size_t operator()(const Configuration& c) const { return c.hash(); }
+};
+
+using ConfigSet = std::unordered_set<Configuration, ConfigHash>;
+
+}  // namespace
+
+std::vector<ProcessStep> process_step_outcomes(const Graph& g,
+                                               const Protocol& protocol,
+                                               const Configuration& pre,
+                                               ProcessId p) {
+  std::vector<ProcessStep> outcomes;
+  GuardContext guard(g, pre, p, nullptr);
+  const int action = protocol.first_enabled(guard);
+  if (action == Protocol::kDisabled) return outcomes;
+
+  // Discovery run: empty script records the ranges of every random draw.
+  Rng scratch(0xabcdefULL);
+  std::vector<Value> script;
+  ActionContext discovery(g, pre, p, scratch, nullptr);
+  discovery.set_random_script(&script);
+  protocol.execute(action, discovery);
+  const std::vector<VarDomain> draws = discovery.random_draws();
+
+  if (draws.empty()) {
+    ProcessStep step;
+    step.action = action;
+    step.comm_write_attempted = discovery.comm_write_attempted();
+    step.writes = discovery.writes();
+    outcomes.push_back(std::move(step));
+    return outcomes;
+  }
+
+  // Odometer over all draw combinations.
+  script.clear();
+  for (const VarDomain& d : draws) script.push_back(d.lo);
+  for (;;) {
+    ActionContext ctx(g, pre, p, scratch, nullptr);
+    ctx.set_random_script(&script);
+    protocol.execute(action, ctx);
+    ProcessStep step;
+    step.action = action;
+    step.comm_write_attempted = ctx.comm_write_attempted();
+    step.writes = ctx.writes();
+    outcomes.push_back(std::move(step));
+
+    std::size_t i = 0;
+    for (; i < script.size(); ++i) {
+      if (script[i] < draws[i].hi) {
+        ++script[i];
+        break;
+      }
+      script[i] = draws[i].lo;
+    }
+    if (i == script.size()) break;
+  }
+  return outcomes;
+}
+
+std::vector<Configuration> successors_central(const Graph& g,
+                                              const Protocol& protocol,
+                                              const Configuration& pre) {
+  ConfigSet seen;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    for (const ProcessStep& step : process_step_outcomes(g, protocol, pre, p)) {
+      Configuration next = pre;
+      commit_writes(next, p, step.writes);
+      if (!(next == pre)) seen.insert(std::move(next));
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<Configuration> successors_all_subsets(const Graph& g,
+                                                  const Protocol& protocol,
+                                                  const Configuration& pre,
+                                                  int max_enabled) {
+  // Gather per-process outcome lists for the enabled processes.
+  std::vector<ProcessId> enabled;
+  std::vector<std::vector<ProcessStep>> outcomes;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    auto steps = process_step_outcomes(g, protocol, pre, p);
+    if (!steps.empty()) {
+      enabled.push_back(p);
+      outcomes.push_back(std::move(steps));
+    }
+  }
+  SSS_REQUIRE(static_cast<int>(enabled.size()) <= max_enabled,
+              "too many enabled processes for subset expansion");
+
+  ConfigSet seen;
+  const std::size_t subsets = (std::size_t{1} << enabled.size());
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    // Enumerate the cross product of outcome choices for this subset.
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) members.push_back(i);
+    }
+    std::vector<std::size_t> choice(members.size(), 0);
+    for (;;) {
+      Configuration next = pre;
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::size_t i = members[j];
+        commit_writes(next, enabled[i], outcomes[i][choice[j]].writes);
+      }
+      if (!(next == pre)) seen.insert(std::move(next));
+
+      std::size_t j = 0;
+      for (; j < members.size(); ++j) {
+        if (choice[j] + 1 < outcomes[members[j]].size()) {
+          ++choice[j];
+          break;
+        }
+        choice[j] = 0;
+      }
+      if (j == members.size()) break;
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+Configuration synchronous_successor(const Graph& g, const Protocol& protocol,
+                                    const Configuration& pre) {
+  SSS_REQUIRE(!protocol.is_probabilistic(),
+              "synchronous_successor requires a deterministic protocol");
+  Rng scratch(0x5eedULL);
+  std::vector<std::pair<ProcessId, std::vector<PendingWrite>>> staged;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    ProcessStep step = evaluate_process(g, protocol, pre, p, scratch, nullptr);
+    if (step.action != Protocol::kDisabled) {
+      staged.emplace_back(p, std::move(step.writes));
+    }
+  }
+  Configuration next = pre;
+  for (const auto& [p, writes] : staged) {
+    commit_writes(next, p, writes);
+  }
+  return next;
+}
+
+}  // namespace sss

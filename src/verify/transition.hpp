@@ -1,0 +1,46 @@
+#pragma once
+/// \file transition.hpp
+/// One-step successor expansion for the model checker.
+///
+/// The paper's distributed daemon permits any non-empty subset of enabled
+/// processes per step; randomized actions (the color redraw of Fig 7) add
+/// probabilistic branching. The expanders below enumerate both dimensions
+/// exactly, so reachability questions over tiny instances are decided
+/// rather than sampled.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+/// All write-sets process p can produce from `pre` (one per resolution of
+/// its random draws; empty when p is disabled).
+std::vector<ProcessStep> process_step_outcomes(const Graph& g,
+                                               const Protocol& protocol,
+                                               const Configuration& pre,
+                                               ProcessId p);
+
+/// Successors under single-process steps (the central daemon), all random
+/// resolutions. Deduplicated; excludes configurations equal to `pre`.
+std::vector<Configuration> successors_central(const Graph& g,
+                                              const Protocol& protocol,
+                                              const Configuration& pre);
+
+/// Successors under every non-empty subset of enabled processes (the
+/// distributed daemon), all random resolutions. Deduplicated; excludes
+/// `pre` itself. Throws if more than `max_enabled` processes are enabled
+/// (the expansion is exponential by nature).
+std::vector<Configuration> successors_all_subsets(const Graph& g,
+                                                  const Protocol& protocol,
+                                                  const Configuration& pre,
+                                                  int max_enabled = 12);
+
+/// The unique synchronous successor of a *deterministic* protocol: every
+/// enabled process fires against the snapshot, commits together.
+Configuration synchronous_successor(const Graph& g, const Protocol& protocol,
+                                    const Configuration& pre);
+
+}  // namespace sss

@@ -1,0 +1,157 @@
+/// Tests for the full-read baselines ([12], [13], [17] style): they solve
+/// the same problems while reading every neighbor — the communication
+/// gap the paper's Section 3.2 quantifies.
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_read_coloring.hpp"
+#include "baselines/full_read_matching.hpp"
+#include "baselines/full_read_mis.hpp"
+#include "core/bounds.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+using testing::sweep_graphs;
+
+TEST(FullReadColoring, ConvergesEverywhere) {
+  const ColoringProblem problem(FullReadColoring::kColorVar);
+  for (const auto& [label, g] : sweep_graphs()) {
+    const FullReadColoring protocol(g);
+    for (const char* daemon : {"distributed", "central-rr"}) {
+      Engine engine(g, protocol, make_daemon(daemon), 61);
+      engine.randomize_state();
+      const RunStats stats = engine.run({});
+      ASSERT_TRUE(stats.silent) << label << "/" << daemon;
+      EXPECT_TRUE(problem.holds(g, engine.config()));
+    }
+  }
+}
+
+TEST(FullReadColoring, ReadsTheWholeNeighborhood) {
+  const Graph g = star(5);
+  const FullReadColoring protocol(g);
+  Engine engine(g, protocol, make_distributed_random_daemon(), 62);
+  engine.randomize_state();
+  const RunStats stats = engine.run({});
+  ASSERT_TRUE(stats.silent);
+  // Keep observing after silence: even disabled processes read their whole
+  // neighborhood during guard evaluation when selected.
+  for (int extra = 0; extra < 100; ++extra) engine.step();
+  // The hub's guard scans all Delta neighbors: Delta-efficient, not less.
+  EXPECT_EQ(engine.read_counter().max_reads_per_process_step(),
+            g.max_degree());
+  EXPECT_EQ(engine.read_counter().max_bits_per_process_step(),
+            coloring_comm_bits_full_read(g.max_degree(), g.max_degree()));
+}
+
+TEST(FullReadColoring, RedrawAvoidsNeighborColors) {
+  // The action picks among colors free in the whole neighborhood, so a
+  // central-daemon step resolves the conflict permanently.
+  const Graph g = star(4);
+  const FullReadColoring protocol(g, 5);
+  Configuration config(g, protocol.spec());
+  config.set_comm(0, 0, 1);
+  for (ProcessId leaf = 1; leaf <= 4; ++leaf) {
+    config.set_comm(leaf, 0, leaf);  // leaf 1 conflicts with the hub
+  }
+  Rng rng(63);
+  const ProcessStep step = apply_solo_step(g, protocol, config, 0, rng);
+  EXPECT_EQ(step.action, 0);
+  EXPECT_EQ(config.comm(0, 0), 5);  // the only free color
+}
+
+TEST(FullReadMis, ConvergesToGreedyMisByColor) {
+  const MisProblem problem(FullReadMis::kStateVar);
+  for (const auto& [label, g] : sweep_graphs()) {
+    const FullReadMis protocol(g, identity_coloring(g));
+    Engine engine(g, protocol, make_distributed_random_daemon(), 64);
+    engine.randomize_state();
+    const RunStats stats = engine.run({});
+    ASSERT_TRUE(stats.silent) << label;
+    EXPECT_TRUE(problem.holds(g, engine.config())) << label;
+    // The fixed point is the greedy MIS: process IN iff no lower-id
+    // neighbor is IN, seeded by id 0.
+    EXPECT_EQ(engine.config().comm(0, FullReadMis::kStateVar),
+              FullReadMis::kIn)
+        << label;
+  }
+}
+
+TEST(FullReadMis, WorksWithLocalColorsToo) {
+  const Graph g = grid(3, 4);
+  const FullReadMis protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_daemon("synchronous"), 65);
+  engine.randomize_state();
+  const RunStats stats = engine.run({});
+  ASSERT_TRUE(stats.silent);
+  EXPECT_TRUE(MisProblem(FullReadMis::kStateVar).holds(g, engine.config()));
+}
+
+TEST(FullReadMatching, ConvergesToMaximalMatching) {
+  const MutualPrMatchingProblem problem;
+  for (const auto& [label, g] : sweep_graphs()) {
+    const FullReadMatching protocol(g, identity_coloring(g));
+    for (const char* daemon : {"distributed", "central-rr"}) {
+      Engine engine(g, protocol, make_daemon(daemon), 66);
+      engine.randomize_state();
+      RunOptions options;
+      options.max_steps = 4'000'000;
+      const RunStats stats = engine.run(options);
+      ASSERT_TRUE(stats.silent) << label << "/" << daemon;
+      EXPECT_TRUE(problem.holds(g, engine.config())) << label;
+    }
+  }
+}
+
+TEST(FullReadMatching, MarriageAnnouncementsConsistentAtSilence) {
+  const Graph g = cycle(8);
+  const FullReadMatching protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 67);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run({}).silent);
+  const Configuration& config = engine.config();
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    const Value pr = config.comm(p, FullReadMatching::kPrVar);
+    bool married = false;
+    if (pr != 0) {
+      const ProcessId q = g.neighbor(p, static_cast<NbrIndex>(pr));
+      married = config.comm(q, FullReadMatching::kPrVar) ==
+                static_cast<Value>(g.local_index_of(q, p));
+    }
+    EXPECT_EQ(config.comm(p, FullReadMatching::kMarriedVar), married ? 1 : 0);
+  }
+}
+
+TEST(Baselines, EfficientColoringReadsFewerBitsPostStabilization) {
+  // The paper's headline: after stabilization the 1-efficient protocol
+  // keeps paying log2(Delta+1) bits per process step while the full-read
+  // baseline pays delta.p * log2(Delta+1) for its (always-evaluated)
+  // guards. Compare measured post-silence read bits over the same window.
+  const Graph g = complete(6);
+  const ColoringProtocol efficient(g);
+  const FullReadColoring baseline(g);
+
+  auto post_silence_bits = [&](const Protocol& protocol) {
+    Engine engine(g, protocol, make_fair_enumerator_daemon(), 68);
+    engine.randomize_state();
+    const RunStats to_silence = engine.run({});
+    EXPECT_TRUE(to_silence.silent);
+    const std::uint64_t before = engine.read_counter().total_bits();
+    for (int step = 0; step < 600; ++step) engine.step();
+    return engine.read_counter().total_bits() - before;
+  };
+
+  const std::uint64_t efficient_bits = post_silence_bits(efficient);
+  const std::uint64_t baseline_bits = post_silence_bits(baseline);
+  // Delta = 5 here, so the gap should be about 5x.
+  EXPECT_LT(4 * efficient_bits, baseline_bits);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,117 @@
+/// Failure-injection tests: self-stabilization means recovery from ANY
+/// transient corruption, so corrupt stabilized systems and watch them
+/// re-stabilize — repeatedly.
+
+#include <gtest/gtest.h>
+
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fault.hpp"
+
+namespace sss {
+namespace {
+
+/// Runs `engine` to silence, asserts legitimacy, then `cycles` times:
+/// corrupt `victims` random processes and assert re-stabilization.
+void fault_cycle_test(Engine& engine, const Problem& problem, int victims,
+                      int cycles, Rng& rng) {
+  const Graph& g = engine.graph();
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 4'000'000;
+  ASSERT_TRUE(engine.run(options).silent);
+  ASSERT_TRUE(problem.holds(g, engine.config()));
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    Configuration corrupted = engine.config();
+    inject_random_faults(g, engine.protocol().spec(), corrupted, victims,
+                         rng);
+    engine.set_config(corrupted);
+    const RunStats recovery = engine.run(options);
+    ASSERT_TRUE(recovery.silent) << "cycle " << cycle;
+    EXPECT_TRUE(problem.holds(g, engine.config())) << "cycle " << cycle;
+  }
+}
+
+TEST(FaultRecovery, ColoringRecoversFromSingleFault) {
+  const Graph g = grid(3, 4);
+  const ColoringProtocol protocol(g);
+  const ColoringProblem problem;
+  Engine engine(g, protocol, make_distributed_random_daemon(), 101);
+  Rng rng(102);
+  fault_cycle_test(engine, problem, 1, 5, rng);
+}
+
+TEST(FaultRecovery, ColoringRecoversFromMassiveFault) {
+  const Graph g = cycle(10);
+  const ColoringProtocol protocol(g);
+  const ColoringProblem problem;
+  Engine engine(g, protocol, make_distributed_random_daemon(), 103);
+  Rng rng(104);
+  fault_cycle_test(engine, problem, g.num_vertices(), 3, rng);
+}
+
+TEST(FaultRecovery, MisRecoversFromFaults) {
+  const Graph g = grid(3, 4);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  const MisProblem problem;
+  Engine engine(g, protocol, make_distributed_random_daemon(), 105);
+  Rng rng(106);
+  fault_cycle_test(engine, problem, 3, 5, rng);
+}
+
+TEST(FaultRecovery, MatchingRecoversFromFaults) {
+  const Graph g = petersen();
+  const MatchingProtocol protocol(g, identity_coloring(g));
+  const MatchingProblem problem;
+  Engine engine(g, protocol, make_distributed_random_daemon(), 107);
+  Rng rng(108);
+  fault_cycle_test(engine, problem, 4, 5, rng);
+}
+
+TEST(FaultRecovery, MisRecoversUnderAdversarialDaemon) {
+  const Graph g = cycle(9);
+  const MisProtocol protocol(g, dsatur_coloring(g));
+  const MisProblem problem;
+  Engine engine(g, protocol, make_adversarial_cluster_daemon(), 109);
+  Rng rng(110);
+  fault_cycle_test(engine, problem, 9, 3, rng);
+}
+
+TEST(FaultRecovery, NoFaultMeansNoCommunicationChange) {
+  // The flip side of forward recovery: with no faults, the silent system
+  // never writes a communication variable again (the paper's motivation
+  // for measuring post-stabilization communication).
+  const Graph g = grid(3, 3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 111);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run({}).silent);
+  const Configuration at_silence = engine.config();
+  for (int step = 0; step < 2000; ++step) engine.step();
+  EXPECT_TRUE(engine.config().same_comm(at_silence));
+}
+
+TEST(FaultRecovery, RecoveryFromTargetedWorstCaseCorruption) {
+  // Corrupt every process deterministically to the "all Dominator" state —
+  // maximally illegal for MIS — and verify recovery.
+  const Graph g = cycle(8);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 112);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run({}).silent);
+  Configuration hostile = engine.config();
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    hostile.set_comm(p, MisProtocol::kStateVar, MisProtocol::kDominator);
+  }
+  engine.set_config(hostile);
+  const RunStats recovery = engine.run({});
+  ASSERT_TRUE(recovery.silent);
+  EXPECT_TRUE(MisProblem().holds(g, engine.config()));
+}
+
+}  // namespace
+}  // namespace sss

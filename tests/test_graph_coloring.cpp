@@ -1,0 +1,141 @@
+/// Tests for the local-coloring substrate of Protocols MIS and MATCHING,
+/// and for Theorem 4: the color order orients every graph into a dag.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "graph/orientation.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+using testing::NamedGraph;
+using testing::sweep_graphs;
+
+TEST(Coloring, IsProperRejectsConflicts) {
+  const Graph g = path(3);
+  EXPECT_TRUE(is_proper_coloring(g, {1, 2, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, {1, 1, 2}));
+  EXPECT_FALSE(is_proper_coloring(g, {1, 2}));     // wrong size
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1, 2}));  // colors start at 1
+}
+
+TEST(Coloring, CountColors) {
+  EXPECT_EQ(count_colors({1, 2, 1, 3}), 3);
+  EXPECT_EQ(count_colors({5, 5, 5}), 1);
+}
+
+TEST(Coloring, GreedyUsesAtMostDeltaPlusOne) {
+  for (const auto& [label, g] : sweep_graphs()) {
+    const Coloring c = greedy_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, c)) << label;
+    EXPECT_LE(count_colors(c), g.max_degree() + 1) << label;
+  }
+}
+
+TEST(Coloring, RandomizedGreedyProper) {
+  Rng rng(17);
+  for (const auto& [label, g] : sweep_graphs()) {
+    const Coloring c = randomized_greedy_coloring(g, rng);
+    EXPECT_TRUE(is_proper_coloring(g, c)) << label;
+    EXPECT_LE(count_colors(c), g.max_degree() + 1) << label;
+  }
+}
+
+TEST(Coloring, DsaturProperAndFrugal) {
+  for (const auto& [label, g] : sweep_graphs()) {
+    const Coloring c = dsatur_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, c)) << label;
+    EXPECT_LE(count_colors(c), count_colors(greedy_coloring(g)) + 1) << label;
+  }
+  // DSATUR colors bipartite graphs optimally.
+  EXPECT_EQ(count_colors(dsatur_coloring(complete_bipartite(4, 4))), 2);
+  EXPECT_EQ(count_colors(dsatur_coloring(cycle(8))), 2);
+}
+
+TEST(Coloring, IdentityIsProperEverywhere) {
+  for (const auto& [label, g] : sweep_graphs()) {
+    const Coloring c = identity_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, c)) << label;
+    EXPECT_EQ(count_colors(c), g.num_vertices()) << label;
+  }
+}
+
+// Theorem 4: orienting edges from smaller to larger color yields a dag.
+TEST(Orientation, Theorem4ColorOrientationIsAcyclic) {
+  Rng rng(23);
+  for (const auto& [label, g] : sweep_graphs()) {
+    for (const Coloring& c :
+         {greedy_coloring(g), dsatur_coloring(g), identity_coloring(g),
+          randomized_greedy_coloring(g, rng)}) {
+      const Orientation o = orient_by_colors(g, c);
+      EXPECT_EQ(o.arcs.size(), static_cast<std::size_t>(g.num_edges()))
+          << label;
+      EXPECT_TRUE(is_acyclic(g, o)) << label;
+    }
+  }
+}
+
+TEST(Orientation, ArcsFollowColorOrder) {
+  const Graph g = path(4);
+  const Coloring c = {2, 1, 3, 1};
+  const Orientation o = orient_by_colors(g, c);
+  for (const auto& [from, to] : o.arcs) {
+    EXPECT_LT(c[static_cast<std::size_t>(from)],
+              c[static_cast<std::size_t>(to)]);
+  }
+}
+
+TEST(Orientation, RejectsImproperColoring) {
+  EXPECT_THROW(orient_by_colors(path(3), {1, 1, 2}), PreconditionError);
+}
+
+TEST(Orientation, SourcesAndSinks) {
+  const Graph g = path(3);
+  const Orientation o = orient_by_colors(g, {2, 1, 3});
+  // 1 -> 0 is wrong: arcs are (1,0)? colors: c1=1 < c0=2 so arc (1,0); and
+  // (1,2). Vertex 1 is the unique source; 0 and 2 are sinks.
+  EXPECT_EQ(sources(g, o), (std::vector<ProcessId>{1}));
+  EXPECT_EQ(sinks(g, o), (std::vector<ProcessId>{0, 2}));
+}
+
+TEST(Orientation, FromArcsValidates) {
+  const Graph g = path(3);
+  EXPECT_THROW(orientation_from_arcs(g, {{0, 1}}), PreconditionError);
+  EXPECT_THROW(orientation_from_arcs(g, {{0, 1}, {0, 2}}), PreconditionError);
+  const Orientation o = orientation_from_arcs(g, {{0, 1}, {2, 1}});
+  EXPECT_TRUE(is_acyclic(g, o));
+  EXPECT_EQ(sinks(g, o), (std::vector<ProcessId>{1}));
+}
+
+TEST(Orientation, Theorem2GadgetDagProperties) {
+  for (int delta : {2, 3, 4}) {
+    const RootedDag dag = theorem2_gadget(delta);
+    const Orientation o = orientation_from_arcs(dag.graph, dag.oriented);
+    EXPECT_TRUE(is_acyclic(dag.graph, o)) << "delta=" << delta;
+    // p1 (the root) and p4 must be sources; p5 and p6 sinks (Figure 3/6).
+    const auto src = sources(dag.graph, o);
+    EXPECT_TRUE(std::find(src.begin(), src.end(), 0) != src.end());
+    EXPECT_TRUE(std::find(src.begin(), src.end(), 3) != src.end());
+    const auto snk = sinks(dag.graph, o);
+    EXPECT_TRUE(std::find(snk.begin(), snk.end(), 4) != snk.end());
+    EXPECT_TRUE(std::find(snk.begin(), snk.end(), 5) != snk.end());
+  }
+}
+
+TEST(Orientation, CycleNeedsThreeColors) {
+  // An odd cycle cannot be 2-colored; with 3 colors the orientation is
+  // still acyclic (Theorem 4 does not depend on color count).
+  const Graph g = cycle(5);
+  const Coloring c = dsatur_coloring(g);
+  EXPECT_EQ(count_colors(c), 3);
+  EXPECT_TRUE(is_acyclic(g, orient_by_colors(g, c)));
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,95 @@
+/// Tests for structural properties: BFS, diameter, bipartiteness, and the
+/// longest-elementary-path machinery behind Theorem 6's Lmax parameter.
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/properties.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+  const auto mid = bfs_distances(g, 2);
+  EXPECT_EQ(mid, (std::vector<int>{2, 1, 0, 1, 2}));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(6)), 5);
+  EXPECT_EQ(diameter(cycle(8)), 4);
+  EXPECT_EQ(diameter(cycle(9)), 4);
+  EXPECT_EQ(diameter(complete(7)), 1);
+  EXPECT_EQ(diameter(star(5)), 2);
+  EXPECT_EQ(diameter(grid(3, 4)), 5);
+  EXPECT_EQ(diameter(hypercube(4)), 4);
+}
+
+TEST(Connectivity, DetectsDisconnection) {
+  EXPECT_TRUE(is_connected(path(4)));
+  const Graph two_islands = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_connected(two_islands));
+}
+
+TEST(Bipartite, KnownValues) {
+  EXPECT_TRUE(is_bipartite(path(7)));
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(7)));
+  EXPECT_FALSE(is_bipartite(complete(3)));
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 4)));
+  EXPECT_TRUE(is_bipartite(hypercube(3)));
+  EXPECT_FALSE(is_bipartite(petersen()));
+}
+
+TEST(LongestPath, ExactOnSimpleFamilies) {
+  EXPECT_EQ(longest_path_exact(path(6)), 5);
+  EXPECT_EQ(longest_path_exact(cycle(6)), 5);
+  EXPECT_EQ(longest_path_exact(complete(5)), 4);   // Hamiltonian
+  EXPECT_EQ(longest_path_exact(star(4)), 2);       // leaf-center-leaf
+  EXPECT_EQ(longest_path_exact(petersen()), 9);    // Petersen is traceable
+}
+
+TEST(LongestPath, ExactOnPaperGadgets) {
+  // Spider(2) is a path of 5 vertices in disguise.
+  EXPECT_EQ(longest_path_exact(theorem1_spider(2)), 4);
+  // Figure 11: pendant-0-1-bridge-2-3-pendant spans six edges.
+  EXPECT_EQ(longest_path_exact(fig11_tight_matching()), 6);
+}
+
+TEST(LongestPath, RefusesHugeGraphs) {
+  EXPECT_THROW(longest_path_exact(grid(6, 6)), PreconditionError);
+  EXPECT_NO_THROW(longest_path_exact(grid(6, 6), 64));
+}
+
+TEST(LongestPath, HeuristicIsALowerBoundAndFindsPaths) {
+  Rng rng(5);
+  for (int n : {5, 9, 13}) {
+    const Graph g = path(n);
+    const int lower = longest_path_lower_bound(g, rng, 64);
+    EXPECT_LE(lower, n - 1);
+    EXPECT_EQ(lower, n - 1);  // on a path every DFS walk finds it from an end
+  }
+  const Graph k = complete(6);
+  EXPECT_EQ(longest_path_lower_bound(k, rng, 16), 5);
+}
+
+TEST(LongestPath, HeuristicNeverExceedsExact) {
+  Rng rng(6);
+  for (const Graph& g :
+       {grid(3, 3), balanced_binary_tree(9), caterpillar(4, 1)}) {
+    const int exact = longest_path_exact(g);
+    EXPECT_LE(longest_path_lower_bound(g, rng, 64), exact);
+  }
+}
+
+TEST(AverageDegree, Values) {
+  EXPECT_DOUBLE_EQ(average_degree(cycle(5)), 2.0);
+  EXPECT_DOUBLE_EQ(average_degree(complete(4)), 3.0);
+  EXPECT_DOUBLE_EQ(average_degree(star(4)), 8.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,158 @@
+/// Tests for the executable impossibility constructions (Theorems 1-2).
+
+#include <gtest/gtest.h>
+
+#include "core/problems.hpp"
+#include "graph/orientation.hpp"
+#include "graph/properties.hpp"
+#include "impossibility/lazy_protocols.hpp"
+#include "impossibility/theorem1.hpp"
+#include "impossibility/theorem2.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/quiescence.hpp"
+
+namespace sss {
+namespace {
+
+TEST(LazyScan, ScanLimitSkipsTheLastChannel) {
+  EXPECT_EQ(LazyScanColoring::scan_limit(1), 1);
+  EXPECT_EQ(LazyScanColoring::scan_limit(2), 1);
+  EXPECT_EQ(LazyScanColoring::scan_limit(3), 2);
+  EXPECT_EQ(LazyScanColoring::scan_limit(5), 4);
+}
+
+TEST(LazyScan, IsKStableByConstruction) {
+  // On the left-reading chain each inner process only ever reads its
+  // channel-1 neighbor: R_p is a singleton over any computation.
+  const Graph g = chain_reading_left(6);
+  const LazyScanColoring protocol(g, 3);
+  Engine engine(g, protocol, make_distributed_random_daemon(), 71);
+  engine.randomize_state();
+  StabilityTracker tracker(g);
+  engine.attach_read_logger(&tracker);
+  for (int step = 0; step < 2000; ++step) engine.step();
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    EXPECT_LE(tracker.distinct_reads(p), 1) << "process " << p;
+  }
+}
+
+TEST(LazyScan, StabilizesOnFriendlyPortNumberings) {
+  // The same candidate is perfectly fine when every edge is scanned by
+  // someone — the impossibility is about adversarial port numberings.
+  const Graph g = chain_reading_left(7);
+  const LazyScanColoring protocol(g, 3);
+  const ColoringProblem problem(LazyScanColoring::kColorVar);
+  for (std::uint64_t seed : {72u, 73u, 74u}) {
+    Engine engine(g, protocol, make_distributed_random_daemon(), seed);
+    engine.randomize_state();
+    const RunStats stats = engine.run({});
+    ASSERT_TRUE(stats.silent);
+    EXPECT_TRUE(problem.holds(g, engine.config()));
+  }
+}
+
+TEST(Theorem1, Chain7MixedHidesTheMiddleEdge) {
+  const Graph g = chain7_mixed();
+  ASSERT_TRUE(g.has_edge(2, 3));
+  // Position 2 scans its channel 1 = vertex 1; position 3 scans vertex 4.
+  EXPECT_EQ(g.neighbor(2, 1), 1);
+  EXPECT_EQ(g.neighbor(3, 1), 4);
+  // Degrees 2 => scan limit 1: neither endpoint ever reads the other.
+}
+
+TEST(Theorem1, ChainStitchProducesSilentIllegitimateConfiguration) {
+  for (std::uint64_t seed : {1u, 99u}) {
+    const StitchOutcome outcome = theorem1_chain_stitch(3, seed);
+    EXPECT_TRUE(outcome.silent)
+        << "the stitched configuration must be silent";
+    EXPECT_TRUE(outcome.violates_predicate)
+        << "the stitched configuration must violate vertex coloring";
+    EXPECT_GT(outcome.search_runs, 0);
+    // The violation sits exactly on the hidden edge.
+    EXPECT_EQ(outcome.config.comm(2, LazyScanColoring::kColorVar),
+              outcome.config.comm(3, LazyScanColoring::kColorVar));
+  }
+}
+
+TEST(Theorem1, SpiderCounterexampleForSeveralDeltas) {
+  for (int delta : {2, 3, 4}) {
+    const StitchOutcome outcome = theorem1_spider_counterexample(delta);
+    EXPECT_TRUE(outcome.silent) << "delta=" << delta;
+    EXPECT_TRUE(outcome.violates_predicate) << "delta=" << delta;
+    EXPECT_EQ(outcome.graph.num_vertices(), delta * delta + 1);
+  }
+}
+
+TEST(Theorem1, SpiderPortsMatchFigure2) {
+  const Graph g = spider_with_hidden_edge(3);
+  // Center's last channel is middle 1 (never scanned, scan limit = 2).
+  EXPECT_EQ(g.neighbor(0, g.degree(0)), 1);
+  // Middle 1's last channel is the center.
+  EXPECT_EQ(g.neighbor(1, g.degree(1)), 0);
+  // Other middles scan the center first.
+  EXPECT_EQ(g.neighbor(2, 1), 0);
+}
+
+TEST(Theorem1, RandomRunsAlsoFindTheCounterexample) {
+  // Every silent-but-illegitimate run IS a counterexample; they occur with
+  // noticeable frequency because the initial colors across the hidden edge
+  // collide with probability 1/(Delta+1) and are never repaired.
+  const double rate = theorem1_spider_failure_rate(3, 60, 2025);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1.0);
+}
+
+TEST(Theorem2, GadgetMatchesFigure3) {
+  const Graph g = theorem2_ports();
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.max_degree(), 2);
+  // The two hidden edges of Figure 4: p2-p5 and p4-p6.
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_EQ(g.neighbor(1, 1), 0);  // p2 scans p1
+  EXPECT_EQ(g.neighbor(4, 1), 3);  // p5 scans p4
+  EXPECT_TRUE(g.has_edge(3, 5));
+  EXPECT_EQ(g.neighbor(3, 1), 4);  // p4 scans p5
+  EXPECT_EQ(g.neighbor(5, 1), 2);  // p6 scans p3
+}
+
+TEST(Theorem2, RootedDagHasTheRequiredShape) {
+  const RootedDag dag = theorem2_rooted_dag();
+  EXPECT_EQ(dag.root, 0);
+  const Orientation o = orientation_from_arcs(dag.graph, dag.oriented);
+  EXPECT_TRUE(is_acyclic(dag.graph, o));
+  EXPECT_EQ(sources(dag.graph, o), (std::vector<ProcessId>{0, 3}));
+  EXPECT_EQ(sinks(dag.graph, o), (std::vector<ProcessId>{4, 5}));
+}
+
+TEST(Theorem2, GadgetStitchProducesSilentIllegitimateConfiguration) {
+  for (std::uint64_t seed : {7u, 2026u}) {
+    const StitchOutcome outcome = theorem2_gadget_stitch(3, seed);
+    EXPECT_TRUE(outcome.silent);
+    EXPECT_TRUE(outcome.violates_predicate);
+    // The collision is across the unread edge p2-p5.
+    EXPECT_EQ(outcome.config.comm(1, LazyScanColoring::kColorVar),
+              outcome.config.comm(4, LazyScanColoring::kColorVar));
+  }
+}
+
+TEST(Theorem2, StitchedConfigurationReallyDeadlocksTheRun) {
+  // Drive the stitched configuration forward: communication variables must
+  // never change again (the run is stuck in illegitimacy forever, which is
+  // precisely why the candidate is not self-stabilizing).
+  const StitchOutcome outcome = theorem2_gadget_stitch(3, 11);
+  ASSERT_TRUE(outcome.silent);
+  const LazyScanColoring protocol(outcome.graph, 3);
+  Engine engine(outcome.graph, protocol, make_distributed_random_daemon(),
+                12);
+  engine.set_config(outcome.config);
+  const ColoringProblem problem(LazyScanColoring::kColorVar);
+  for (int step = 0; step < 2000; ++step) {
+    engine.step();
+    ASSERT_TRUE(engine.config().same_comm(outcome.config));
+  }
+  EXPECT_FALSE(problem.holds(outcome.graph, engine.config()));
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,98 @@
+/// Tests for the Markov-chain expected-stabilization-time analysis: hand-
+/// computed chains, and agreement between the exact solver and simulation.
+
+#include <gtest/gtest.h>
+
+#include "core/coloring_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "support/require.hpp"
+#include "verify/markov.hpp"
+
+namespace sss {
+namespace {
+
+TEST(Markov, HandComputedTwoProcessColoring) {
+  // path(2), palette {1,2}: 8 configurations (2 colors x 2 colors x cur
+  // trivial... cur in [1..1] each). Conflicting states: (1,1), (2,2).
+  // From a conflict, the selected process redraws uniformly: the conflict
+  // resolves with probability 1/2 per step, so E[T] = 2 from a conflict.
+  // Uniform start: half the starts are already proper -> E = (0+0+2+2)/4.
+  const Graph g = path(2);
+  const ColoringProtocol protocol(g, 2);
+  const ColoringProblem problem;
+  const HittingTimeAnalysis a =
+      expected_stabilization_time(g, protocol, problem);
+  EXPECT_EQ(a.states, 4u);
+  EXPECT_EQ(a.legitimate, 2u);
+  EXPECT_TRUE(a.absorbs_everywhere);
+  EXPECT_NEAR(a.expected_steps_worst_start, 2.0, 1e-9);
+  EXPECT_NEAR(a.expected_steps_uniform_start, 1.0, 1e-9);
+}
+
+TEST(Markov, DeterministicMisAbsorbs) {
+  const Graph g = path(3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  const MisProblem problem;
+  const HittingTimeAnalysis a =
+      expected_stabilization_time(g, protocol, problem);
+  EXPECT_TRUE(a.absorbs_everywhere);
+  EXPECT_GT(a.expected_steps_worst_start, 0.0);
+  // Deterministic protocol on a 3-chain: stabilization within a handful
+  // of selections on average.
+  EXPECT_LT(a.expected_steps_worst_start, 30.0);
+}
+
+TEST(Markov, PredictionMatchesSimulationColoring) {
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  const ColoringProblem problem;
+  const HittingTimeAnalysis a =
+      expected_stabilization_time(g, protocol, problem);
+  ASSERT_TRUE(a.absorbs_everywhere);
+  const double measured =
+      measured_stabilization_time(g, protocol, problem, 4000, 17);
+  // 4000 runs: the sample mean should land within ~8% of the exact value.
+  EXPECT_NEAR(measured, a.expected_steps_uniform_start,
+              0.08 * a.expected_steps_uniform_start + 0.05);
+}
+
+TEST(Markov, PredictionMatchesSimulationTriangle) {
+  const Graph g = complete(3);
+  const ColoringProtocol protocol(g);
+  const ColoringProblem problem;
+  const HittingTimeAnalysis a =
+      expected_stabilization_time(g, protocol, problem);
+  ASSERT_TRUE(a.absorbs_everywhere);
+  const double measured =
+      measured_stabilization_time(g, protocol, problem, 4000, 23);
+  EXPECT_NEAR(measured, a.expected_steps_uniform_start,
+              0.08 * a.expected_steps_uniform_start + 0.05);
+}
+
+TEST(Markov, LargerPaletteStabilizesFaster) {
+  // More colors, fewer collisions: the exact expectation must decrease.
+  const Graph g = path(3);
+  const ColoringProblem problem;
+  const ColoringProtocol tight(g, 3);
+  const ColoringProtocol roomy(g, 5);
+  const double e_tight =
+      expected_stabilization_time(g, tight, problem)
+          .expected_steps_uniform_start;
+  const double e_roomy =
+      expected_stabilization_time(g, roomy, problem)
+          .expected_steps_uniform_start;
+  EXPECT_LT(e_roomy, e_tight);
+}
+
+TEST(Markov, RefusesOversizedSpaces) {
+  const Graph g = cycle(12);
+  const ColoringProtocol protocol(g);
+  EXPECT_THROW(
+      expected_stabilization_time(g, protocol, ColoringProblem(), 100),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace sss

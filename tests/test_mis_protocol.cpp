@@ -1,0 +1,294 @@
+/// Tests for Protocol MIS (Figure 8): action semantics, deterministic
+/// convergence within the Lemma 4 round bound, 1-efficiency, silent
+/// configurations (Lemma 3), and the 1-stability behaviour behind
+/// Theorem 6.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "core/stability.hpp"
+#include "graph/builders.hpp"
+#include "graph/properties.hpp"
+#include "runtime/engine.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+using testing::sweep_graphs;
+
+TEST(MisProtocol, SpecMatchesFigure8) {
+  const Graph g = path(3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  ASSERT_EQ(protocol.spec().num_comm(), 2);
+  EXPECT_EQ(protocol.spec().comm[MisProtocol::kStateVar].name(), "S");
+  EXPECT_EQ(protocol.spec().comm[MisProtocol::kColorVar].name(), "C");
+  EXPECT_TRUE(protocol.spec().comm[MisProtocol::kColorVar].is_constant());
+  EXPECT_FALSE(protocol.spec().comm[MisProtocol::kStateVar].is_constant());
+  ASSERT_EQ(protocol.spec().num_internal(), 1);
+}
+
+TEST(MisProtocol, RequiresProperColoring) {
+  const Graph g = path(3);
+  EXPECT_THROW(MisProtocol(g, Coloring{1, 1, 2}), PreconditionError);
+}
+
+TEST(MisProtocol, DemoteActionKeepsPointingAtTheWinner) {
+  // Figure 8, first action: a Dominator that sees a lower-colored
+  // Dominator becomes dominated and deliberately does NOT advance cur.
+  const Graph g = path(2);
+  const MisProtocol protocol(g, Coloring{1, 2});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  config.set_comm(0, MisProtocol::kStateVar, MisProtocol::kDominator);
+  config.set_comm(1, MisProtocol::kStateVar, MisProtocol::kDominator);
+  config.set_internal(1, MisProtocol::kCurVar, 1);
+  Rng rng(1);
+  const ProcessStep step = apply_solo_step(g, protocol, config, 1, rng);
+  EXPECT_EQ(step.action, 0);
+  EXPECT_EQ(config.comm(1, MisProtocol::kStateVar), MisProtocol::kDominated);
+  EXPECT_EQ(config.internal_var(1, MisProtocol::kCurVar), 1);  // unchanged
+}
+
+TEST(MisProtocol, PromoteActionFiresOnDominatedNeighbor) {
+  // Second action: a dominated process pointing at a dominated neighbor
+  // claims domination and advances cur.
+  const Graph g = path(3);
+  const MisProtocol protocol(g, Coloring{1, 2, 1});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  for (ProcessId p = 0; p < 3; ++p) {
+    config.set_comm(p, MisProtocol::kStateVar, MisProtocol::kDominated);
+  }
+  config.set_internal(1, MisProtocol::kCurVar, 1);
+  Rng rng(2);
+  const ProcessStep step = apply_solo_step(g, protocol, config, 1, rng);
+  EXPECT_EQ(step.action, 1);
+  EXPECT_EQ(config.comm(1, MisProtocol::kStateVar), MisProtocol::kDominator);
+  EXPECT_EQ(config.internal_var(1, MisProtocol::kCurVar), 2);  // advanced
+}
+
+TEST(MisProtocol, PromoteAlsoFiresOnHigherColoredDominator) {
+  // "...to have a faster convergence time, p switches to Dominator if the
+  // neighbor it points out has a greater color (even if it is a
+  // Dominator)."
+  const Graph g = path(2);
+  const MisProtocol protocol(g, Coloring{1, 2});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  config.set_comm(0, MisProtocol::kStateVar, MisProtocol::kDominated);
+  config.set_comm(1, MisProtocol::kStateVar, MisProtocol::kDominator);
+  Rng rng(3);
+  const ProcessStep step = apply_solo_step(g, protocol, config, 0, rng);
+  EXPECT_EQ(step.action, 1);
+  EXPECT_EQ(config.comm(0, MisProtocol::kStateVar), MisProtocol::kDominator);
+}
+
+TEST(MisProtocol, ScanActionPatrolsForever) {
+  // Third action: a settled Dominator keeps cycling cur (this is why
+  // Dominators are not 1-stable).
+  const Graph g = path(3);
+  const MisProtocol protocol(g, Coloring{2, 1, 2});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  config.set_comm(0, MisProtocol::kStateVar, MisProtocol::kDominated);
+  config.set_comm(1, MisProtocol::kStateVar, MisProtocol::kDominator);
+  config.set_comm(2, MisProtocol::kStateVar, MisProtocol::kDominated);
+  config.set_internal(1, MisProtocol::kCurVar, 1);
+  Rng rng(4);
+  EXPECT_EQ(apply_solo_step(g, protocol, config, 1, rng).action, 2);
+  EXPECT_EQ(config.internal_var(1, MisProtocol::kCurVar), 2);
+  EXPECT_EQ(apply_solo_step(g, protocol, config, 1, rng).action, 2);
+  EXPECT_EQ(config.internal_var(1, MisProtocol::kCurVar), 1);
+}
+
+TEST(MisProtocol, SettledDominatedProcessIsDisabled) {
+  // A dominated process pointing at a lower-colored Dominator has no
+  // enabled action — it reads that single neighbor forever (1-stability).
+  const Graph g = path(2);
+  const MisProtocol protocol(g, Coloring{1, 2});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  config.set_comm(0, MisProtocol::kStateVar, MisProtocol::kDominator);
+  config.set_comm(1, MisProtocol::kStateVar, MisProtocol::kDominated);
+  Rng rng(5);
+  GuardContext guard(g, config, 1, nullptr);
+  EXPECT_EQ(protocol.first_enabled(guard), Protocol::kDisabled);
+}
+
+struct MisCase {
+  std::string graph;
+  std::string daemon;
+  std::string coloring;  // "greedy", "dsatur", "identity"
+};
+
+class MisConvergence : public ::testing::TestWithParam<MisCase> {};
+
+// Theorem 5 + Lemma 4: silent within Delta * #C rounds, 1-efficient, and
+// the result is a maximal independent set.
+TEST_P(MisConvergence, ConvergesWithinLemma4Bound) {
+  const auto& param = GetParam();
+  Graph g = path(2);
+  for (auto& [label, graph] : sweep_graphs()) {
+    if (label == param.graph) g = graph;
+  }
+  Coloring colors;
+  if (param.coloring == "greedy") colors = greedy_coloring(g);
+  if (param.coloring == "dsatur") colors = dsatur_coloring(g);
+  if (param.coloring == "identity") colors = identity_coloring(g);
+  const MisProtocol protocol(g, colors);
+  const MisProblem problem;
+  const std::int64_t bound =
+      mis_round_bound(g.max_degree(), protocol.num_colors());
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Engine engine(g, protocol, make_daemon(param.daemon), seed);
+    engine.randomize_state();
+    RunOptions options;
+    options.max_steps = 4'000'000;
+    options.legitimacy = problem.predicate();
+    const RunStats stats = engine.run(options);
+    ASSERT_TRUE(stats.silent) << param.graph;
+    EXPECT_TRUE(problem.holds(g, engine.config()));
+    EXPECT_EQ(stats.max_reads_per_process_step, 1);
+    EXPECT_LE(static_cast<std::int64_t>(stats.rounds_to_silence), bound)
+        << param.graph << "/" << param.daemon << "/" << param.coloring;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MisConvergence,
+    ::testing::Values(MisCase{"path8", "distributed", "greedy"},
+                      MisCase{"path8", "synchronous", "identity"},
+                      MisCase{"cycle9", "central-rr", "dsatur"},
+                      MisCase{"complete5", "distributed", "identity"},
+                      MisCase{"complete5", "adversarial", "greedy"},
+                      MisCase{"star6", "synchronous", "greedy"},
+                      MisCase{"grid3x4", "distributed", "dsatur"},
+                      MisCase{"petersen", "enumerator", "identity"},
+                      MisCase{"bintree10", "central-random", "greedy"},
+                      MisCase{"gnp12", "distributed", "identity"},
+                      MisCase{"caterpillar4x2", "synchronous", "dsatur"},
+                      MisCase{"rtree11", "adversarial", "identity"}),
+    [](const ::testing::TestParamInfo<MisCase>& param_info) {
+      return testing::sanitize(param_info.param.graph + "_" +
+                               param_info.param.daemon + "_" +
+                               param_info.param.coloring);
+    });
+
+TEST(MisProtocol, SilentConfigurationHasDominatedPointingAtDominators) {
+  // Lemma 3's inner argument: in a silent configuration every dominated
+  // process's cur pointer rests on a Dominator neighbor.
+  const Graph g = grid(3, 3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 21);
+  engine.randomize_state();
+  const RunStats stats = engine.run({});
+  ASSERT_TRUE(stats.silent);
+  const Configuration& config = engine.config();
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    if (config.comm(p, MisProtocol::kStateVar) != MisProtocol::kDominated) {
+      continue;
+    }
+    const auto cur =
+        static_cast<NbrIndex>(config.internal_var(p, MisProtocol::kCurVar));
+    const ProcessId q = g.neighbor(p, cur);
+    EXPECT_EQ(config.comm(q, MisProtocol::kStateVar),
+              MisProtocol::kDominator);
+  }
+}
+
+TEST(MisProtocol, DominatedProcessesAreOneStable) {
+  // Theorem 6's mechanism: after silence, dominated processes read exactly
+  // one neighbor forever while Dominators keep scanning all of them.
+  const Graph g = path(9);
+  const MisProtocol protocol(g, identity_coloring(g));
+  Engine engine(g, protocol, make_distributed_random_daemon(), 22);
+  engine.randomize_state();
+  RunOptions options;
+  const StabilityReport report = analyze_stability(engine, options, 6);
+  ASSERT_TRUE(report.silent);
+  const Configuration& config = engine.config();
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    const bool dominated =
+        config.comm(p, MisProtocol::kStateVar) == MisProtocol::kDominated;
+    const int reads =
+        report.suffix_read_set_sizes[static_cast<std::size_t>(p)];
+    if (dominated) {
+      EXPECT_LE(reads, 1) << "dominated process " << p;
+    } else {
+      EXPECT_EQ(reads, g.degree(p)) << "dominator " << p;
+    }
+  }
+}
+
+// The ablated variant (without the "promote on higher color" disjunct)
+// still stabilizes to a maximal independent set — the clause buys speed
+// and output uniqueness, not correctness.
+TEST(MisProtocol, NoBoostVariantStillStabilizes) {
+  const MisProblem problem;
+  for (const Graph& g : {path(8), cycle(9), grid(3, 4), star(6)}) {
+    const MisProtocol protocol(g, greedy_coloring(g),
+                               /*promote_on_higher_color=*/false);
+    EXPECT_NE(protocol.name().find("no-boost"), std::string::npos);
+    for (std::uint64_t seed : {201u, 202u}) {
+      Engine engine(g, protocol, make_distributed_random_daemon(), seed);
+      engine.randomize_state();
+      RunOptions options;
+      options.max_steps = 4'000'000;
+      const RunStats stats = engine.run(options);
+      ASSERT_TRUE(stats.silent) << g.name();
+      EXPECT_TRUE(problem.holds(g, engine.config())) << g.name();
+      // Observe past silence so the efficiency certificate is never
+      // vacuous (the random start may already be silent).
+      for (int extra = 0; extra < 50; ++extra) engine.step();
+      EXPECT_EQ(engine.read_counter().max_reads_per_process_step(), 1);
+    }
+  }
+}
+
+// Without the clause, a dominated process parks on ANY Dominator, so a
+// non-greedy MIS (e.g. {1} on a path colored 1-2-1) becomes silent too.
+TEST(MisProtocol, NoBoostVariantAcceptsNonGreedySilentOutputs) {
+  const Graph g = path(3);
+  const Coloring colors = {1, 2, 1};
+  Configuration config(g, MisProtocol(g, colors).spec());
+  // MIS {1}: ends dominated, middle dominator; ends point at the middle.
+  auto build = [&](const MisProtocol& protocol) {
+    protocol.install_constants(g, config);
+    config.set_comm(0, MisProtocol::kStateVar, MisProtocol::kDominated);
+    config.set_comm(1, MisProtocol::kStateVar, MisProtocol::kDominator);
+    config.set_comm(2, MisProtocol::kStateVar, MisProtocol::kDominated);
+    for (ProcessId p = 0; p < 3; ++p) {
+      config.set_internal(p, MisProtocol::kCurVar, 1);
+    }
+  };
+  const MisProtocol with_boost(g, colors, true);
+  build(with_boost);
+  EXPECT_FALSE(is_comm_quiescent(g, with_boost, config))
+      << "Fig 8 rejects {1}: the ends see a higher-colored Dominator and "
+         "promote";
+  const MisProtocol no_boost(g, colors, false);
+  build(no_boost);
+  EXPECT_TRUE(is_comm_quiescent(g, no_boost, config));
+  EXPECT_TRUE(MisProblem().holds(g, config));
+}
+
+TEST(MisProtocol, HandlesTwoProcessNetwork) {
+  const Graph g = path(2);
+  const MisProtocol protocol(g, Coloring{2, 1});
+  Engine engine(g, protocol, make_distributed_random_daemon(), 23);
+  engine.randomize_state();
+  const RunStats stats = engine.run({});
+  ASSERT_TRUE(stats.silent);
+  // The lower-colored process wins.
+  EXPECT_EQ(engine.config().comm(1, MisProtocol::kStateVar),
+            MisProtocol::kDominator);
+  EXPECT_EQ(engine.config().comm(0, MisProtocol::kStateVar),
+            MisProtocol::kDominated);
+}
+
+}  // namespace
+}  // namespace sss

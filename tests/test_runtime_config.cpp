@@ -1,0 +1,173 @@
+/// Tests for variable schemas and configurations: domains, layout,
+/// randomization, constants, and hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mis_protocol.hpp"
+#include "graph/builders.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/spec.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+namespace {
+
+TEST(Spec, FixedDomain) {
+  const VarSpec v("X", VarDomain{1, 5});
+  const Graph g = path(2);
+  const VarDomain d = v.domain(g, 0);
+  EXPECT_EQ(d.lo, 1);
+  EXPECT_EQ(d.hi, 5);
+  EXPECT_EQ(d.size(), 5);
+  EXPECT_TRUE(d.contains(3));
+  EXPECT_FALSE(d.contains(0));
+  EXPECT_EQ(d.bits(), 3);
+}
+
+TEST(Spec, ChannelDomainTracksDegree) {
+  const VarSpec v("cur", domain_channel());
+  const Graph g = star(3);
+  EXPECT_EQ(v.domain(g, 0).hi, 3);  // center
+  EXPECT_EQ(v.domain(g, 1).hi, 1);  // leaf
+  const VarSpec pr("PR", domain_channel_or_none());
+  EXPECT_EQ(pr.domain(g, 0).lo, 0);
+  EXPECT_EQ(pr.domain(g, 0).hi, 3);
+}
+
+TEST(Spec, EmptyDomainRejected) {
+  EXPECT_THROW(VarSpec("bad", VarDomain{3, 2}), PreconditionError);
+}
+
+TEST(Spec, CommStateBitsSumsDomains) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{0, 1});   // 1 bit
+  spec.comm.emplace_back("B", VarDomain{1, 12});  // 4 bits
+  spec.internal.emplace_back("i", VarDomain{0, 9});
+  const Graph g = path(2);
+  EXPECT_EQ(spec.comm_state_bits(g, 0), 5);
+  EXPECT_EQ(spec.stride(), 3);
+}
+
+TEST(Configuration, LayoutAndAccess) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{0, 3});
+  spec.internal.emplace_back("i", VarDomain{1, 4});
+  const Graph g = path(3);
+  Configuration c(g, spec);
+  EXPECT_EQ(c.num_processes(), 3);
+  EXPECT_EQ(c.comm(1, 0), 0);          // domain lo
+  EXPECT_EQ(c.internal_var(1, 0), 1);  // domain lo
+  c.set_comm(1, 0, 2);
+  c.set_internal(2, 0, 4);
+  EXPECT_EQ(c.comm(1, 0), 2);
+  EXPECT_EQ(c.internal_var(2, 0), 4);
+  EXPECT_EQ(c.comm(0, 0), 0);  // untouched
+}
+
+TEST(Configuration, CommStateAndSameComm) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{0, 3});
+  spec.comm.emplace_back("B", VarDomain{0, 3});
+  spec.internal.emplace_back("i", VarDomain{0, 3});
+  const Graph g = path(2);
+  Configuration a(g, spec);
+  Configuration b(g, spec);
+  a.set_comm(0, 1, 2);
+  EXPECT_FALSE(a.same_comm(b));
+  b.set_comm(0, 1, 2);
+  EXPECT_TRUE(a.same_comm(b));
+  a.set_internal(0, 0, 3);  // internal differences don't matter
+  EXPECT_TRUE(a.same_comm(b));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.comm_state(0), (std::vector<Value>{0, 2}));
+}
+
+TEST(Configuration, CopyProcessState) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{0, 9});
+  spec.internal.emplace_back("i", VarDomain{0, 9});
+  const Graph g = path(3);
+  Configuration src(g, spec);
+  src.set_comm(2, 0, 7);
+  src.set_internal(2, 0, 5);
+  Configuration dst(g, spec);
+  dst.copy_process_state(0, src, 2);
+  EXPECT_EQ(dst.comm(0, 0), 7);
+  EXPECT_EQ(dst.internal_var(0, 0), 5);
+  EXPECT_EQ(dst.comm(1, 0), 0);
+}
+
+TEST(Configuration, HashDistinguishesMostStates) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{0, 7});
+  const Graph g = path(3);
+  std::set<std::size_t> hashes;
+  Configuration c(g, spec);
+  for (Value v0 = 0; v0 <= 7; ++v0) {
+    for (Value v1 = 0; v1 <= 7; ++v1) {
+      c.set_comm(0, 0, v0);
+      c.set_comm(1, 0, v1);
+      hashes.insert(c.hash());
+    }
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(Configuration, RandomizeRespectsDomains) {
+  const Graph g = star(4);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  Configuration c(g, protocol.spec());
+  protocol.install_constants(g, c);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    randomize_configuration(g, protocol.spec(), c, rng);
+    EXPECT_TRUE(configuration_in_domains(g, protocol.spec(), c));
+  }
+}
+
+TEST(Configuration, RandomizeLeavesConstantsAlone) {
+  const Graph g = path(4);
+  const Coloring colors = greedy_coloring(g);
+  const MisProtocol protocol(g, colors);
+  Configuration c(g, protocol.spec());
+  protocol.install_constants(g, c);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    randomize_configuration(g, protocol.spec(), c, rng);
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+      EXPECT_EQ(c.comm(p, MisProtocol::kColorVar),
+                colors[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Configuration, InDomainsDetectsViolations) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{1, 3});
+  const Graph g = path(2);
+  Configuration c(g, spec);
+  c.set_comm(0, 0, 2);
+  c.set_comm(1, 0, 1);
+  EXPECT_TRUE(configuration_in_domains(g, spec, c));
+  c.set_comm(1, 0, 4);
+  EXPECT_FALSE(configuration_in_domains(g, spec, c));
+}
+
+TEST(Configuration, RandomizeCoversTheDomain) {
+  ProtocolSpec spec;
+  spec.comm.emplace_back("A", VarDomain{1, 3});
+  const Graph g = path(2);
+  Configuration c(g, spec);
+  Rng rng(31);
+  std::set<Value> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    randomize_configuration(g, spec, c, rng);
+    seen.insert(c.comm(0, 0));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,174 @@
+/// Tests for the daemon family: selection shape, fairness, and the factory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/builders.hpp"
+#include "runtime/daemon.hpp"
+#include "runtime/engine.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+using testing::AlwaysFlip;
+using testing::Inert;
+
+std::vector<std::uint8_t> all_enabled(int n) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(n), 1);
+}
+
+TEST(Daemons, FactoryKnowsAllNames) {
+  for (const std::string& name : daemon_names()) {
+    const auto daemon = make_daemon(name);
+    EXPECT_EQ(daemon->name(), name);
+  }
+  EXPECT_THROW(make_daemon("nonsense"), PreconditionError);
+}
+
+TEST(Daemons, SynchronousSelectsExactlyTheEnabled) {
+  const Graph g = path(5);
+  auto daemon = make_synchronous_daemon();
+  std::vector<std::uint8_t> enabled = {1, 0, 1, 0, 1};
+  Rng rng(1);
+  std::vector<ProcessId> out;
+  daemon->select(g, enabled, rng, out);
+  EXPECT_EQ(out, (std::vector<ProcessId>{0, 2, 4}));
+}
+
+TEST(Daemons, SynchronousFallsBackToEveryone) {
+  const Graph g = path(3);
+  auto daemon = make_synchronous_daemon();
+  std::vector<std::uint8_t> enabled = {0, 0, 0};
+  Rng rng(1);
+  std::vector<ProcessId> out;
+  daemon->select(g, enabled, rng, out);
+  EXPECT_EQ(out.size(), 3u);  // no-op step, but non-empty as the model asks
+}
+
+TEST(Daemons, CentralDaemonsPickOneEnabledProcess) {
+  const Graph g = path(6);
+  Rng rng(2);
+  for (const char* name : {"central-rr", "central-random"}) {
+    auto daemon = make_daemon(name);
+    std::vector<std::uint8_t> enabled = {0, 1, 0, 1, 1, 0};
+    for (int step = 0; step < 20; ++step) {
+      std::vector<ProcessId> out;
+      daemon->select(g, enabled, rng, out);
+      ASSERT_EQ(out.size(), 1u) << name;
+      EXPECT_TRUE(enabled[static_cast<std::size_t>(out[0])]) << name;
+    }
+  }
+}
+
+TEST(Daemons, CentralRoundRobinCyclesFairly) {
+  const Graph g = path(4);
+  auto daemon = make_central_round_robin_daemon();
+  Rng rng(3);
+  std::vector<ProcessId> seen;
+  for (int step = 0; step < 8; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, all_enabled(4), rng, out);
+    seen.push_back(out[0]);
+  }
+  EXPECT_EQ(seen, (std::vector<ProcessId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(Daemons, EnumeratorIsPeriodic) {
+  const Graph g = path(3);
+  auto daemon = make_fair_enumerator_daemon();
+  Rng rng(4);
+  for (int step = 0; step < 9; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, {}, rng, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], step % 3);
+  }
+}
+
+TEST(Daemons, DistributedSelectsNonEmptySubsets) {
+  const Graph g = path(8);
+  auto daemon = make_distributed_random_daemon(0.4);
+  Rng rng(5);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, {}, rng, out);
+    EXPECT_GE(out.size(), 1u);
+    std::set<ProcessId> dedup(out.begin(), out.end());
+    EXPECT_EQ(dedup.size(), out.size());
+  }
+}
+
+TEST(Daemons, DistributedIsFairOverWindows) {
+  const Graph g = path(6);
+  auto daemon = make_distributed_random_daemon(0.5);
+  Rng rng(6);
+  std::vector<int> selected(6, 0);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, {}, rng, out);
+    for (ProcessId p : out) ++selected[static_cast<std::size_t>(p)];
+  }
+  for (int count : selected) EXPECT_GT(count, 50);
+}
+
+TEST(Daemons, DistributedRejectsBadProbability) {
+  EXPECT_THROW(make_distributed_random_daemon(0.0), PreconditionError);
+  EXPECT_THROW(make_distributed_random_daemon(1.5), PreconditionError);
+}
+
+TEST(Daemons, AdversarialSelectsClusters) {
+  const Graph g = star(5);
+  auto daemon = make_adversarial_cluster_daemon();
+  Rng rng(7);
+  bool saw_cluster = false;
+  for (int step = 0; step < 50; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, all_enabled(6), rng, out);
+    EXPECT_GE(out.size(), 1u);
+    if (out.size() >= 2) saw_cluster = true;
+  }
+  EXPECT_TRUE(saw_cluster);
+}
+
+TEST(Daemons, AdversarialStarvationPatchKeepsFairness) {
+  const Graph g = path(8);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_adversarial_cluster_daemon(), 11);
+  // Run long enough that the 8n-step patience must have force-included
+  // every process at least once.
+  std::vector<std::uint64_t> rounds_seen;
+  for (int step = 0; step < 8 * 8 * 10; ++step) engine.step();
+  EXPECT_GE(engine.rounds(), 1u);
+}
+
+TEST(Daemons, EveryDaemonDrivesAlwaysFlip) {
+  const Graph g = cycle(5);
+  const AlwaysFlip protocol(g);
+  for (const std::string& name : daemon_names()) {
+    Engine engine(g, protocol, make_daemon(name), 13);
+    for (int step = 0; step < 50; ++step) {
+      const auto info = engine.step();
+      EXPECT_GE(info.selected, 1) << name;
+      EXPECT_GE(info.fired, 1) << name;  // AlwaysFlip is always enabled
+    }
+  }
+}
+
+TEST(Daemons, InertProtocolMakesNoOpSteps) {
+  const Graph g = path(3);
+  const Inert protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 17);
+  const Configuration before = engine.config();
+  for (int step = 0; step < 10; ++step) {
+    const auto info = engine.step();
+    EXPECT_EQ(info.fired, 0);
+  }
+  EXPECT_TRUE(before == engine.config());
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,251 @@
+/// Tests for the engine: snapshot semantics, rounds, read accounting,
+/// probes, quiescence, fault injection, and trace recording.
+
+#include <gtest/gtest.h>
+
+#include "core/coloring_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+using testing::AlwaysFlip;
+using testing::CopyChannelOne;
+using testing::Inert;
+
+TEST(Engine, RejectsDegenerateNetworks) {
+  const Graph lonely = Graph::from_edges(1, {});
+  const Inert protocol(lonely);
+  EXPECT_THROW(Engine(lonely, protocol, make_fair_enumerator_daemon(), 1),
+               PreconditionError);
+}
+
+TEST(Engine, SnapshotSemanticsOnSynchronousStep) {
+  // CopyChannelOne on a 2-path from [3, 5]: both processes read the
+  // pre-step value of the other, so one synchronous step must SWAP to
+  // [5, 3] — sequential application would produce [5, 5].
+  const Graph g = path(2);
+  const CopyChannelOne protocol(g);
+  Engine engine(g, protocol, make_synchronous_daemon(), 1);
+  Configuration init = engine.config();
+  init.set_comm(0, 0, 3);
+  init.set_comm(1, 0, 5);
+  engine.set_config(init);
+  engine.step();
+  EXPECT_EQ(engine.config().comm(0, 0), 5);
+  EXPECT_EQ(engine.config().comm(1, 0), 3);
+}
+
+TEST(Engine, RoundsUnderEnumeratorAreNSteps) {
+  const Graph g = path(5);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 2);
+  for (int r = 1; r <= 3; ++r) {
+    for (int s = 0; s < 5; ++s) engine.step();
+    EXPECT_EQ(engine.rounds(), static_cast<std::uint64_t>(r));
+  }
+}
+
+TEST(Engine, RoundsCountDisabledProcessesAsCovered) {
+  // Under Inert everyone is disabled, so every step completes a round
+  // regardless of who was selected.
+  const Graph g = path(4);
+  const Inert protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 3);
+  engine.step();
+  EXPECT_EQ(engine.rounds(), 1u);
+  engine.step();
+  EXPECT_EQ(engine.rounds(), 2u);
+}
+
+TEST(Engine, RoundsInclusiveCountsTheOpenRound) {
+  const Graph g = path(3);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 4);
+  EXPECT_EQ(engine.rounds_inclusive(), 0u);
+  engine.step();
+  EXPECT_EQ(engine.rounds(), 0u);
+  EXPECT_EQ(engine.rounds_inclusive(), 1u);
+}
+
+TEST(Engine, ReadCounterSeesGuardReads) {
+  const Graph g = path(3);
+  const CopyChannelOne protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 5);
+  engine.step();  // process 0 evaluates its guard: reads channel 1
+  EXPECT_EQ(engine.read_counter().total_reads(), 1u);
+  EXPECT_EQ(engine.read_counter().max_reads_per_process_step(), 1);
+}
+
+TEST(Engine, ProbesDoNotPerturbTheRun) {
+  const Graph g = cycle(6);
+  const ColoringProtocol protocol(g);
+  Engine a(g, protocol, make_distributed_random_daemon(), 7);
+  Engine b(g, protocol, make_distributed_random_daemon(), 7);
+  a.randomize_state();
+  b.randomize_state();
+  for (int step = 0; step < 100; ++step) {
+    b.num_enabled();  // extra probing must not consume main rng
+    a.step();
+    b.step();
+  }
+  EXPECT_TRUE(a.config() == b.config());
+  EXPECT_EQ(a.steps(), b.steps());
+}
+
+TEST(Engine, IsEnabledMatchesFreshEvaluation) {
+  const Graph g = path(4);
+  const CopyChannelOne protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 8);
+  Configuration init = engine.config();
+  init.set_comm(0, 0, 1);  // 0 differs from its channel-1 neighbor
+  engine.set_config(init);
+  EXPECT_TRUE(engine.is_enabled(0));
+  EXPECT_TRUE(engine.is_enabled(1));   // 1 reads 0 (value 1) != own 0
+  EXPECT_FALSE(engine.is_enabled(3));  // 3 reads 2, both 0
+}
+
+TEST(Engine, SetConfigValidatesDomains) {
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 9);
+  Configuration bad = engine.config();
+  bad.set_comm(0, 0, 99);  // outside {1..Delta+1}
+  EXPECT_THROW(engine.set_config(bad), PreconditionError);
+}
+
+TEST(Engine, RunStatsAreRelativeToTheRun) {
+  const Graph g = cycle(8);
+  const ColoringProtocol protocol(g);
+  const ColoringProblem problem;
+  Engine engine(g, protocol, make_distributed_random_daemon(), 10);
+  engine.randomize_state();
+  RunOptions options;
+  options.legitimacy = problem.predicate();
+  const RunStats first = engine.run(options);
+  ASSERT_TRUE(first.silent);
+  // Second run starts silent: zero steps, already legitimate.
+  const RunStats second = engine.run(options);
+  EXPECT_TRUE(second.silent);
+  EXPECT_EQ(second.steps, 0u);
+  EXPECT_EQ(second.steps_to_silence, 0u);
+  EXPECT_TRUE(second.reached_legitimate);
+  EXPECT_EQ(second.steps_to_legitimate, 0u);
+}
+
+TEST(Engine, QuiescenceExactOnInert) {
+  const Graph g = path(3);
+  const Inert protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 11);
+  EXPECT_TRUE(engine.quiescent());
+}
+
+TEST(Engine, QuiescenceFalseWhileFlipping) {
+  const Graph g = path(3);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 12);
+  EXPECT_FALSE(engine.quiescent());
+}
+
+TEST(Engine, RunStopsAtMaxStepsWhenNeverSilent) {
+  const Graph g = path(3);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 13);
+  RunOptions options;
+  options.max_steps = 500;
+  const RunStats stats = engine.run(options);
+  EXPECT_FALSE(stats.silent);
+  EXPECT_EQ(stats.steps, 500u);
+}
+
+TEST(Engine, TraceRecordsSelectionsAndActions) {
+  const Graph g = path(3);
+  const AlwaysFlip protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 14);
+  TraceRecorder trace(8);
+  engine.set_trace(&trace);
+  for (int step = 0; step < 12; ++step) engine.step();
+  EXPECT_EQ(trace.events().size(), 8u);  // ring buffer capped
+  const TraceEvent& last = trace.events().back();
+  EXPECT_EQ(last.step, 12u);
+  EXPECT_EQ(last.selected.size(), 1u);
+  EXPECT_EQ(last.actions.size(), 1u);
+  EXPECT_EQ(last.actions[0], 0);
+  EXPECT_TRUE(last.comm_changed);
+  EXPECT_NE(trace.str().find("comm*"), std::string::npos);
+}
+
+TEST(Faults, CorruptOnlyChosenVictims) {
+  const Graph g = path(6);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_fair_enumerator_daemon(), 15);
+  engine.randomize_state();
+  const Configuration before = engine.config();
+  Configuration corrupted = before;
+  Rng rng(16);
+  // Corrupt process 2 until its color actually changes (random redraws can
+  // coincide with the old value).
+  bool changed = false;
+  for (int tries = 0; tries < 64 && !changed; ++tries) {
+    corrupt_processes(g, protocol.spec(), corrupted, {2}, rng);
+    changed = corrupted.comm(2, 0) != before.comm(2, 0);
+  }
+  EXPECT_TRUE(changed);
+  for (ProcessId p : {0, 1, 3, 4, 5}) {
+    EXPECT_EQ(corrupted.comm(p, 0), before.comm(p, 0));
+  }
+}
+
+TEST(Faults, ConstantsAreImmune) {
+  const Graph g = path(5);
+  const Coloring colors = greedy_coloring(g);
+  const MisProtocol protocol(g, colors);
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  Rng rng(17);
+  inject_random_faults(g, protocol.spec(), config, g.num_vertices(), rng);
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    EXPECT_EQ(config.comm(p, MisProtocol::kColorVar),
+              colors[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST(Faults, InjectRandomFaultsPicksDistinctVictims) {
+  const Graph g = path(8);
+  const ColoringProtocol protocol(g);
+  Configuration config(g, protocol.spec());
+  Rng rng(18);
+  const auto victims =
+      inject_random_faults(g, protocol.spec(), config, 3, rng);
+  EXPECT_EQ(victims.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+  EXPECT_THROW(inject_random_faults(g, protocol.spec(), config, 99, rng),
+               PreconditionError);
+}
+
+TEST(Quiescence, DetectsColoringFixedPoint) {
+  const Graph g = path(4);
+  const ColoringProtocol protocol(g);
+  Configuration config(g, protocol.spec());
+  // Proper coloring: silent (only cur keeps cycling, no comm writes).
+  const Coloring proper = greedy_coloring(g);
+  for (ProcessId p = 0; p < 4; ++p) {
+    config.set_comm(p, 0, proper[static_cast<std::size_t>(p)]);
+    config.set_internal(p, 0, 1);
+  }
+  EXPECT_TRUE(is_comm_quiescent(g, protocol, config));
+  // Monochrome edge: some process will redraw.
+  config.set_comm(1, 0, config.comm(0, 0));
+  EXPECT_FALSE(is_comm_quiescent(g, protocol, config));
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,268 @@
+/// Unit tests for the support layer: rng, bits, stats, tables, csv,
+/// strings, and the contract macros.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/bits.hpp"
+#include "support/csv.hpp"
+#include "support/require.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/text_table.hpp"
+
+namespace sss {
+namespace {
+
+TEST(Require, PreconditionThrowsWithContext) {
+  try {
+    SSS_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Require, AssertThrowsInvariantError) {
+  EXPECT_THROW(SSS_ASSERT(false, "broken"), InvariantError);
+  EXPECT_NO_THROW(SSS_ASSERT(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(3);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo = hit_lo || v == -2;
+    hit_hi = hit_hi || v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, RangeRejectsInverted) {
+  Rng rng(4);
+  EXPECT_THROW(rng.range(3, 2), PreconditionError);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceDegenerateProbabilities) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  shuffle(w, rng);
+  std::multiset<int> sv(v.begin(), v.end());
+  std::multiset<int> sw(w.begin(), w.end());
+  EXPECT_EQ(sv, sw);
+}
+
+TEST(Bits, CeilLog2KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(1 << 20), 20);
+}
+
+TEST(Bits, CeilLog2DegenerateDomains) {
+  EXPECT_EQ(ceil_log2(0), 0);
+  EXPECT_EQ(ceil_log2(-5), 0);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(14, 7), 2);
+  EXPECT_EQ(ceil_div(15, 7), 3);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+  EXPECT_EQ(ceil_div(1, 7), 1);
+}
+
+TEST(Stats, SummarizeKnownSample) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummarizeEmptyIsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleton) {
+  const Summary s = summarize({7.5});
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100.0), 10.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile_sorted({}, 50.0), PreconditionError);
+  EXPECT_THROW(percentile_sorted({1.0}, 101.0), PreconditionError);
+}
+
+TEST(Stats, RunningStatMatchesSummarize) {
+  const std::vector<double> sample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat rs;
+  for (double x : sample) rs.add(x);
+  const Summary s = summarize(sample);
+  EXPECT_EQ(rs.count(), s.count);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(Stats, RunningStatEmpty) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().add("a").add(1);
+  t.row().add("long-name").add(22);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name       value"), std::string::npos);
+  EXPECT_NE(out.find("long-name  22"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable t({"x"});
+  t.row().add(3.14159, 3);
+  EXPECT_NE(t.str().find("3.142"), std::string::npos);
+  TextTable b({"flag"});
+  b.row().add(true);
+  EXPECT_NE(b.str().find("yes"), std::string::npos);
+}
+
+TEST(TextTable, AddBeforeRowThrows) {
+  TextTable t({"x"});
+  EXPECT_THROW(t.add("cell"), PreconditionError);
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b,c"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n1,2\n");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, TrimAndJoinAndStartsWith) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+}  // namespace
+}  // namespace sss

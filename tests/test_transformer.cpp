@@ -1,0 +1,186 @@
+/// Tests for the Section 6 transformer prototype: rotating-check over
+/// pairwise-checkable local predicates.
+
+#include <gtest/gtest.h>
+
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+#include "transformer/rotating_check.hpp"
+
+namespace sss {
+namespace {
+
+using testing::sweep_graphs;
+
+TEST(RotatingCheck, SpecAddsOnlyTheCurPointer) {
+  const Graph g = cycle(5);
+  const PairwiseColoring source(g);
+  const RotatingCheck transformed(g, source);
+  EXPECT_EQ(transformed.spec().num_comm(), 1);
+  EXPECT_EQ(transformed.spec().num_internal(), 1);
+  EXPECT_EQ(transformed.spec().internal[0].name(), "cur");
+  EXPECT_NE(transformed.name().find("pairwise-coloring"),
+            std::string::npos);
+}
+
+TEST(RotatingCheck, AuditPassAdvancesOnly) {
+  const Graph g = path(3);
+  const PairwiseColoring source(g);
+  const RotatingCheck transformed(g, source);
+  Configuration config(g, transformed.spec());
+  config.set_comm(0, 0, 1);
+  config.set_comm(1, 0, 2);
+  config.set_comm(2, 0, 3);
+  config.set_internal(1, 0, 1);
+  Rng rng(1);
+  const ProcessStep step = apply_solo_step(g, transformed, config, 1, rng);
+  EXPECT_EQ(step.action, 1);
+  EXPECT_FALSE(step.comm_write_attempted);
+  EXPECT_EQ(config.internal_var(1, 0), 2);
+}
+
+TEST(RotatingCheck, AuditFailTriggersFullWidthRepair) {
+  const Graph g = path(3);
+  const PairwiseColoring source(g, 3);
+  const RotatingCheck transformed(g, source);
+  Configuration config(g, transformed.spec());
+  config.set_comm(0, 0, 2);
+  config.set_comm(1, 0, 2);  // conflict with channel 1
+  config.set_comm(2, 0, 3);
+  config.set_internal(1, 0, 1);
+  Rng rng(2);
+  const ProcessStep step = apply_solo_step(g, transformed, config, 1, rng);
+  EXPECT_EQ(step.action, 0);
+  EXPECT_TRUE(step.comm_write_attempted);
+  // The repair reads the whole neighborhood, so it avoids BOTH neighbors:
+  // the only free color is 1.
+  EXPECT_EQ(config.comm(1, 0), 1);
+}
+
+TEST(RotatingCheck, TransformedColoringStabilizes) {
+  const ColoringProblem problem(PairwiseColoring::kColorVar);
+  for (const auto& [label, g] : sweep_graphs()) {
+    const PairwiseColoring source(g);
+    const RotatingCheck transformed(g, source);
+    Engine engine(g, transformed, make_distributed_random_daemon(), 3);
+    engine.randomize_state();
+    const RunStats stats = engine.run({});
+    ASSERT_TRUE(stats.silent) << label;
+    EXPECT_TRUE(problem.holds(g, engine.config())) << label;
+  }
+}
+
+TEST(RotatingCheck, StabilizedPhaseIsOneEfficient) {
+  // The transformer's selling point (the paper's Section 6 wish): after
+  // stabilization every audit passes, so each process reads exactly one
+  // neighbor per step, forever.
+  const Graph g = complete(6);
+  const PairwiseColoring source(g);
+  const RotatingCheck transformed(g, source);
+  Engine engine(g, transformed, make_distributed_random_daemon(), 4);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run({}).silent);
+  StabilityTracker tracker(g);
+  StepReadCounter counter(g, transformed.spec());
+  engine.attach_read_logger(&counter);
+  for (int step = 0; step < 500; ++step) {
+    counter.begin_step();
+    engine.step();
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+      EXPECT_LE(counter.step_reads_of(p), 1);
+    }
+  }
+}
+
+TEST(RotatingCheck, StabilizingPhaseMayReadFullWidth) {
+  // Flip side: repairs read the whole neighborhood, so the transformed
+  // protocol is only Delta-efficient during stabilization (the open
+  // question's honest trade-off).
+  const Graph g = star(6);
+  const PairwiseColoring source(g);
+  const RotatingCheck transformed(g, source);
+  Engine engine(g, transformed, make_distributed_random_daemon(), 5);
+  // All same color: the hub's first repair scans everyone.
+  Configuration config(g, transformed.spec());
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    config.set_comm(p, 0, 1);
+  }
+  engine.set_config(config);
+  const RunStats stats = engine.run({});
+  ASSERT_TRUE(stats.silent);
+  EXPECT_GT(stats.max_reads_per_process_step, 1);
+}
+
+TEST(RotatingCheck, RecoversFromFaults) {
+  const Graph g = grid(3, 4);
+  const PairwiseColoring source(g);
+  const RotatingCheck transformed(g, source);
+  const ColoringProblem problem(PairwiseColoring::kColorVar);
+  Engine engine(g, transformed, make_distributed_random_daemon(), 6);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run({}).silent);
+  Configuration corrupted = engine.config();
+  corrupted.set_comm(5, 0, corrupted.comm(6, 0));  // force a conflict
+  engine.set_config(corrupted);
+  ASSERT_TRUE(engine.run({}).silent);
+  EXPECT_TRUE(problem.holds(g, engine.config()));
+}
+
+TEST(Separation, PaletteSizingIsValidated) {
+  const Graph g = cycle(6);  // Delta = 2
+  EXPECT_NO_THROW(PairwiseSeparation(g, 2));       // default 2*2*2+1 = 9
+  EXPECT_THROW(PairwiseSeparation(g, 2, 8), PreconditionError);
+  EXPECT_THROW(PairwiseSeparation(g, 0), PreconditionError);
+}
+
+TEST(Separation, SuspicionMatchesThePredicate) {
+  const Graph g = path(2);
+  const PairwiseSeparation source(g, 3);
+  Configuration config(g, RotatingCheck(g, source).spec());
+  config.set_comm(0, 0, 4);
+  config.set_comm(1, 0, 6);  // |4-6| = 2 < 3: too close
+  GuardContext ctx(g, config, 0, nullptr);
+  EXPECT_TRUE(source.pair_suspicious(ctx, 1));
+  config.set_comm(1, 0, 7);  // |4-7| = 3: fine
+  GuardContext ok(g, config, 0, nullptr);
+  EXPECT_FALSE(source.pair_suspicious(ok, 1));
+}
+
+TEST(Separation, TransformedSeparationStabilizes) {
+  for (int separation : {2, 3}) {
+    for (const Graph& g : {cycle(8), path(10), star(4)}) {
+      const PairwiseSeparation source(g, separation);
+      const RotatingCheck transformed(g, source);
+      Engine engine(g, transformed, make_distributed_random_daemon(),
+                    static_cast<std::uint64_t>(7 + separation));
+      engine.randomize_state();
+      const RunStats stats = engine.run({});
+      ASSERT_TRUE(stats.silent) << g.name() << " sep=" << separation;
+      EXPECT_TRUE(PairwiseSeparation::separated(g, engine.config(),
+                                                separation))
+          << g.name();
+    }
+  }
+}
+
+TEST(Separation, RepairRespectsTheGuardBand) {
+  const Graph g = star(2);  // hub 0, leaves 1 2; Delta = 2, sep 2 -> 9
+  const PairwiseSeparation source(g, 2);
+  const RotatingCheck transformed(g, source);
+  Configuration config(g, transformed.spec());
+  config.set_comm(0, 0, 4);
+  config.set_comm(1, 0, 4);  // clash
+  config.set_comm(2, 0, 8);
+  config.set_internal(0, 0, 1);
+  Rng rng(9);
+  apply_solo_step(g, transformed, config, 0, rng);
+  const Value v = config.comm(0, 0);
+  EXPECT_GE(std::abs(v - config.comm(1, 0)), 2);
+  EXPECT_GE(std::abs(v - config.comm(2, 0)), 2);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,298 @@
+/// Exhaustive model-checking tests: these discharge the paper's lemmas on
+/// tiny instances over the *entire* configuration space, not samples.
+
+#include <gtest/gtest.h>
+
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+#include "test_util.hpp"
+#include "verify/checks.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/neighbor_complete.hpp"
+#include "verify/transition.hpp"
+
+namespace sss {
+namespace {
+
+using testing::tiny_graphs;
+
+TEST(Enumerate, SpaceSizeFormula) {
+  // COLORING on path(3): colors 3^3, cur domains 1*2*1.
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  EXPECT_EQ(configuration_space_size(g, protocol.spec()), 27u * 2u);
+}
+
+TEST(Enumerate, ConstantsAreNotEnumerated) {
+  const Graph g = path(3);
+  const MisProtocol protocol(g, Coloring{1, 2, 1});
+  // S: 2^3; colors constant; cur: 1*2*1.
+  EXPECT_EQ(configuration_space_size(g, protocol.spec()), 8u * 2u);
+}
+
+TEST(Enumerate, VisitsEveryConfigurationExactlyOnce) {
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  std::set<std::vector<Value>> seen;
+  const auto count = for_each_configuration(
+      g, protocol, 1u << 20,
+      [&](const Configuration& c) { seen.insert(c.raw()); });
+  EXPECT_EQ(count, 54u);
+  EXPECT_EQ(seen.size(), 54u);
+}
+
+TEST(Enumerate, RefusesOversizedSpaces) {
+  const Graph g = cycle(12);
+  const ColoringProtocol protocol(g);
+  EXPECT_THROW(for_each_configuration(g, protocol, 100, [](const auto&) {}),
+               PreconditionError);
+}
+
+TEST(Transition, ColoringConflictBranchesOverPalette) {
+  const Graph g = path(2);
+  const ColoringProtocol protocol(g, 3);  // explicit 3-color palette
+  Configuration config(g, protocol.spec());
+  config.set_comm(0, 0, 2);
+  config.set_comm(1, 0, 2);  // conflict
+  const auto outcomes = process_step_outcomes(g, protocol, config, 0);
+  // The redraw enumerates all 3 colors (one may reproduce the old value,
+  // still a distinct outcome tuple with the cur advance).
+  EXPECT_EQ(outcomes.size(), 3u);
+  for (const auto& step : outcomes) {
+    EXPECT_EQ(step.action, 0);
+    EXPECT_TRUE(step.comm_write_attempted);
+  }
+}
+
+TEST(Transition, CentralSuccessorsExcludeIdentity) {
+  const Graph g = path(2);
+  const ColoringProtocol protocol(g);
+  Configuration config(g, protocol.spec());
+  config.set_comm(0, 0, 1);
+  config.set_comm(1, 0, 2);  // proper: only cur advances are possible
+  const auto next = successors_central(g, protocol, config);
+  for (const auto& c : next) {
+    EXPECT_FALSE(c == config);
+    EXPECT_TRUE(c.same_comm(config));  // colors cannot change when proper
+  }
+}
+
+TEST(Transition, SubsetSuccessorsContainCentralOnes) {
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  Configuration config(g, protocol.spec());
+  config.set_comm(0, 0, 1);
+  config.set_comm(1, 0, 1);
+  config.set_comm(2, 0, 2);
+  const auto central = successors_central(g, protocol, config);
+  const auto subsets = successors_all_subsets(g, protocol, config);
+  for (const auto& c : central) {
+    EXPECT_NE(std::find(subsets.begin(), subsets.end(), c), subsets.end());
+  }
+  EXPECT_GT(subsets.size(), central.size());
+}
+
+TEST(Transition, SynchronousSuccessorRejectsProbabilistic) {
+  const Graph g = path(2);
+  const ColoringProtocol protocol(g);
+  const Configuration config(g, protocol.spec());
+  EXPECT_THROW(synchronous_successor(g, protocol, config),
+               PreconditionError);
+}
+
+TEST(Transition, SynchronousSuccessorIsSimultaneous) {
+  const Graph g = path(2);
+  const MisProtocol protocol(g, Coloring{1, 2});
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  // Both dominated, each sees the other dominated -> both promote.
+  const Configuration next = synchronous_successor(g, protocol, config);
+  EXPECT_EQ(next.comm(0, MisProtocol::kStateVar), MisProtocol::kDominator);
+  EXPECT_EQ(next.comm(1, MisProtocol::kStateVar), MisProtocol::kDominator);
+}
+
+// Lemma 3: every silent configuration of MIS satisfies the MIS predicate —
+// exhaustively, over every configuration of every tiny graph.
+TEST(Checks, Lemma3SilentMisConfigurationsAreLegitimate) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const MisProtocol protocol(g, greedy_coloring(g));
+    const MisProblem problem;
+    const CheckResult result =
+        check_silent_implies_legitimate(g, protocol, problem);
+    EXPECT_TRUE(result.ok) << label << ": " << result.violations
+                           << " silent illegitimate configurations";
+    EXPECT_GT(result.relevant, 0u) << label;
+  }
+}
+
+// Lemmas 5-6: same statement for MATCHING.
+TEST(Checks, Lemma5and6SilentMatchingConfigurationsAreLegitimate) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const MatchingProtocol protocol(g, greedy_coloring(g));
+    const MatchingProblem problem;
+    const CheckResult result =
+        check_silent_implies_legitimate(g, protocol, problem);
+    EXPECT_TRUE(result.ok) << label;
+    EXPECT_GT(result.relevant, 0u) << label;
+  }
+}
+
+// Silent COLORING configurations are proper colorings.
+TEST(Checks, SilentColoringConfigurationsAreProper) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const ColoringProtocol protocol(g);
+    const CheckResult result =
+        check_silent_implies_legitimate(g, protocol, ColoringProblem());
+    EXPECT_TRUE(result.ok) << label;
+    EXPECT_GT(result.relevant, 0u) << label;
+  }
+}
+
+// Lemma 1: the coloring predicate is closed under every subset step and
+// every random resolution.
+TEST(Checks, Lemma1ColoringClosure) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const ColoringProtocol protocol(g);
+    const CheckResult result = check_closure(g, protocol, ColoringProblem());
+    EXPECT_TRUE(result.ok) << label;
+    EXPECT_GT(result.relevant, 0u) << label;
+  }
+}
+
+// Lemma 2's combinatorial core: a legitimate configuration is reachable
+// from every configuration (so the randomized protocol converges w.p. 1).
+TEST(Checks, Lemma2LegitimacyReachableFromEverywhere) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const ColoringProtocol protocol(g);
+    const CheckResult result =
+        check_legitimacy_reachable(g, protocol, ColoringProblem());
+    EXPECT_TRUE(result.ok) << label << ": " << result.violations
+                           << " configurations cannot reach legitimacy";
+  }
+}
+
+// Deterministic protocols: the synchronous computation converges from
+// EVERY configuration.
+TEST(Checks, MisSynchronousConvergenceFromAllConfigurations) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const MisProtocol protocol(g, greedy_coloring(g));
+    const CheckResult result =
+        check_synchronous_convergence(g, protocol, MisProblem());
+    EXPECT_TRUE(result.ok) << label;
+  }
+}
+
+TEST(Checks, MatchingSynchronousConvergenceFromAllConfigurations) {
+  for (const auto& [label, g] : tiny_graphs()) {
+    const MatchingProtocol protocol(g, greedy_coloring(g));
+    const CheckResult result =
+        check_synchronous_convergence(g, protocol, MatchingProblem());
+    EXPECT_TRUE(result.ok) << label;
+  }
+}
+
+// Definition 10. The *anonymous* COLORING protocol is neighbor-complete:
+// any color is a silent state of any process, and the same color next door
+// always violates the predicate — the premise under which Theorem 1
+// forbids ♦-k-stable solutions for k < Delta.
+TEST(NeighborComplete, AnonymousColoringIsNeighborComplete) {
+  const Graph g = path(3);
+  const ColoringProtocol protocol(g);
+  const auto report =
+      check_neighbor_completeness(g, protocol, ColoringProblem());
+  EXPECT_TRUE(report.neighbor_complete);
+  EXPECT_GT(report.silent_configurations, 0u);
+  for (const auto& alpha : report.alpha) EXPECT_FALSE(alpha.empty());
+}
+
+// The locally-colored MIS protocol, in contrast, is NOT neighbor-complete
+// on a fixed colored instance: its silent configuration is unique (the
+// greedy MIS by color order), so the "conflicting silent states" of
+// Definition 10 simply do not exist. This is exactly how the paper's
+// positive results slip past Theorem 1 — the theorem binds anonymous
+// networks, and the color constants break the anonymity.
+TEST(NeighborComplete, ColoredMisEvadesTheDefinition) {
+  const Graph g = path(3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  const auto report = check_neighbor_completeness(g, protocol, MisProblem());
+  EXPECT_FALSE(report.neighbor_complete);
+  EXPECT_GT(report.silent_configurations, 0u);
+}
+
+// Same story for MATCHING: colors pin down which silent outputs are
+// reachable, so no per-process conflicting silent state pair exists.
+TEST(NeighborComplete, ColoredMatchingEvadesTheDefinition) {
+  const Graph g = path(3);
+  const MatchingProtocol protocol(g, greedy_coloring(g));
+  const auto report =
+      check_neighbor_completeness(g, protocol, MatchingProblem());
+  EXPECT_FALSE(report.neighbor_complete);
+  EXPECT_GT(report.silent_configurations, 0u);
+}
+
+// The structural fact the previous two tests rest on, verified directly:
+// every silent configuration of the colored MIS protocol has the same
+// S-state — the greedy MIS by color order.
+TEST(NeighborComplete, MisSilentOutputIsTheGreedyMisByColor) {
+  const Graph g = path(4);
+  const Coloring colors = greedy_coloring(g);
+  const MisProtocol protocol(g, colors);
+  // Greedy fixpoint: p is IN iff no smaller-colored neighbor is IN.
+  std::vector<int> order(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](ProcessId a, ProcessId b) {
+    return colors[static_cast<std::size_t>(a)] <
+           colors[static_cast<std::size_t>(b)];
+  });
+  std::vector<bool> greedy(static_cast<std::size_t>(g.num_vertices()), false);
+  for (ProcessId p : order) {
+    bool blocked = false;
+    for (ProcessId q : g.neighbors(p)) {
+      if (greedy[static_cast<std::size_t>(q)] &&
+          colors[static_cast<std::size_t>(q)] <
+              colors[static_cast<std::size_t>(p)]) {
+        blocked = true;
+      }
+    }
+    greedy[static_cast<std::size_t>(p)] = !blocked;
+  }
+  for_each_configuration(g, protocol, 1u << 16, [&](const Configuration& c) {
+    if (!is_comm_quiescent(g, protocol, c)) return;
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+      EXPECT_EQ(c.comm(p, MisProtocol::kStateVar) == MisProtocol::kDominator,
+                greedy[static_cast<std::size_t>(p)])
+          << "process " << p;
+    }
+  });
+}
+
+TEST(Quiescence, AgreesWithExhaustiveSuccessorAnalysis) {
+  // Cross-validate the solo-run silence check against the transition
+  // expander: a configuration is silent iff no reachable-by-subsets step
+  // attempts a communication write. Spot-check on MIS/path(3).
+  const Graph g = path(3);
+  const MisProtocol protocol(g, greedy_coloring(g));
+  int silent_count = 0;
+  for_each_configuration(g, protocol, 1u << 16, [&](const Configuration& c) {
+    const bool quiescent = is_comm_quiescent(g, protocol, c);
+    if (quiescent) ++silent_count;
+    // One-step probe: from a quiescent config every successor has the same
+    // communication state.
+    if (quiescent) {
+      for (const auto& next : successors_all_subsets(g, protocol, c)) {
+        EXPECT_TRUE(next.same_comm(c));
+      }
+    }
+  });
+  EXPECT_GT(silent_count, 0);
+}
+
+}  // namespace
+}  // namespace sss
