@@ -15,6 +15,7 @@
 #include "core/bounds.hpp"
 #include "core/coloring_protocol.hpp"
 #include "runtime/engine.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -41,6 +42,7 @@ int main() {
   print_banner("E2: communication complexity (Section 3.2)");
   TextTable table({"Delta", "graph", "efficient pred", "efficient meas",
                    "full-read pred", "full-read meas", "ratio"});
+  BenchJsonWriter json("comm_complexity");
   for (int delta : {2, 3, 4, 6, 8, 12}) {
     const Graph g = star(delta);  // hub has degree Delta
     const ColoringProtocol efficient(g);
@@ -57,6 +59,14 @@ int main() {
         .add(full_pred)
         .add(full_meas)
         .add(static_cast<double>(full_meas) / eff_meas, 1);
+    json.record()
+        .field("delta", delta)
+        .field("graph", g.name())
+        .field("efficient_predicted_bits", eff_pred)
+        .field("efficient_measured_bits", eff_meas)
+        .field("full_read_predicted_bits", full_pred)
+        .field("full_read_measured_bits", full_meas)
+        .field("ratio", static_cast<double>(full_meas) / eff_meas);
   }
   std::printf("%s\n", table.str().c_str());
   print_note("prediction: efficient = ceil(log2(Delta+1)); full-read = "
@@ -80,5 +90,7 @@ int main() {
   std::printf("%s\n", space.str().c_str());
   print_note("library bits = C-domain twice (own copy + one read) + cur "
              "pointer, matching the paper's accounting.");
+  std::fflush(stdout);
+  json.write();
   return 0;
 }

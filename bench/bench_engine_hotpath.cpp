@@ -1,0 +1,181 @@
+/// E14 — hot-path rewrite: incremental engine vs the full-scan original.
+///
+/// Not a paper claim: measures steps/second of `Engine` (dirty-queue
+/// incremental hot path) against `ReferenceEngine` (the pre-rewrite
+/// full-scan implementation, kept as a semantic oracle) on the experiment
+/// menagerie scaled to n ~= 2000, across daemons and two regimes:
+///
+///  * start  — fresh arbitrary configuration: convergence activity mixed
+///    with the tail after silence;
+///  * steady — from a silent configuration: the post-stabilization regime
+///    in which the paper's communication-efficiency measurements drive
+///    millions of steps.
+///
+/// tests/test_engine_equivalence.cpp proves both engines compute identical
+/// computations, so every speedup below is a pure implementation win.
+/// Emits BENCH_engine_hotpath.json next to the text table. Pass --quick
+/// for a CI-sized run.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/coloring_protocol.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/reference_engine.hpp"
+#include "support/bench_json.hpp"
+
+namespace {
+
+using namespace sss;
+
+/// The menagerie of bench_common.hpp, rescaled to n ~= 2000.
+std::vector<Graph> hotpath_graphs() {
+  Rng rng(0x2009ULL);
+  std::vector<Graph> graphs;
+  graphs.push_back(path(2000));
+  graphs.push_back(cycle(2000));
+  graphs.push_back(grid(44, 45));
+  graphs.push_back(star(1999));
+  graphs.push_back(random_regular(2000, 4, rng));
+  graphs.push_back(erdos_renyi_connected(2000, 0.002, rng));
+  return graphs;
+}
+
+/// Steps/second of `engine` over a timed window after `warmup` steps.
+template <typename EngineT>
+double measure_steps_per_sec(EngineT& engine, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 64; ++i) engine.step();
+  std::uint64_t steps = 0;
+  const auto begin = clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 256; ++i) engine.step();
+    steps += 256;
+    elapsed = std::chrono::duration<double>(clock::now() - begin).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(steps) / elapsed;
+}
+
+struct Row {
+  std::string graph;
+  int n = 0;
+  std::string daemon;
+  std::string regime;
+  double ref_sps = 0.0;
+  double fast_sps = 0.0;
+  double speedup() const { return fast_sps / ref_sps; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sss::bench;
+
+  double min_seconds = 0.1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) min_seconds = 0.015;
+  }
+
+  const std::vector<std::string> daemons = {
+      "enumerator", "central-rr", "central-random", "distributed",
+      "synchronous"};
+
+  print_banner("E14: engine hot path, incremental vs full-scan (steps/sec)");
+  std::vector<Row> rows;
+  for (const Graph& g : hotpath_graphs()) {
+    const ColoringProtocol protocol(g);
+
+    // One converged configuration per graph, shared by every steady-regime
+    // measurement so both engines and all daemons start identically.
+    Engine pilot(g, protocol, make_distributed_random_daemon(), 0xC0FFEE);
+    pilot.randomize_state();
+    RunOptions to_silence;
+    to_silence.max_steps = 4'000'000;
+    const RunStats pilot_stats = pilot.run(to_silence);
+    const Configuration silent = pilot.config();
+
+    for (const std::string& daemon_name : daemons) {
+      for (const std::string regime : {"start", "steady"}) {
+        Row row;
+        row.graph = g.name();
+        row.n = g.num_vertices();
+        row.daemon = daemon_name;
+        row.regime = regime;
+        {
+          ReferenceEngine ref(g, protocol, make_daemon(daemon_name), 7);
+          if (regime == "start") {
+            ref.randomize_state();
+          } else {
+            ref.set_config(silent);
+          }
+          row.ref_sps = measure_steps_per_sec(ref, min_seconds);
+        }
+        {
+          Engine fast(g, protocol, make_daemon(daemon_name), 7);
+          if (regime == "start") {
+            fast.randomize_state();
+          } else {
+            fast.set_config(silent);
+          }
+          row.fast_sps = measure_steps_per_sec(fast, min_seconds);
+        }
+        rows.push_back(row);
+      }
+    }
+    if (!pilot_stats.silent) {
+      print_note(g.name() + ": pilot run did not reach silence; steady "
+                 "regime starts from its last configuration instead");
+    }
+  }
+
+  TextTable table({"graph", "n", "daemon", "regime", "full-scan sps",
+                   "incremental sps", "speedup"});
+  BenchJsonWriter json("engine_hotpath");
+  double log_sum = 0.0;
+  double worst = 1e300;
+  double best = 0.0;
+  for (const Row& row : rows) {
+    table.row()
+        .add(row.graph)
+        .add(row.n)
+        .add(row.daemon)
+        .add(row.regime)
+        .add(row.ref_sps, 0)
+        .add(row.fast_sps, 0)
+        .add(row.speedup(), 2);
+    json.record()
+        .field("graph", row.graph)
+        .field("n", row.n)
+        .field("daemon", row.daemon)
+        .field("regime", row.regime)
+        .field("full_scan_steps_per_sec", row.ref_sps)
+        .field("incremental_steps_per_sec", row.fast_sps)
+        .field("speedup", row.speedup());
+    log_sum += std::log(row.speedup());
+    worst = std::min(worst, row.speedup());
+    best = std::max(best, row.speedup());
+  }
+  const double geomean = std::exp(log_sum / static_cast<double>(rows.size()));
+  std::printf("%s\n", table.str().c_str());
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "speedup on n~=2000 menagerie: geomean %.2fx, min %.2fx, "
+                "max %.2fx over %zu configurations",
+                geomean, worst, best, rows.size());
+  print_note(summary);
+  std::fflush(stdout);
+  json.record()
+      .field("graph", "ALL")
+      .field("n", 2000)
+      .field("daemon", "ALL")
+      .field("regime", "geomean")
+      .field("speedup", geomean);
+  json.write();
+  return 0;
+}

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baselines/full_read_coloring.hpp"
 #include "core/coloring_protocol.hpp"
 #include "core/matching_protocol.hpp"
@@ -82,4 +85,28 @@ BENCHMARK(BM_QuiescenceCheck)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON artifact: unless the caller passes
+// their own --benchmark_out, results are also saved to
+// BENCH_engine_throughput.json so the perf trajectory across PRs is
+// diffable (same convention as the BenchJsonWriter binaries).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_engine_throughput.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

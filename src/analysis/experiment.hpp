@@ -2,7 +2,11 @@
 /// \file experiment.hpp
 /// Seeded experiment sweeps shared by the bench harness: run a protocol on
 /// a graph across daemons x seeds, aggregate convergence and communication
-/// metrics. Everything is deterministic in (base_seed, daemons, seeds).
+/// metrics. Everything is deterministic in (base_seed, daemons, seeds) —
+/// including under the thread-parallel runner: every (daemon, seed) trial
+/// owns a private Engine whose seed is derived from its trial index alone,
+/// and aggregation happens in trial-index order after all workers join, so
+/// the thread count can never leak into the results.
 
 #include <cstdint>
 #include <string>
@@ -20,6 +24,10 @@ struct SweepOptions {
   int seeds_per_daemon = 5;
   RunOptions run;
   std::uint64_t base_seed = 42;
+  /// Worker threads for the trial runner: 0 = one per hardware thread,
+  /// 1 = run inline. Results are identical for every value (see file
+  /// comment).
+  int threads = 0;
 };
 
 struct SweepSummary {

@@ -7,7 +7,22 @@
 /// numbered 1..delta.p. `Graph` is immutable after construction and exposes
 /// exactly that local view, plus the global view needed by checkers and
 /// experiment harnesses (which are outside the anonymous model).
+///
+/// Storage is a flat CSR (compressed sparse row) layout, sized once at
+/// construction:
+///  * `offsets_` — n+1 entries; the neighbors of p occupy the half-open
+///    slot range [offsets_[p], offsets_[p+1]) and their order IS the
+///    channel order (slot offsets_[p]+i holds the neighbor on channel i+1);
+///  * `neighbors_` — 2m neighbor ids, one per directed edge slot;
+///  * `mirror_index_` — 2m entries; for the slot holding edge (p -> q),
+///    the 1-based channel under which q sees p. This makes the paper's
+///    "PR.(cur.p) = p" evaluation (`GuardContext::self_index_at`) O(1)
+///    instead of a scan of q's neighbor list.
+/// All three arrays are contiguous, so the engine's hot loop walks
+/// neighborhoods with zero pointer chasing and zero allocation.
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,7 +41,8 @@ using NbrIndex = int;
 /// An undirected edge between two process ids.
 using Edge = std::pair<ProcessId, ProcessId>;
 
-/// Immutable undirected graph with per-process local channel numbering.
+/// Immutable undirected graph with per-process local channel numbering,
+/// stored CSR-flat (see file comment).
 ///
 /// With `from_edges`, neighbor lists are sorted by global id and the local
 /// index of a neighbor is its 1-based position in that sorted list —
@@ -47,7 +63,7 @@ class Graph {
   /// relation.
   static Graph from_ports(const std::vector<std::vector<ProcessId>>& ports);
 
-  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_vertices() const { return num_vertices_; }
   int num_edges() const { return num_edges_; }
 
   /// delta.p — the number of neighbors of p.
@@ -66,8 +82,12 @@ class Graph {
   NbrIndex local_index_of(ProcessId p, ProcessId q) const;
 
   /// Global ids of p's neighbors in channel order; position i holds
-  /// channel i+1.
-  const std::vector<ProcessId>& neighbors(ProcessId p) const;
+  /// channel i+1. A view into the CSR slab: valid as long as the graph.
+  std::span<const ProcessId> neighbors(ProcessId p) const;
+
+  /// The channel under which `neighbor(p, channel)` sees p. O(1): reads the
+  /// precomputed mirror slot (local_index_of would scan the other list).
+  NbrIndex mirror_index(ProcessId p, NbrIndex channel) const;
 
   bool has_edge(ProcessId p, ProcessId q) const;
 
@@ -80,12 +100,17 @@ class Graph {
 
  private:
   Graph() = default;
-  void finish_init();
+  /// Flattens per-vertex neighbor lists into the CSR arrays and fills the
+  /// degree summaries and mirror indices.
+  void build_csr(const std::vector<std::vector<ProcessId>>& adjacency);
 
-  std::vector<std::vector<ProcessId>> adjacency_;
+  int num_vertices_ = 0;
   int num_edges_ = 0;
   int max_degree_ = 0;
   int min_degree_ = 0;
+  std::vector<std::int32_t> offsets_;   ///< n+1 slot offsets
+  std::vector<ProcessId> neighbors_;    ///< 2m neighbor ids, channel order
+  std::vector<NbrIndex> mirror_index_;  ///< 2m reverse channel numbers
   std::string name_ = "graph";
 };
 

@@ -5,6 +5,7 @@
 /// [process 0: comm vars, internal vars][process 1: ...] ...
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -37,6 +38,14 @@ class Configuration {
 
   /// The communication state of p (Section 2): its comm variables only.
   std::vector<Value> comm_state(ProcessId p) const;
+
+  /// Allocation-free view of p's communication state. The comm variables
+  /// of a process are contiguous in the flat layout, so this is a plain
+  /// slice; valid until the configuration is destroyed or reassigned.
+  std::span<const Value> comm_span(ProcessId p) const {
+    return {data_.data() + index_comm(p, 0),
+            static_cast<std::size_t>(num_comm_)};
+  }
 
   /// Copies all of `other`'s state of process p into this configuration.
   /// Used by the Theorem 1/2 stitching constructions, which transplant

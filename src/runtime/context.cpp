@@ -18,23 +18,32 @@ Value GuardContext::nbr_comm(NbrIndex channel, int var) const {
 }
 
 NbrIndex GuardContext::self_index_at(NbrIndex channel) const {
-  const ProcessId subject = graph_.neighbor(self_, channel);
-  const NbrIndex back = graph_.local_index_of(subject, self_);
+  const NbrIndex back = graph_.mirror_index(self_, channel);
   SSS_ASSERT(back != 0, "neighbor relation must be symmetric");
   return back;
 }
 
 ActionContext::ActionContext(const Graph& g, const Configuration& pre,
                              ProcessId self, Rng& rng, ReadLogger* logger)
-    : GuardContext(g, pre, self, logger), rng_(rng) {}
+    : GuardContext(g, pre, self, logger),
+      rng_(rng),
+      writes_out_(&own_writes_) {}
+
+ActionContext::ActionContext(const Graph& g, const Configuration& pre,
+                             ProcessId self, Rng& rng, ReadLogger* logger,
+                             std::vector<PendingWrite>* writes_out)
+    : GuardContext(g, pre, self, logger), rng_(rng), writes_out_(writes_out) {
+  SSS_REQUIRE(writes_out_ != nullptr, "null write arena");
+  writes_out_->clear();
+}
 
 void ActionContext::set_comm(int var, Value v) {
   comm_write_attempted_ = true;
-  writes_.push_back(PendingWrite{true, var, v});
+  writes_out_->push_back(PendingWrite{true, var, v});
 }
 
 void ActionContext::set_internal(int var, Value v) {
-  writes_.push_back(PendingWrite{false, var, v});
+  writes_out_->push_back(PendingWrite{false, var, v});
 }
 
 void ActionContext::set_random_script(const std::vector<Value>* script) {
@@ -43,11 +52,13 @@ void ActionContext::set_random_script(const std::vector<Value>* script) {
 }
 
 Value ActionContext::random_range(Value lo, Value hi) {
-  draws_.push_back(VarDomain{lo, hi});
-  if (script_ != nullptr && script_pos_ < script_->size()) {
-    const Value v = (*script_)[script_pos_++];
-    SSS_REQUIRE(v >= lo && v <= hi, "scripted draw outside requested range");
-    return v;
+  if (script_ != nullptr) {
+    draws_.push_back(VarDomain{lo, hi});
+    if (script_pos_ < script_->size()) {
+      const Value v = (*script_)[script_pos_++];
+      SSS_REQUIRE(v >= lo && v <= hi, "scripted draw outside requested range");
+      return v;
+    }
   }
   return static_cast<Value>(rng_.range(lo, hi));
 }

@@ -75,13 +75,26 @@ class ActionContext final : public GuardContext {
   ActionContext(const Graph& g, const Configuration& pre, ProcessId self,
                 Rng& rng, ReadLogger* logger);
 
+  /// Arena variant: pending writes land in `*writes_out` (cleared first)
+  /// instead of an owned vector, so a caller that reuses the buffer across
+  /// evaluations performs no per-evaluation allocation. `writes_out` must
+  /// outlive the context.
+  ActionContext(const Graph& g, const Configuration& pre, ProcessId self,
+                Rng& rng, ReadLogger* logger,
+                std::vector<PendingWrite>* writes_out);
+
+  // writes_out_ may point into the context itself (own_writes_), so a
+  // copy would alias or dangle; contexts are single-use views anyway.
+  ActionContext(const ActionContext&) = delete;
+  ActionContext& operator=(const ActionContext&) = delete;
+
   void set_comm(int var, Value v);
   void set_internal(int var, Value v);
 
   /// Uniform draw from {lo..hi} — the random color choice of Fig 7.
   Value random_range(Value lo, Value hi);
 
-  const std::vector<PendingWrite>& writes() const { return writes_; }
+  const std::vector<PendingWrite>& writes() const { return *writes_out_; }
 
   /// True if any communication variable was written (regardless of value).
   /// Silence detection keys off write *attempts*: in all protocols in this
@@ -92,15 +105,18 @@ class ActionContext final : public GuardContext {
 
   /// Enumeration support (model checker): when a script is installed,
   /// random_range returns scripted values instead of fresh draws, and
-  /// every requested range is recorded either way. Running an action once
-  /// with an empty script discovers its draw ranges; re-running it with
-  /// every combination of scripted values enumerates all outcomes.
+  /// every requested range is recorded. Running an action once with an
+  /// empty script discovers its draw ranges; re-running it with every
+  /// combination of scripted values enumerates all outcomes. Draw ranges
+  /// are only recorded while a script is installed, which keeps the
+  /// simulator hot path free of bookkeeping allocations.
   void set_random_script(const std::vector<Value>* script);
   const std::vector<VarDomain>& random_draws() const { return draws_; }
 
  private:
   Rng& rng_;
-  std::vector<PendingWrite> writes_;
+  std::vector<PendingWrite> own_writes_;
+  std::vector<PendingWrite>* writes_out_;
   bool comm_write_attempted_ = false;
   const std::vector<Value>* script_ = nullptr;
   std::size_t script_pos_ = 0;

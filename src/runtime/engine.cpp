@@ -12,16 +12,21 @@ Engine::Engine(const Graph& g, const Protocol& protocol,
       protocol_(protocol),
       daemon_(std::move(daemon)),
       rng_(seed),
-      probe_rng_(seed ^ 0x9d2c5680cafebabeULL),
       config_(g, protocol.spec()),
       enabled_(static_cast<std::size_t>(g.num_vertices()), 0),
-      probe_valid_(static_cast<std::size_t>(g.num_vertices()), 0),
+      probe_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
       covered_(static_cast<std::size_t>(g.num_vertices()), 0),
+      solo_active_(static_cast<std::size_t>(g.num_vertices()), 0),
+      solo_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
       read_counter_(g, protocol.spec()) {
   SSS_REQUIRE(daemon_ != nullptr, "engine needs a daemon");
   SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
               "the model requires a connected network with n >= 2");
+  // Dedup flags bound both queues by n, so one reservation serves forever.
+  dirty_queue_.reserve(static_cast<std::size_t>(g.num_vertices()));
+  solo_dirty_queue_.reserve(static_cast<std::size_t>(g.num_vertices()));
   protocol_.install_constants(graph_, config_);
+  invalidate_all_probes();
   logger_mux_.add(&read_counter_);
 }
 
@@ -50,18 +55,54 @@ void Engine::randomize_state() {
 }
 
 void Engine::invalidate_all_probes() {
-  std::fill(probe_valid_.begin(), probe_valid_.end(), 0);
+  dirty_queue_.clear();
+  solo_dirty_queue_.clear();
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    probe_dirty_[static_cast<std::size_t>(p)] = 1;
+    dirty_queue_.push_back(p);
+    solo_dirty_[static_cast<std::size_t>(p)] = 1;
+    solo_dirty_queue_.push_back(p);
+  }
+}
+
+void Engine::mark_probe_dirty(ProcessId p) {
+  if (!probe_dirty_[static_cast<std::size_t>(p)]) {
+    probe_dirty_[static_cast<std::size_t>(p)] = 1;
+    dirty_queue_.push_back(p);
+  }
+}
+
+void Engine::mark_solo_dirty(ProcessId p) {
+  if (!solo_dirty_[static_cast<std::size_t>(p)]) {
+    solo_dirty_[static_cast<std::size_t>(p)] = 1;
+    solo_dirty_queue_.push_back(p);
+  }
+}
+
+void Engine::cover(ProcessId p) {
+  if (!covered_[static_cast<std::size_t>(p)]) {
+    covered_[static_cast<std::size_t>(p)] = 1;
+    ++covered_count_;
+  }
 }
 
 void Engine::refresh_enabled() {
-  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
-    if (probe_valid_[static_cast<std::size_t>(p)]) continue;
+  while (!dirty_queue_.empty()) {
+    const ProcessId p = dirty_queue_.back();
+    dirty_queue_.pop_back();
+    probe_dirty_[static_cast<std::size_t>(p)] = 0;
     // Probes are simulator devices: no read logging, no rng consumption
     // (guards are deterministic; only actions may draw randomness).
     GuardContext guard(graph_, config_, p, nullptr);
-    enabled_[static_cast<std::size_t>(p)] =
+    const std::uint8_t now =
         protocol_.first_enabled(guard) != Protocol::kDisabled ? 1 : 0;
-    probe_valid_[static_cast<std::size_t>(p)] = 1;
+    enabled_count_ += static_cast<int>(now) -
+                      static_cast<int>(enabled_[static_cast<std::size_t>(p)]);
+    enabled_[static_cast<std::size_t>(p)] = now;
+    // A process observed disabled is covered for the current round; this is
+    // the only way "disabled at some moment" can begin mid-round, which is
+    // what lets step() skip the all-vertices covering walk.
+    if (!now) cover(p);
   }
 }
 
@@ -73,13 +114,31 @@ bool Engine::is_enabled(ProcessId p) {
 
 int Engine::num_enabled() {
   refresh_enabled();
-  int count = 0;
-  for (std::uint8_t e : enabled_) count += e;
-  return count;
+  return enabled_count_;
 }
 
 bool Engine::quiescent() const {
   return is_comm_quiescent(graph_, protocol_, config_);
+}
+
+bool Engine::comm_quiescent_cached() {
+  while (!solo_dirty_queue_.empty()) {
+    const ProcessId p = solo_dirty_queue_.back();
+    solo_dirty_queue_.pop_back();
+    solo_dirty_[static_cast<std::size_t>(p)] = 0;
+    // The shared decision procedure of is_comm_quiescent, on this one
+    // process; it restores config_ before returning.
+    const std::uint8_t active =
+        solo_would_write_comm(graph_, protocol_, config_, p, solo_scratch_,
+                              solo_saved_row_, QuiescenceOptions{}.margin)
+            ? 1
+            : 0;
+    solo_active_count_ +=
+        static_cast<int>(active) -
+        static_cast<int>(solo_active_[static_cast<std::size_t>(p)]);
+    solo_active_[static_cast<std::size_t>(p)] = active;
+  }
+  return solo_active_count_ == 0;
 }
 
 void Engine::attach_read_logger(ReadLogger* logger) {
@@ -94,38 +153,62 @@ std::uint64_t Engine::rounds_inclusive() const {
   return rounds_completed_ + (steps_ > steps_at_round_start_ ? 1 : 0);
 }
 
+void Engine::reset_round() {
+  // Re-establish the between-steps invariant for the fresh round: the
+  // processes disabled right now are "disabled at some moment during the
+  // round" from its very first step (their enabledness cannot change
+  // before the next step's refresh, which is exactly the pre-step view the
+  // full-scan engine used). One O(n) walk per completed round replaces the
+  // per-step walk.
+  refresh_enabled();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  covered_count_ = 0;
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    if (!enabled_[static_cast<std::size_t>(p)]) {
+      covered_[static_cast<std::size_t>(p)] = 1;
+      ++covered_count_;
+    }
+  }
+  steps_at_round_start_ = steps_;
+}
+
 Engine::StepInfo Engine::step() {
   refresh_enabled();
 
   selection_.clear();
   daemon_->select(graph_, enabled_, rng_, selection_);
   SSS_ASSERT(!selection_.empty(), "daemon selected an empty set");
-  std::sort(selection_.begin(), selection_.end());
-  selection_.erase(std::unique(selection_.begin(), selection_.end()),
-                   selection_.end());
+  if (selection_.size() > 1) {
+    std::sort(selection_.begin(), selection_.end());
+    selection_.erase(std::unique(selection_.begin(), selection_.end()),
+                     selection_.end());
+  }
 
   read_counter_.begin_step();
 
   // Phase 1: every selected process evaluates against the gamma_i snapshot.
-  staged_.clear();
-  staged_.reserve(selection_.size());
-  for (ProcessId p : selection_) {
-    staged_.push_back(
-        evaluate_process(graph_, protocol_, config_, p, rng_, &logger_mux_));
+  // staged_ grows monotonically and its write buffers keep their capacity,
+  // so this loop allocates nothing in steady state.
+  const std::size_t selected = selection_.size();
+  if (staged_.size() < selected) staged_.resize(selected);
+  for (std::size_t i = 0; i < selected; ++i) {
+    evaluate_process_into(graph_, protocol_, config_, selection_[i], rng_,
+                          &logger_mux_, staged_[i]);
   }
 
   // Phase 2: simultaneous commit forms gamma_{i+1}.
   StepInfo info;
-  info.selected = static_cast<int>(selection_.size());
-  for (std::size_t i = 0; i < selection_.size(); ++i) {
+  info.selected = static_cast<int>(selected);
+  for (std::size_t i = 0; i < selected; ++i) {
     const ProcessId p = selection_[i];
     const ProcessStep& staged = staged_[i];
     if (staged.action == Protocol::kDisabled) continue;
     ++info.fired;
     const bool changed = commit_writes(config_, p, staged.writes);
-    // Any fired action may change the process's own state, so its probe is
-    // stale either way.
-    probe_valid_[static_cast<std::size_t>(p)] = 0;
+    // Any fired action may change the process's own state, so its cached
+    // enabledness and solo-quiescence answers are stale either way.
+    mark_probe_dirty(p);
+    mark_solo_dirty(p);
     if (changed) {
       info.comm_changed = true;
       note_comm_changed(p);
@@ -134,40 +217,28 @@ Engine::StepInfo Engine::step() {
 
   ++steps_;
 
-  // Round accounting: selected processes are covered; so is every process
-  // that was disabled in the pre-step configuration.
-  for (ProcessId p : selection_) {
-    if (!covered_[static_cast<std::size_t>(p)]) {
-      covered_[static_cast<std::size_t>(p)] = 1;
-      ++covered_count_;
-    }
-  }
-  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
-    if (!enabled_[static_cast<std::size_t>(p)] &&
-        !covered_[static_cast<std::size_t>(p)]) {
-      covered_[static_cast<std::size_t>(p)] = 1;
-      ++covered_count_;
-    }
-  }
+  // Round accounting: selected processes are covered; every process
+  // disabled in the pre-step configuration is already covered by the
+  // refresh/reset invariant (see file comment in engine.hpp).
+  for (std::size_t i = 0; i < selected; ++i) cover(selection_[i]);
   if (covered_count_ == graph_.num_vertices()) {
     ++rounds_completed_;
-    std::fill(covered_.begin(), covered_.end(), 0);
-    covered_count_ = 0;
-    steps_at_round_start_ = steps_;
+    reset_round();
   }
 
   if (info.comm_changed) {
     last_comm_change_step_ = steps_;
     rounds_at_last_comm_change_ = rounds_inclusive();
-    comm_ever_changed_ = true;
   }
 
   if (trace_ != nullptr) {
     TraceEvent event;
     event.step = steps_;
     event.selected = selection_;
-    event.actions.reserve(staged_.size());
-    for (const auto& staged : staged_) event.actions.push_back(staged.action);
+    event.actions.reserve(selected);
+    for (std::size_t i = 0; i < selected; ++i) {
+      event.actions.push_back(staged_[i].action);
+    }
     event.comm_changed = info.comm_changed;
     trace_->record(std::move(event));
   }
@@ -175,10 +246,11 @@ Engine::StepInfo Engine::step() {
 }
 
 void Engine::note_comm_changed(ProcessId p) {
-  // A changed communication variable can flip the enabledness of every
-  // neighbor (their guards read it).
+  // A changed communication variable can flip the enabledness (and the
+  // solo-quiescence answer) of every neighbor: their guards read it.
   for (ProcessId q : graph_.neighbors(p)) {
-    probe_valid_[static_cast<std::size_t>(q)] = 0;
+    mark_probe_dirty(q);
+    mark_solo_dirty(q);
   }
 }
 
@@ -212,8 +284,18 @@ RunStats Engine::run(const RunOptions& options) {
     }
   };
 
+  // Certification is the cached check (exact, cost O(stale entries)); the
+  // one silence it reports per run is re-confirmed against the full solo
+  // simulation so a cache bug can never mis-certify.
+  auto certified_silent = [&]() {
+    if (!comm_quiescent_cached()) return false;
+    SSS_ASSERT(is_comm_quiescent(graph_, protocol_, config_),
+               "solo-quiescence cache certified a non-silent configuration");
+    return true;
+  };
+
   check_legitimate();
-  if (options.stop_on_silence && quiescent()) {
+  if (options.stop_on_silence && certified_silent()) {
     stats.silent = true;
     relative_silence_point(stats);
   } else {
@@ -224,7 +306,7 @@ RunStats Engine::run(const RunOptions& options) {
       if (info.comm_changed) {
         next_quiescence_check = steps_ + patience;
       } else if (options.stop_on_silence && steps_ >= next_quiescence_check) {
-        if (quiescent()) {
+        if (certified_silent()) {
           stats.silent = true;
           relative_silence_point(stats);
           break;
@@ -232,7 +314,7 @@ RunStats Engine::run(const RunOptions& options) {
         next_quiescence_check = steps_ + patience;
       }
     }
-    if (!stats.silent && options.stop_on_silence && quiescent()) {
+    if (!stats.silent && options.stop_on_silence && certified_silent()) {
       stats.silent = true;
       relative_silence_point(stats);
     }

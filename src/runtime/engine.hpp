@@ -16,6 +16,40 @@
 ///    daemons that never waste selections on disabled processes.
 ///  * Enabledness probes and quiescence checks are simulator devices: they
 ///    never touch the main rng stream and are never counted as model reads.
+///
+/// Hot-path design — the per-step cost is O(|selection| + perturbed
+/// neighborhoods), not O(n). Three incremental structures carry this, all
+/// exploiting the same locality fact: a process's behaviour depends only on
+/// its own state and its neighbors' communication variables, so an event at
+/// p can only affect p (it fired: own state changed) and N(p) (its
+/// communication state changed). `ReferenceEngine` preserves the original
+/// full-scan implementation, and tests/test_engine_equivalence.cpp drives
+/// both in lockstep to prove the semantics are bit-identical.
+///
+///  1. Enabledness dirty queue. `enabled_[p]` caches p's guard evaluation;
+///     `enabled_count_` counts the 1s. Invariant: a cached entry is stale
+///     only if p sits in `dirty_queue_` (flagged by `probe_dirty_`).
+///     Firing marks the process dirty; a communication change marks its
+///     neighbors dirty (`note_comm_changed`). `refresh_enabled` drains the
+///     queue, so a step re-evaluates only the perturbed guards.
+///
+///  2. Incremental round accounting. Invariant between steps: every
+///     process whose cached enabledness is 0 is covered ("disabled at some
+///     moment during the round" can only begin at a refresh that observes
+///     it disabled, or at a round boundary). So the per-step work is
+///     covering the selection; the O(n) "cover everything disabled" rescan
+///     runs once per completed round (`reset_round`), not once per step.
+///
+///  3. Solo-quiescence cache. `solo_active_[p]` caches "would p, run solo
+///     against the frozen communication state, attempt a communication
+///     write within degree(p) + margin activations" — exactly the per-
+///     process question `is_comm_quiescent` answers; `solo_active_count_`
+///     counts the 1s, and the configuration is certified silent iff it
+///     drains to zero. The cache goes stale under the same two events as
+///     enabledness and is refreshed lazily only when `run` reaches a
+///     quiescence checkpoint, so the O(n*Delta) full solo simulation of the
+///     original engine happens at most once per run (as a final
+///     confirmation assert) instead of at every checkpoint.
 
 #include <cstdint>
 #include <functional>
@@ -130,36 +164,53 @@ class Engine {
 
  private:
   void invalidate_all_probes();
+  void mark_probe_dirty(ProcessId p);
+  void mark_solo_dirty(ProcessId p);
   void refresh_enabled();
   void note_comm_changed(ProcessId p);
-  void update_round_accounting();
+  void cover(ProcessId p);
+  void reset_round();
+  /// Incremental equivalent of is_comm_quiescent on the current
+  /// configuration: refreshes stale solo_active_ entries (via the shared
+  /// solo_would_write_comm procedure), then answers from
+  /// solo_active_count_.
+  bool comm_quiescent_cached();
 
   const Graph& graph_;
   const Protocol& protocol_;
   std::unique_ptr<Daemon> daemon_;
   Rng rng_;
-  Rng probe_rng_;
   Configuration config_;
 
-  // Enabledness cache.
+  // Enabledness cache (invariant 1 in the file comment).
   std::vector<std::uint8_t> enabled_;
-  std::vector<std::uint8_t> probe_valid_;
+  std::vector<std::uint8_t> probe_dirty_;
+  std::vector<ProcessId> dirty_queue_;
+  int enabled_count_ = 0;
 
-  // Round accounting.
+  // Round accounting (invariant 2).
   std::vector<std::uint8_t> covered_;
   int covered_count_ = 0;
   std::uint64_t rounds_completed_ = 0;
   std::uint64_t steps_at_round_start_ = 0;
 
+  // Solo-quiescence cache (invariant 3).
+  std::vector<std::uint8_t> solo_active_;
+  std::vector<std::uint8_t> solo_dirty_;
+  std::vector<ProcessId> solo_dirty_queue_;
+  int solo_active_count_ = 0;
+
   // Lifetime counters.
   std::uint64_t steps_ = 0;
   std::uint64_t last_comm_change_step_ = 0;
   std::uint64_t rounds_at_last_comm_change_ = 0;
-  bool comm_ever_changed_ = false;
 
-  // Scratch buffers reused across steps.
+  // Scratch arenas reused across steps; sized up once, never shrunk, so
+  // the steady-state step performs no heap allocation.
   std::vector<ProcessId> selection_;
   std::vector<ProcessStep> staged_;
+  std::vector<Value> solo_saved_row_;
+  ProcessStep solo_scratch_;
 
   ReadLoggerMux logger_mux_;
   StepReadCounter read_counter_;

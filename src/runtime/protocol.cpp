@@ -20,6 +20,19 @@ ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
   return result;
 }
 
+void evaluate_process_into(const Graph& g, const Protocol& protocol,
+                           const Configuration& pre, ProcessId p, Rng& rng,
+                           ReadLogger* logger, ProcessStep& out) {
+  out.comm_write_attempted = false;
+  out.writes.clear();
+  GuardContext guard(g, pre, p, logger);
+  out.action = protocol.first_enabled(guard);
+  if (out.action == Protocol::kDisabled) return;
+  ActionContext action(g, pre, p, rng, logger, &out.writes);
+  protocol.execute(out.action, action);
+  out.comm_write_attempted = action.comm_write_attempted();
+}
+
 bool commit_writes(Configuration& config, ProcessId p,
                    const std::vector<PendingWrite>& writes) {
   bool comm_changed = false;

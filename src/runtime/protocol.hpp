@@ -54,6 +54,15 @@ ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
                              const Configuration& pre, ProcessId p, Rng& rng,
                              ReadLogger* logger);
 
+/// Arena variant of evaluate_process: results land in `out`, whose `writes`
+/// buffer is cleared and refilled in place. A caller that reuses the same
+/// ProcessStep across evaluations pays no per-evaluation allocation once
+/// the buffer capacity has grown to the protocol's write count — this is
+/// what keeps Engine::step() heap-free in steady state.
+void evaluate_process_into(const Graph& g, const Protocol& protocol,
+                           const Configuration& pre, ProcessId p, Rng& rng,
+                           ReadLogger* logger, ProcessStep& out);
+
 /// Applies a process's pending writes to `config`. Returns true if any
 /// communication variable actually changed value.
 bool commit_writes(Configuration& config, ProcessId p,

@@ -4,24 +4,54 @@
 
 namespace sss {
 
+bool solo_would_write_comm(const Graph& g, const Protocol& protocol,
+                           Configuration& config, ProcessId p,
+                           ProcessStep& scratch, std::vector<Value>& saved_row,
+                           int margin) {
+  SSS_REQUIRE(margin >= 1, "margin must be positive");
+  const int num_comm = protocol.spec().num_comm();
+  const int num_internal = protocol.spec().num_internal();
+  saved_row.clear();
+  for (int v = 0; v < num_comm; ++v) saved_row.push_back(config.comm(p, v));
+  for (int v = 0; v < num_internal; ++v) {
+    saved_row.push_back(config.internal_var(p, v));
+  }
+  Rng scratch_rng(0x5157u);
+  const int budget = g.degree(p) + margin;
+  bool active = false;
+  for (int i = 0; i < budget; ++i) {
+    evaluate_process_into(g, protocol, config, p, scratch_rng, nullptr,
+                          scratch);
+    if (scratch.action == Protocol::kDisabled) break;  // stable forever
+    if (scratch.comm_write_attempted) {
+      active = true;
+      break;
+    }
+    commit_writes(config, p, scratch.writes);
+  }
+  for (int v = 0; v < num_comm; ++v) {
+    config.set_comm(p, v, saved_row[static_cast<std::size_t>(v)]);
+  }
+  for (int v = 0; v < num_internal; ++v) {
+    config.set_internal(p, v,
+                        saved_row[static_cast<std::size_t>(num_comm + v)]);
+  }
+  return active;
+}
+
 bool is_comm_quiescent(const Graph& g, const Protocol& protocol,
                        const Configuration& config,
                        const QuiescenceOptions& options) {
-  SSS_REQUIRE(options.margin >= 1, "margin must be positive");
-  // The scratch rng only feeds randomized actions, whose outcome never
-  // affects *whether* a communication write is attempted; any seed works.
-  Rng scratch_rng(0x5157u);
-  Configuration scratch = config;
+  // Freezing all communication variables decouples the processes, so each
+  // one is probed solo; one scratch copy serves every probe because the
+  // probe restores the rows it touches.
+  Configuration scratch_config = config;
+  ProcessStep scratch;
+  std::vector<Value> saved_row;
   for (ProcessId p = 0; p < g.num_vertices(); ++p) {
-    // Earlier processes' solo runs may have advanced their internal state
-    // in `scratch`, but internal variables are invisible to other
-    // processes, so p still sees exactly the frozen communication state.
-    const int budget = g.degree(p) + options.margin;
-    for (int i = 0; i < budget; ++i) {
-      const ProcessStep step =
-          apply_solo_step(g, protocol, scratch, p, scratch_rng);
-      if (step.action == Protocol::kDisabled) break;  // stable forever
-      if (step.comm_write_attempted) return false;
+    if (solo_would_write_comm(g, protocol, scratch_config, p, scratch,
+                              saved_row, options.margin)) {
+      return false;
     }
   }
   return true;

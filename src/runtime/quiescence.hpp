@@ -25,6 +25,23 @@ struct QuiescenceOptions {
   int margin = 2;
 };
 
+/// The per-process core of the silence check: would `p`, activated solo
+/// against the frozen communication state in `config`, attempt a
+/// communication write within degree(p) + margin activations? This single
+/// decision procedure backs both the full check below and the Engine's
+/// incremental solo-quiescence cache, so the two can never diverge.
+///
+/// `config` is mutated only transiently: p's row is saved into `saved_row`
+/// and restored before returning (solo activations write nothing but p's
+/// own variables). `scratch` and `saved_row` are reusable buffers so a
+/// caller probing many processes allocates nothing in steady state. The
+/// internal scratch rng only feeds randomized actions, whose outcome never
+/// affects *whether* a communication write is attempted.
+bool solo_would_write_comm(const Graph& g, const Protocol& protocol,
+                           Configuration& config, ProcessId p,
+                           ProcessStep& scratch, std::vector<Value>& saved_row,
+                           int margin);
+
 /// True iff `config` is a silent configuration of `protocol` on `g`.
 bool is_comm_quiescent(const Graph& g, const Protocol& protocol,
                        const Configuration& config,

@@ -1,0 +1,226 @@
+#include "runtime/reference_engine.hpp"
+
+#include <algorithm>
+
+#include "runtime/quiescence.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+
+ReferenceEngine::ReferenceEngine(const Graph& g, const Protocol& protocol,
+                                 std::unique_ptr<Daemon> daemon,
+                                 std::uint64_t seed)
+    : graph_(g),
+      protocol_(protocol),
+      daemon_(std::move(daemon)),
+      rng_(seed),
+      config_(g, protocol.spec()),
+      enabled_(static_cast<std::size_t>(g.num_vertices()), 0),
+      probe_valid_(static_cast<std::size_t>(g.num_vertices()), 0),
+      covered_(static_cast<std::size_t>(g.num_vertices()), 0),
+      read_counter_(g, protocol.spec()) {
+  SSS_REQUIRE(daemon_ != nullptr, "engine needs a daemon");
+  SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
+              "the model requires a connected network with n >= 2");
+  protocol_.install_constants(graph_, config_);
+  logger_mux_.add(&read_counter_);
+}
+
+void ReferenceEngine::set_config(const Configuration& config) {
+  SSS_REQUIRE(config.num_processes() == graph_.num_vertices() &&
+                  config.num_comm() == protocol_.spec().num_comm() &&
+                  config.num_internal() == protocol_.spec().num_internal(),
+              "configuration shape does not match the protocol");
+  config_ = config;
+  protocol_.install_constants(graph_, config_);
+  SSS_REQUIRE(configuration_in_domains(graph_, protocol_.spec(), config_),
+              "configuration has out-of-domain values");
+  invalidate_all_probes();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  covered_count_ = 0;
+  steps_at_round_start_ = steps_;
+}
+
+void ReferenceEngine::randomize_state() {
+  randomize_configuration(graph_, protocol_.spec(), config_, rng_);
+  protocol_.install_constants(graph_, config_);
+  invalidate_all_probes();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  covered_count_ = 0;
+  steps_at_round_start_ = steps_;
+}
+
+void ReferenceEngine::invalidate_all_probes() {
+  std::fill(probe_valid_.begin(), probe_valid_.end(), 0);
+}
+
+void ReferenceEngine::refresh_enabled() {
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    if (probe_valid_[static_cast<std::size_t>(p)]) continue;
+    GuardContext guard(graph_, config_, p, nullptr);
+    enabled_[static_cast<std::size_t>(p)] =
+        protocol_.first_enabled(guard) != Protocol::kDisabled ? 1 : 0;
+    probe_valid_[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+bool ReferenceEngine::is_enabled(ProcessId p) {
+  SSS_REQUIRE(p >= 0 && p < graph_.num_vertices(), "process id out of range");
+  refresh_enabled();
+  return enabled_[static_cast<std::size_t>(p)] != 0;
+}
+
+int ReferenceEngine::num_enabled() {
+  refresh_enabled();
+  int count = 0;
+  for (std::uint8_t e : enabled_) count += e;
+  return count;
+}
+
+bool ReferenceEngine::quiescent() const {
+  return is_comm_quiescent(graph_, protocol_, config_);
+}
+
+std::uint64_t ReferenceEngine::rounds_inclusive() const {
+  return rounds_completed_ + (steps_ > steps_at_round_start_ ? 1 : 0);
+}
+
+Engine::StepInfo ReferenceEngine::step() {
+  refresh_enabled();
+
+  selection_.clear();
+  daemon_->select(graph_, enabled_, rng_, selection_);
+  SSS_ASSERT(!selection_.empty(), "daemon selected an empty set");
+  std::sort(selection_.begin(), selection_.end());
+  selection_.erase(std::unique(selection_.begin(), selection_.end()),
+                   selection_.end());
+
+  read_counter_.begin_step();
+
+  // Phase 1: every selected process evaluates against the gamma_i snapshot.
+  staged_.clear();
+  staged_.reserve(selection_.size());
+  for (ProcessId p : selection_) {
+    staged_.push_back(
+        evaluate_process(graph_, protocol_, config_, p, rng_, &logger_mux_));
+  }
+
+  // Phase 2: simultaneous commit forms gamma_{i+1}.
+  Engine::StepInfo info;
+  info.selected = static_cast<int>(selection_.size());
+  for (std::size_t i = 0; i < selection_.size(); ++i) {
+    const ProcessId p = selection_[i];
+    const ProcessStep& staged = staged_[i];
+    if (staged.action == Protocol::kDisabled) continue;
+    ++info.fired;
+    const bool changed = commit_writes(config_, p, staged.writes);
+    probe_valid_[static_cast<std::size_t>(p)] = 0;
+    if (changed) {
+      info.comm_changed = true;
+      note_comm_changed(p);
+    }
+  }
+
+  ++steps_;
+
+  // Round accounting: selected processes are covered; so is every process
+  // that was disabled in the pre-step configuration.
+  for (ProcessId p : selection_) {
+    if (!covered_[static_cast<std::size_t>(p)]) {
+      covered_[static_cast<std::size_t>(p)] = 1;
+      ++covered_count_;
+    }
+  }
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    if (!enabled_[static_cast<std::size_t>(p)] &&
+        !covered_[static_cast<std::size_t>(p)]) {
+      covered_[static_cast<std::size_t>(p)] = 1;
+      ++covered_count_;
+    }
+  }
+  if (covered_count_ == graph_.num_vertices()) {
+    ++rounds_completed_;
+    std::fill(covered_.begin(), covered_.end(), 0);
+    covered_count_ = 0;
+    steps_at_round_start_ = steps_;
+  }
+
+  if (info.comm_changed) {
+    last_comm_change_step_ = steps_;
+    rounds_at_last_comm_change_ = rounds_inclusive();
+  }
+  return info;
+}
+
+void ReferenceEngine::note_comm_changed(ProcessId p) {
+  for (ProcessId q : graph_.neighbors(p)) {
+    probe_valid_[static_cast<std::size_t>(q)] = 0;
+  }
+}
+
+RunStats ReferenceEngine::run(const RunOptions& options) {
+  RunStats stats;
+  const std::uint64_t base_steps = steps_;
+  const std::uint64_t base_rounds = rounds_inclusive();
+  const std::uint64_t base_reads = read_counter_.total_reads();
+  const std::uint64_t base_bits = read_counter_.total_bits();
+  const std::uint64_t patience =
+      options.quiescence_patience != 0
+          ? options.quiescence_patience
+          : std::max<std::uint64_t>(
+                16, static_cast<std::uint64_t>(graph_.num_vertices()));
+
+  auto relative_silence_point = [&](RunStats& out) {
+    out.steps_to_silence = last_comm_change_step_ > base_steps
+                               ? last_comm_change_step_ - base_steps
+                               : 0;
+    out.rounds_to_silence = rounds_at_last_comm_change_ > base_rounds
+                                ? rounds_at_last_comm_change_ - base_rounds
+                                : 0;
+  };
+
+  auto check_legitimate = [&]() {
+    if (stats.reached_legitimate || !options.legitimacy) return;
+    if (options.legitimacy(graph_, config_)) {
+      stats.reached_legitimate = true;
+      stats.steps_to_legitimate = steps_ - base_steps;
+      stats.rounds_to_legitimate = rounds_inclusive() - base_rounds;
+    }
+  };
+
+  check_legitimate();
+  if (options.stop_on_silence && quiescent()) {
+    stats.silent = true;
+    relative_silence_point(stats);
+  } else {
+    std::uint64_t next_quiescence_check = steps_ + patience;
+    while (steps_ - base_steps < options.max_steps) {
+      const Engine::StepInfo info = step();
+      check_legitimate();
+      if (info.comm_changed) {
+        next_quiescence_check = steps_ + patience;
+      } else if (options.stop_on_silence && steps_ >= next_quiescence_check) {
+        if (quiescent()) {
+          stats.silent = true;
+          relative_silence_point(stats);
+          break;
+        }
+        next_quiescence_check = steps_ + patience;
+      }
+    }
+    if (!stats.silent && options.stop_on_silence && quiescent()) {
+      stats.silent = true;
+      relative_silence_point(stats);
+    }
+  }
+
+  stats.steps = steps_ - base_steps;
+  stats.rounds = rounds_inclusive() - base_rounds;
+  stats.total_reads = read_counter_.total_reads() - base_reads;
+  stats.total_read_bits = read_counter_.total_bits() - base_bits;
+  stats.max_reads_per_process_step = read_counter_.max_reads_per_process_step();
+  stats.max_bits_per_process_step = read_counter_.max_bits_per_process_step();
+  return stats;
+}
+
+}  // namespace sss

@@ -1,0 +1,92 @@
+#pragma once
+/// \file reference_engine.hpp
+/// The pre-rewrite engine, preserved verbatim as a semantic oracle.
+///
+/// `Engine` (engine.hpp) was rewritten to an incremental dirty-queue hot
+/// path. This class keeps the original O(n)-per-step implementation —
+/// full probe rescans, per-step round accounting walks, per-process heap
+/// allocation, unconditional selection normalization, and the full
+/// O(n*Delta) solo-simulation quiescence check at every patience point.
+///
+/// It exists for two purposes and must not be "optimized":
+///  * `tests/test_engine_equivalence.cpp` drives both engines in lockstep
+///    and asserts identical configurations, round counts, and read metrics
+///    under every daemon, so any behavioural drift in the fast engine is
+///    caught step-for-step;
+///  * `bench/bench_engine_hotpath.cpp` measures steps/sec of both engines
+///    on the same workloads, making the speedup a reproducible number
+///    instead of a changelog claim.
+///
+/// Both engines consume the main rng stream identically (daemon selection
+/// and action draws only; probes and quiescence are rng-free or use
+/// private streams), which is what makes lockstep comparison exact.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+#include "runtime/daemon.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+/// Original full-scan engine. Mirrors the `Engine` interface subset that
+/// the differential tests and the hotpath bench exercise.
+class ReferenceEngine {
+ public:
+  ReferenceEngine(const Graph& g, const Protocol& protocol,
+                  std::unique_ptr<Daemon> daemon, std::uint64_t seed);
+
+  const Configuration& config() const { return config_; }
+
+  void set_config(const Configuration& config);
+  void randomize_state();
+
+  Engine::StepInfo step();
+  RunStats run(const RunOptions& options);
+
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t rounds() const { return rounds_completed_; }
+  std::uint64_t rounds_inclusive() const;
+
+  bool is_enabled(ProcessId p);
+  int num_enabled();
+  bool quiescent() const;
+
+  const StepReadCounter& read_counter() const { return read_counter_; }
+
+ private:
+  void invalidate_all_probes();
+  void refresh_enabled();
+  void note_comm_changed(ProcessId p);
+
+  const Graph& graph_;
+  const Protocol& protocol_;
+  std::unique_ptr<Daemon> daemon_;
+  Rng rng_;
+  Configuration config_;
+
+  std::vector<std::uint8_t> enabled_;
+  std::vector<std::uint8_t> probe_valid_;
+
+  std::vector<std::uint8_t> covered_;
+  int covered_count_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t steps_at_round_start_ = 0;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t last_comm_change_step_ = 0;
+  std::uint64_t rounds_at_last_comm_change_ = 0;
+
+  std::vector<ProcessId> selection_;
+  std::vector<ProcessStep> staged_;
+
+  ReadLoggerMux logger_mux_;
+  StepReadCounter read_counter_;
+};
+
+}  // namespace sss

@@ -1,0 +1,137 @@
+#include "support/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string name) : name_(std::move(name)) {
+  SSS_REQUIRE(!name_.empty(), "bench name cannot be empty");
+}
+
+BenchJsonWriter& BenchJsonWriter::record() {
+  records_.emplace_back();
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key,
+                                        const std::string& value) {
+  SSS_REQUIRE(!records_.empty(), "call record() before field()");
+  records_.back().push_back(Field{key, escape(value)});
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key,
+                                        const char* value) {
+  return field(key, std::string(value));
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key,
+                                        std::int64_t value) {
+  SSS_REQUIRE(!records_.empty(), "call record() before field()");
+  records_.back().push_back(Field{key, std::to_string(value)});
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key,
+                                        std::uint64_t value) {
+  SSS_REQUIRE(!records_.empty(), "call record() before field()");
+  records_.back().push_back(Field{key, std::to_string(value)});
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key, double value) {
+  SSS_REQUIRE(!records_.empty(), "call record() before field()");
+  char buf[48];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+  }
+  records_.back().push_back(Field{key, buf});
+  return *this;
+}
+
+BenchJsonWriter& BenchJsonWriter::field(const std::string& key, bool value) {
+  SSS_REQUIRE(!records_.empty(), "call record() before field()");
+  records_.back().push_back(Field{key, value ? "true" : "false"});
+  return *this;
+}
+
+std::string BenchJsonWriter::str() const {
+  std::string out = "{\n  \"bench\": " + escape(name_) + ",\n  \"records\": [";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    out += r == 0 ? "\n" : ",\n";
+    out += "    {";
+    const auto& fields = records_[r];
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f != 0) out += ", ";
+      out += escape(fields[f].key) + ": " + fields[f].encoded;
+    }
+    out += "}";
+  }
+  out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string BenchJsonWriter::write(const std::string& directory) const {
+  const std::string path = directory + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return path;
+  }
+  out << str();
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace sss

@@ -1,0 +1,59 @@
+#pragma once
+/// \file bench_json.hpp
+/// Machine-readable companions to the bench text tables.
+///
+/// Every bench binary prints human-oriented tables; `BenchJsonWriter`
+/// additionally collects flat records and saves them as
+/// `BENCH_<name>.json` next to the process's working directory, so the
+/// performance trajectory across PRs is diffable by tooling instead of by
+/// eyeballing table diffs. The format is deliberately flat:
+///
+///   {
+///     "bench": "<name>",
+///     "records": [ {"key": value, ...}, ... ]
+///   }
+///
+/// with values limited to strings, numbers, and booleans.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sss {
+
+class BenchJsonWriter {
+ public:
+  /// `name` keys the output file: BENCH_<name>.json.
+  explicit BenchJsonWriter(std::string name);
+
+  /// Starts a new record; subsequent `field` calls append to it.
+  BenchJsonWriter& record();
+
+  BenchJsonWriter& field(const std::string& key, const std::string& value);
+  BenchJsonWriter& field(const std::string& key, const char* value);
+  BenchJsonWriter& field(const std::string& key, std::int64_t value);
+  BenchJsonWriter& field(const std::string& key, std::uint64_t value);
+  BenchJsonWriter& field(const std::string& key, int value);
+  BenchJsonWriter& field(const std::string& key, double value);
+  BenchJsonWriter& field(const std::string& key, bool value);
+
+  /// The serialized document.
+  std::string str() const;
+
+  /// Writes BENCH_<name>.json into `directory` (default: cwd) and returns
+  /// the path. Failures are reported to stderr, not thrown: a bench run's
+  /// tables remain useful even when the artifact cannot be saved.
+  std::string write(const std::string& directory = ".") const;
+
+ private:
+  /// One key plus an already-JSON-encoded value.
+  struct Field {
+    std::string key;
+    std::string encoded;
+  };
+
+  std::string name_;
+  std::vector<std::vector<Field>> records_;
+};
+
+}  // namespace sss

@@ -14,10 +14,16 @@ namespace {
 /// configurations.
 using CommStates = std::vector<std::vector<Value>>;
 
-void insert_unique(CommStates& states, std::vector<Value> state) {
-  if (std::find(states.begin(), states.end(), state) == states.end()) {
-    states.push_back(std::move(state));
+/// Span/vector comparison without materializing the span.
+bool comm_equals(std::span<const Value> state, const std::vector<Value>& v) {
+  return std::equal(state.begin(), state.end(), v.begin(), v.end());
+}
+
+void insert_unique(CommStates& states, std::span<const Value> state) {
+  for (const auto& existing : states) {
+    if (comm_equals(state, existing)) return;
   }
+  states.emplace_back(state.begin(), state.end());
 }
 
 }  // namespace
@@ -38,7 +44,7 @@ NeighborCompletenessReport check_neighbor_completeness(
         ++report.silent_configurations;
         for (ProcessId p = 0; p < n; ++p) {
           insert_unique(silent_states[static_cast<std::size_t>(p)],
-                        config.comm_state(p));
+                        config.comm_span(p));
         }
       });
 
@@ -47,7 +53,10 @@ NeighborCompletenessReport check_neighbor_completeness(
   auto pair_always_violates = [&](ProcessId p, const std::vector<Value>& ap,
                                   ProcessId q, const std::vector<Value>& aq) {
     for (const Configuration& config : space) {
-      if (config.comm_state(p) != ap || config.comm_state(q) != aq) continue;
+      if (!comm_equals(config.comm_span(p), ap) ||
+          !comm_equals(config.comm_span(q), aq)) {
+        continue;
+      }
       if (problem.holds(g, config)) return false;
     }
     return true;
