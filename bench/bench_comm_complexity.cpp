@@ -7,9 +7,14 @@
 ///  Delta*log(Delta+1)." — regenerated here as predicted-vs-measured bits,
 /// swept over Delta, plus the space-complexity table
 /// 2*log(Delta+1) + log(delta.p).
+///
+/// All 12 measurement trials (6 Deltas x {efficient, full-read}) run as
+/// one batch plan; `extra_steps` supplies the post-silence window in which
+/// guards keep being evaluated. Emits BENCH_comm_complexity.json.
 
 #include <cstdio>
 
+#include "analysis/batch.hpp"
 #include "baselines/full_read_coloring.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
@@ -19,18 +24,23 @@
 
 namespace {
 
-/// Max bits any process read in one step, observed over a run to silence
-/// plus a post-silence window (so guards keep being evaluated).
-int measured_bits(const sss::Graph& g, const sss::Protocol& protocol,
-                  std::uint64_t seed) {
-  using namespace sss;
-  Engine engine(g, protocol, make_distributed_random_daemon(), seed);
-  engine.randomize_state();
-  RunOptions options;
-  options.max_steps = 2'000'000;
-  engine.run(options);
-  for (int extra = 0; extra < 400; ++extra) engine.step();
-  return engine.read_counter().max_bits_per_process_step();
+/// One measured-bits trial as a batch item: a single distributed-daemon
+/// run to silence (same engine seed the historical serial loop used:
+/// base_seed + 1), then 400 post-silence steps before the read maxima are
+/// sampled.
+sss::BatchItem measured_bits_item(const sss::Graph& g,
+                                  const sss::Protocol& protocol,
+                                  std::uint64_t seed) {
+  sss::BatchItem item;
+  item.label = protocol.name() + "/" + g.name();
+  item.graph = &g;
+  item.protocol = &protocol;
+  item.daemons = {"distributed"};
+  item.seeds_per_daemon = 1;
+  item.run.max_steps = 2'000'000;
+  item.base_seed = seed - 1;
+  item.extra_steps = 400;
+  return item;
 }
 
 }  // namespace
@@ -40,17 +50,32 @@ int main() {
   using namespace sss::bench;
 
   print_banner("E2: communication complexity (Section 3.2)");
+  const std::vector<int> deltas = {2, 3, 4, 6, 8, 12};
+  BatchStore store;
+  std::vector<BatchItem> plan;
+  for (int delta : deltas) {
+    const Graph& g = store.add(star(delta));  // hub has degree Delta
+    const ColoringProtocol& efficient =
+        store.emplace_protocol<ColoringProtocol>(g);
+    const FullReadColoring& baseline =
+        store.emplace_protocol<FullReadColoring>(g);
+    plan.push_back(measured_bits_item(g, efficient,
+                                      1000 + static_cast<std::uint64_t>(delta)));
+    plan.push_back(measured_bits_item(g, baseline,
+                                      2000 + static_cast<std::uint64_t>(delta)));
+  }
+  const BatchResult result = run_batch(plan, BatchOptions{});
+
   TextTable table({"Delta", "graph", "efficient pred", "efficient meas",
                    "full-read pred", "full-read meas", "ratio"});
   BenchJsonWriter json("comm_complexity");
-  for (int delta : {2, 3, 4, 6, 8, 12}) {
-    const Graph g = star(delta);  // hub has degree Delta
-    const ColoringProtocol efficient(g);
-    const FullReadColoring baseline(g);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const int delta = deltas[i];
+    const Graph& g = *plan[2 * i].graph;
     const int eff_pred = coloring_comm_bits_efficient(delta);
     const int full_pred = coloring_comm_bits_full_read(delta, delta);
-    const int eff_meas = measured_bits(g, efficient, 1000 + delta);
-    const int full_meas = measured_bits(g, baseline, 2000 + delta);
+    const int eff_meas = result.summaries[2 * i].bits_measured;
+    const int full_meas = result.summaries[2 * i + 1].bits_measured;
     table.row()
         .add(delta)
         .add(g.name())

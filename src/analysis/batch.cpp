@@ -1,0 +1,206 @@
+#include "analysis/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// A trial's coordinates in the plan; the global trial list is the plan
+/// flattened item by item.
+struct TrialRef {
+  int item = 0;
+  int index_in_item = 0;
+};
+
+}  // namespace
+
+BatchItem make_batch_item(std::string label, const Graph& g,
+                          const Protocol& protocol, const Problem* problem,
+                          const SweepOptions& options) {
+  BatchItem item;
+  item.label = std::move(label);
+  item.graph = &g;
+  item.protocol = &protocol;
+  item.problem = problem;
+  item.daemons = options.daemons;
+  item.seeds_per_daemon = options.seeds_per_daemon;
+  item.run = options.run;
+  item.base_seed = options.base_seed;
+  return item;
+}
+
+SweepSummary summarize_runs(const RunStats* stats, int count) {
+  SweepSummary summary;
+  std::vector<double> rounds_to_silence;
+  std::vector<double> steps_to_silence;
+  std::vector<double> rounds_to_legitimate;
+  double total_reads = 0.0;
+  double total_bits = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const RunStats& run = stats[i];
+    ++summary.runs;
+    if (run.silent) {
+      ++summary.silent_runs;
+      rounds_to_silence.push_back(static_cast<double>(run.rounds_to_silence));
+      steps_to_silence.push_back(static_cast<double>(run.steps_to_silence));
+      summary.max_rounds_to_silence =
+          std::max(summary.max_rounds_to_silence, run.rounds_to_silence);
+      summary.max_steps_to_silence =
+          std::max(summary.max_steps_to_silence, run.steps_to_silence);
+    }
+    if (run.reached_legitimate) {
+      rounds_to_legitimate.push_back(
+          static_cast<double>(run.rounds_to_legitimate));
+    }
+    summary.k_measured =
+        std::max(summary.k_measured, run.max_reads_per_process_step);
+    summary.bits_measured =
+        std::max(summary.bits_measured, run.max_bits_per_process_step);
+    total_reads += static_cast<double>(run.total_reads);
+    total_bits += static_cast<double>(run.total_read_bits);
+  }
+  summary.rounds_to_silence = summarize(std::move(rounds_to_silence));
+  summary.steps_to_silence = summarize(std::move(steps_to_silence));
+  summary.rounds_to_legitimate = summarize(std::move(rounds_to_legitimate));
+  if (summary.runs > 0) {
+    summary.mean_total_reads = total_reads / summary.runs;
+    summary.mean_total_bits = total_bits / summary.runs;
+  }
+  return summary;
+}
+
+BatchResult run_batch(const std::vector<BatchItem>& items,
+                      const BatchOptions& options) {
+  SSS_REQUIRE(!items.empty(), "batch needs at least one item");
+  SSS_REQUIRE(options.threads >= 0 && options.shards >= 0,
+              "thread and shard counts cannot be negative");
+  for (const BatchItem& item : items) {
+    SSS_REQUIRE(item.graph != nullptr && item.protocol != nullptr,
+                "batch item needs a graph and a protocol");
+    SSS_REQUIRE(!item.daemons.empty() && item.seeds_per_daemon >= 1,
+                "batch item needs at least one daemon and one seed");
+    SSS_REQUIRE(item.extra_steps >= 0, "extra_steps cannot be negative");
+  }
+
+  // Per-item effective run options: a problem supplies the legitimacy
+  // predicate unless the caller already set one.
+  std::vector<RunOptions> runs;
+  runs.reserve(items.size());
+  for (const BatchItem& item : items) {
+    RunOptions run = item.run;
+    if (item.problem != nullptr && !run.legitimacy) {
+      run.legitimacy = item.problem->predicate();
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Flatten the plan. trials[g] for g in [item_offset[i], item_offset[i+1])
+  // are item i's trials in (daemon-major, seed-minor) order — the order the
+  // original serial sweep produced and the order reduction consumes.
+  std::vector<TrialRef> trials;
+  std::vector<int> item_offset(items.size() + 1, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const int per_item = static_cast<int>(items[i].daemons.size()) *
+                         items[i].seeds_per_daemon;
+    item_offset[i] = static_cast<int>(trials.size());
+    for (int j = 0; j < per_item; ++j) {
+      trials.push_back({static_cast<int>(i), j});
+    }
+  }
+  item_offset[items.size()] = static_cast<int>(trials.size());
+  const int total = static_cast<int>(trials.size());
+
+  // Shards: one per item by default, so every engine a shard schedules
+  // shares its predecessors' graph/protocol slabs (warm caches); work
+  // stealing below keeps them from becoming a serialization unit. Shard
+  // granularity is per item — an item's trials always stay together — so
+  // more shards than items would just sit empty.
+  int shards = options.shards != 0 ? options.shards
+                                   : static_cast<int>(items.size());
+  shards = std::clamp(shards, 1, static_cast<int>(items.size()));
+  std::vector<std::vector<int>> shard_trials(static_cast<std::size_t>(shards));
+  for (int g = 0; g < total; ++g) {
+    shard_trials[static_cast<std::size_t>(trials[static_cast<std::size_t>(g)]
+                                              .item %
+                                          shards)]
+        .push_back(g);
+  }
+
+  std::vector<RunStats> results(static_cast<std::size_t>(total));
+  auto run_trial = [&](int global) {
+    const TrialRef ref = trials[static_cast<std::size_t>(global)];
+    const BatchItem& item = items[static_cast<std::size_t>(ref.item)];
+    const std::string& daemon_name =
+        item.daemons[static_cast<std::size_t>(ref.index_in_item) /
+                     static_cast<std::size_t>(item.seeds_per_daemon)];
+    Engine engine(
+        *item.graph, *item.protocol, make_daemon(daemon_name),
+        item.base_seed + 1 + static_cast<std::uint64_t>(ref.index_in_item));
+    engine.randomize_state();
+    RunStats stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
+    if (item.extra_steps > 0) {
+      for (int e = 0; e < item.extra_steps; ++e) engine.step();
+      stats.max_reads_per_process_step =
+          engine.read_counter().max_reads_per_process_step();
+      stats.max_bits_per_process_step =
+          engine.read_counter().max_bits_per_process_step();
+    }
+    results[static_cast<std::size_t>(global)] = stats;
+  };
+
+  int threads = options.threads != 0
+                    ? options.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::clamp(threads, 1, total);
+
+  if (threads == 1) {
+    for (int g = 0; g < total; ++g) run_trial(g);
+  } else {
+    // Per-shard cursors; claiming a trial is one fetch_add, stealing is
+    // claiming from someone else's shard after your own runs dry.
+    std::vector<std::atomic<int>> cursors(static_cast<std::size_t>(shards));
+    for (auto& cursor : cursors) cursor.store(0, std::memory_order_relaxed);
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&](int id) {
+      for (int probe = 0; probe < shards; ++probe) {
+        const std::size_t s = static_cast<std::size_t>((id + probe) % shards);
+        for (;;) {
+          const int c = cursors[s].fetch_add(1, std::memory_order_relaxed);
+          if (c >= static_cast<int>(shard_trials[s].size())) break;
+          try {
+            run_trial(shard_trials[s][static_cast<std::size_t>(c)]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& thread : pool) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Reduction in item order, each item in trial-index order: bitwise
+  // identical for every thread/shard count.
+  BatchResult out;
+  out.total_trials = total;
+  out.summaries.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out.summaries.push_back(summarize_runs(
+        results.data() + item_offset[i], item_offset[i + 1] - item_offset[i]));
+  }
+  return out;
+}
+
+}  // namespace sss

@@ -1,0 +1,123 @@
+#pragma once
+/// \file batch.hpp
+/// Sharded multi-graph batch runner: one process, one thread pool, a whole
+/// experiment plan (many graphs x daemons x seeds).
+///
+/// `sweep_convergence` runs one (graph, protocol) pair; every bench that
+/// sweeps a menagerie used to call it once per graph, so each call paid
+/// its own thread-pool spin-up and a slow graph serialized everything
+/// behind it. `run_batch` takes the whole plan instead:
+///
+///  * every item is a (graph, protocol[, problem]) triple plus the sweep
+///    shape to run on it — the graph/protocol immutables are shared by
+///    reference across all of the item's engines (engines only ever read
+///    them), so a thousand trials on one topology cost one CSR slab;
+///  * trials are grouped into *shards* (by default one per item, so a
+///    shard's engines revisit the same graph memory) and executed by a
+///    pool of workers with per-shard work stealing: a worker drains its
+///    own shard first, then pulls from the next shard cyclically, so one
+///    slow graph cannot starve the rest of the plan;
+///  * results are bit-identical at every thread/shard count: a trial's
+///    engine seed derives from its index within its item alone
+///    (base_seed + 1 + index, the sequence the original serial loop
+///    produced), and per-item reduction happens in trial-index order
+///    after all workers join. Scheduling can reorder execution, never
+///    results.
+///
+/// `BatchStore` is the companion slab for callers that build their plan's
+/// graphs/protocols/problems on the fly: pointer-stable ownership so
+/// `BatchItem`s can hold plain references into it.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/problems.hpp"
+#include "runtime/engine.hpp"
+
+namespace sss {
+
+/// One sweep unit of a batch plan. Pointers are non-owning and must
+/// outlive `run_batch`; `problem` may be null.
+struct BatchItem {
+  std::string label;
+  const Graph* graph = nullptr;
+  const Protocol* protocol = nullptr;
+  const Problem* problem = nullptr;
+  std::vector<std::string> daemons = {"distributed", "central-rr",
+                                      "synchronous"};
+  int seeds_per_daemon = 5;
+  RunOptions run;
+  std::uint64_t base_seed = 42;
+  /// Extra engine.step() calls after run() completes, before the trial's
+  /// read maxima are sampled — the post-silence window the communication-
+  /// complexity measurements need (guards keep being evaluated after
+  /// stabilization).
+  int extra_steps = 0;
+};
+
+/// Converts a `sweep_convergence` call into the equivalent batch item.
+BatchItem make_batch_item(std::string label, const Graph& g,
+                          const Protocol& protocol, const Problem* problem,
+                          const SweepOptions& options);
+
+struct BatchOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = run inline.
+  int threads = 0;
+  /// Shard count: 0 = one shard per item (the default and the maximum —
+  /// an item's trials always share a shard, so the value is clamped to
+  /// [1, item count]). Fewer shards trade stealing granularity for fewer
+  /// cursors.
+  int shards = 0;
+};
+
+struct BatchResult {
+  /// One summary per item, in item order.
+  std::vector<SweepSummary> summaries;
+  int total_trials = 0;
+};
+
+/// Runs every trial of every item and reduces per item. See the file
+/// comment for the determinism and scheduling contract.
+BatchResult run_batch(const std::vector<BatchItem>& items,
+                      const BatchOptions& options);
+
+/// Reduction shared by `run_batch` and anyone aggregating raw trial stats:
+/// folds `count` RunStats (in order) into a SweepSummary.
+SweepSummary summarize_runs(const RunStats* stats, int count);
+
+/// Pointer-stable storage for plan inputs built on the fly. Everything
+/// added lives until the store is destroyed, so batch items can reference
+/// it without ownership gymnastics.
+class BatchStore {
+ public:
+  const Graph& add(Graph g) {
+    graphs_.push_back(std::move(g));
+    return graphs_.back();
+  }
+  const Protocol& add(std::unique_ptr<Protocol> protocol) {
+    protocols_.push_back(std::move(protocol));
+    return *protocols_.back();
+  }
+  const Problem& add(std::unique_ptr<Problem> problem) {
+    problems_.push_back(std::move(problem));
+    return *problems_.back();
+  }
+
+  /// Constructs a protocol in place and returns a reference to it.
+  template <typename P, typename... Args>
+  const P& emplace_protocol(Args&&... args) {
+    protocols_.push_back(std::make_unique<P>(std::forward<Args>(args)...));
+    return static_cast<const P&>(*protocols_.back());
+  }
+
+ private:
+  std::deque<Graph> graphs_;  // deque: growth never moves stored graphs
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<std::unique_ptr<Problem>> problems_;
+};
+
+}  // namespace sss

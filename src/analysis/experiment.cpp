@@ -1,49 +1,9 @@
 #include "analysis/experiment.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
+#include "analysis/batch.hpp"
 #include "support/require.hpp"
 
 namespace sss {
-
-namespace {
-
-/// Runs `body(index)` for every index in [0, total) across `threads`
-/// workers pulling from a shared atomic counter. Exceptions are captured
-/// and the first one rethrown after all workers join.
-void parallel_for_index(int total, int threads,
-                        const std::function<void(int)>& body) {
-  if (threads <= 1 || total <= 1) {
-    for (int i = 0; i < total; ++i) body(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&]() {
-    for (;;) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-}  // namespace
 
 SweepSummary sweep_convergence(const Graph& g, const Protocol& protocol,
                                const Problem* problem,
@@ -52,69 +12,15 @@ SweepSummary sweep_convergence(const Graph& g, const Protocol& protocol,
               "sweep needs at least one daemon and one seed");
   SSS_REQUIRE(options.threads >= 0, "thread count cannot be negative");
 
-  const int total =
-      static_cast<int>(options.daemons.size()) * options.seeds_per_daemon;
-  RunOptions run = options.run;
-  if (problem != nullptr && !run.legitimacy) {
-    run.legitimacy = problem->predicate();
-  }
-
-  // Phase 1: every (daemon, seed) trial runs on its own Engine. The trial
-  // seed is base_seed + 1 + index (the same sequence the original serial
-  // loop produced), independent of scheduling.
-  std::vector<RunStats> results(static_cast<std::size_t>(total));
-  auto run_trial = [&](int index) {
-    const std::string& daemon_name =
-        options.daemons[static_cast<std::size_t>(index) /
-                        static_cast<std::size_t>(options.seeds_per_daemon)];
-    Engine engine(g, protocol, make_daemon(daemon_name),
-                  options.base_seed + 1 + static_cast<std::uint64_t>(index));
-    engine.randomize_state();
-    results[static_cast<std::size_t>(index)] = engine.run(run);
-  };
-  int threads = options.threads != 0
-                    ? options.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::clamp(threads, 1, total);
-  parallel_for_index(total, threads, run_trial);
-
-  // Phase 2: sequential reduction in trial order — bitwise identical for
-  // every thread count.
-  SweepSummary summary;
-  std::vector<double> rounds_to_silence;
-  std::vector<double> steps_to_silence;
-  std::vector<double> rounds_to_legitimate;
-  double total_reads = 0.0;
-  double total_bits = 0.0;
-  for (const RunStats& stats : results) {
-    ++summary.runs;
-    if (stats.silent) {
-      ++summary.silent_runs;
-      rounds_to_silence.push_back(static_cast<double>(stats.rounds_to_silence));
-      steps_to_silence.push_back(static_cast<double>(stats.steps_to_silence));
-      summary.max_rounds_to_silence =
-          std::max(summary.max_rounds_to_silence, stats.rounds_to_silence);
-      summary.max_steps_to_silence =
-          std::max(summary.max_steps_to_silence, stats.steps_to_silence);
-    }
-    if (stats.reached_legitimate) {
-      rounds_to_legitimate.push_back(
-          static_cast<double>(stats.rounds_to_legitimate));
-    }
-    summary.k_measured =
-        std::max(summary.k_measured, stats.max_reads_per_process_step);
-    summary.bits_measured =
-        std::max(summary.bits_measured, stats.max_bits_per_process_step);
-    total_reads += static_cast<double>(stats.total_reads);
-    total_bits += static_cast<double>(stats.total_read_bits);
-  }
-
-  summary.rounds_to_silence = summarize(std::move(rounds_to_silence));
-  summary.steps_to_silence = summarize(std::move(steps_to_silence));
-  summary.rounds_to_legitimate = summarize(std::move(rounds_to_legitimate));
-  summary.mean_total_reads = total_reads / summary.runs;
-  summary.mean_total_bits = total_bits / summary.runs;
-  return summary;
+  // A sweep is the one-item batch: same trial seeds (base_seed + 1 + index),
+  // same daemon-major order, same reduction — run_batch carries the
+  // determinism contract.
+  const std::vector<BatchItem> plan = {
+      make_batch_item(g.name(), g, protocol, problem, options)};
+  BatchOptions batch;
+  batch.threads = options.threads;
+  batch.shards = 1;
+  return run_batch(plan, batch).summaries.front();
 }
 
 }  // namespace sss

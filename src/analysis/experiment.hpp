@@ -7,6 +7,10 @@
 /// owns a private Engine whose seed is derived from its trial index alone,
 /// and aggregation happens in trial-index order after all workers join, so
 /// the thread count can never leak into the results.
+///
+/// A sweep is the single-item case of the sharded multi-graph batch runner
+/// (analysis/batch.hpp), which `sweep_convergence` routes through; callers
+/// sweeping many graphs should build one batch plan instead of looping.
 
 #include <cstdint>
 #include <string>

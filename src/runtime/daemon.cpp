@@ -8,17 +8,30 @@ namespace sss {
 
 namespace {
 
-/// Appends every enabled id; if none, appends every id (the step becomes a
-/// no-op, which the paper's footnote 1 permits: gamma_{i+1} = gamma_i).
-void all_enabled_or_everyone(const Graph& g,
-                             const std::vector<std::uint8_t>& enabled,
+/// Appends every enabled id in ascending order; if none, appends every id
+/// (the step becomes a no-op, which the paper's footnote 1 permits:
+/// gamma_{i+1} = gamma_i).
+void all_enabled_or_everyone(const Graph& g, const EnabledSet& enabled,
                              std::vector<ProcessId>& out) {
-  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
-    if (enabled[static_cast<std::size_t>(p)]) out.push_back(p);
-  }
-  if (out.empty()) {
+  if (enabled.empty()) {
     for (ProcessId p = 0; p < g.num_vertices(); ++p) out.push_back(p);
+    return;
   }
+  enabled.for_each([&](ProcessId p) { out.push_back(p); });
+}
+
+/// One uniformly random enabled process; falls back to a uniformly random
+/// process (no-op step) when nothing is enabled. The enabled branch indexes
+/// the set in ascending id order, exactly the draw the historical
+/// sorted-scratch-vector implementation made.
+ProcessId uniform_enabled_or_anyone(const Graph& g, const EnabledSet& enabled,
+                                    Rng& rng) {
+  if (enabled.empty()) {
+    return static_cast<ProcessId>(
+        rng.below(static_cast<std::uint64_t>(g.num_vertices())));
+  }
+  return enabled.kth(static_cast<int>(
+      rng.below(static_cast<std::uint64_t>(enabled.count()))));
 }
 
 class SynchronousDaemon final : public Daemon {
@@ -27,8 +40,7 @@ class SynchronousDaemon final : public Daemon {
     static const std::string kName = "synchronous";
     return kName;
   }
-  bool wants_enabled() const override { return true; }
-  void select(const Graph& g, const std::vector<std::uint8_t>& enabled, Rng&,
+  void select(const Graph& g, const EnabledSet& enabled, Rng&,
               std::vector<ProcessId>& out) override {
     all_enabled_or_everyone(g, enabled, out);
   }
@@ -40,21 +52,16 @@ class CentralRoundRobinDaemon final : public Daemon {
     static const std::string kName = "central-rr";
     return kName;
   }
-  bool wants_enabled() const override { return true; }
-  void select(const Graph& g, const std::vector<std::uint8_t>& enabled, Rng&,
+  void select(const Graph& g, const EnabledSet& enabled, Rng&,
               std::vector<ProcessId>& out) override {
-    const int n = g.num_vertices();
-    for (int offset = 1; offset <= n; ++offset) {
-      const ProcessId p = static_cast<ProcessId>((last_ + offset) % n);
-      if (enabled[static_cast<std::size_t>(p)]) {
-        last_ = p;
-        out.push_back(p);
-        return;
-      }
+    const ProcessId next = enabled.next_cyclic(last_);
+    if (next >= 0) {
+      last_ = next;
+    } else {
+      // Nobody enabled: select the next process anyway (no-op step) so the
+      // daemon still covers everyone for round accounting.
+      last_ = static_cast<ProcessId>((last_ + 1) % g.num_vertices());
     }
-    // Nobody enabled: select the next process anyway (no-op step) so the
-    // daemon still covers everyone for round accounting.
-    last_ = static_cast<ProcessId>((last_ + 1) % n);
     out.push_back(last_);
   }
 
@@ -68,16 +75,10 @@ class CentralRandomDaemon final : public Daemon {
     static const std::string kName = "central-random";
     return kName;
   }
-  bool wants_enabled() const override { return true; }
-  void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
-              Rng& rng, std::vector<ProcessId>& out) override {
-    scratch_.clear();
-    all_enabled_or_everyone(g, enabled, scratch_);
-    out.push_back(scratch_[rng.below(scratch_.size())]);
+  void select(const Graph& g, const EnabledSet& enabled, Rng& rng,
+              std::vector<ProcessId>& out) override {
+    out.push_back(uniform_enabled_or_anyone(g, enabled, rng));
   }
-
- private:
-  std::vector<ProcessId> scratch_;
 };
 
 class DistributedRandomDaemon final : public Daemon {
@@ -90,14 +91,22 @@ class DistributedRandomDaemon final : public Daemon {
     static const std::string kName = "distributed";
     return kName;
   }
-  bool wants_enabled() const override { return false; }
-  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng& rng,
+  void select(const Graph& g, const EnabledSet& enabled, Rng& rng,
               std::vector<ProcessId>& out) override {
-    // Redraw until non-empty; expected < 2 draws for any n and q >= 0.5/n.
+    if (enabled.empty()) {
+      // Silent (or locally quiet) configuration: every selection is a
+      // no-op; one uniformly random process keeps the step non-empty and
+      // the daemon fair without an O(n) coin pass.
+      out.push_back(static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(g.num_vertices()))));
+      return;
+    }
+    // Independent q-coins over the enabled set only; redraw until
+    // non-empty (expected < 2 passes for q >= 0.5). Disabled processes
+    // would be no-ops anyway and are covered for round accounting the
+    // moment the engine observes them disabled.
     while (out.empty()) {
-      for (ProcessId p = 0; p < g.num_vertices(); ++p) {
-        if (rng.chance(q_)) out.push_back(p);
-      }
+      enabled.sample(rng, q_, out);
     }
   }
 
@@ -111,8 +120,7 @@ class FairEnumeratorDaemon final : public Daemon {
     static const std::string kName = "enumerator";
     return kName;
   }
-  bool wants_enabled() const override { return false; }
-  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng&,
+  void select(const Graph& g, const EnabledSet&, Rng&,
               std::vector<ProcessId>& out) override {
     out.push_back(next_);
     next_ = static_cast<ProcessId>((next_ + 1) % g.num_vertices());
@@ -128,19 +136,16 @@ class AdversarialClusterDaemon final : public Daemon {
     static const std::string kName = "adversarial";
     return kName;
   }
-  bool wants_enabled() const override { return true; }
-  void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
-              Rng& rng, std::vector<ProcessId>& out) override {
+  void select(const Graph& g, const EnabledSet& enabled, Rng& rng,
+              std::vector<ProcessId>& out) override {
     const int n = g.num_vertices();
     if (idle_steps_.empty()) {
       idle_steps_.assign(static_cast<std::size_t>(n), 0);
     }
-    scratch_.clear();
-    all_enabled_or_everyone(g, enabled, scratch_);
-    const ProcessId seed_process = scratch_[rng.below(scratch_.size())];
+    const ProcessId seed_process = uniform_enabled_or_anyone(g, enabled, rng);
     out.push_back(seed_process);
     for (ProcessId q : g.neighbors(seed_process)) {
-      if (enabled[static_cast<std::size_t>(q)]) out.push_back(q);
+      if (enabled.test(q)) out.push_back(q);
     }
     // Starvation patch: stay fair by force-selecting long-idle processes.
     const int patience = 8 * n;
@@ -158,7 +163,6 @@ class AdversarialClusterDaemon final : public Daemon {
   }
 
  private:
-  std::vector<ProcessId> scratch_;
   std::vector<int> idle_steps_;
 };
 

@@ -13,9 +13,10 @@
 ///  * `CentralRoundRobinDaemon` — one process per step, cyclic among the
 ///    enabled ones (classic fair central daemon).
 ///  * `CentralRandomDaemon` — one uniformly random enabled process.
-///  * `DistributedRandomDaemon` — every process tossed in independently
-///    with probability q (redrawn if empty); selects disabled processes
-///    too, which makes it fair in the paper's literal sense.
+///  * `DistributedRandomDaemon` — every *enabled* process tossed in
+///    independently with probability q (redrawn while empty); when nothing
+///    is enabled the step is a no-op and one uniformly random process is
+///    selected so the computation stays well formed.
 ///  * `FairEnumeratorDaemon` — step i selects process i mod n; the simplest
 ///    deterministic fair daemon (a round is exactly n steps).
 ///  * `AdversarialClusterDaemon` — picks an enabled process and co-selects
@@ -23,12 +24,18 @@
 ///    moves (the hostile case for randomized symmetry breaking); a
 ///    starvation patch force-includes any process unselected for 8n steps
 ///    so the daemon stays fair.
+///
+/// Selection is fed from an `EnabledSet` the engine maintains
+/// incrementally (see enabled_set.hpp), so no daemon rescans an n-entry
+/// bitmap per step: the historical O(n) floor of the random daemons is
+/// gone, and per-step daemon cost tracks the size of the answer.
 
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/enabled_set.hpp"
 #include "support/rng.hpp"
 
 namespace sss {
@@ -39,13 +46,11 @@ class Daemon {
 
   virtual const std::string& name() const = 0;
 
-  /// True if `select` wants the `enabled` bitmap filled in.
-  virtual bool wants_enabled() const = 0;
-
-  /// Chooses the step's selection. `enabled[p]` is meaningful only when
-  /// wants_enabled(). Must write at least one distinct id into `out`.
-  virtual void select(const Graph& g, const std::vector<std::uint8_t>& enabled,
-                      Rng& rng, std::vector<ProcessId>& out) = 0;
+  /// Chooses the step's selection from the current enabled set. Must write
+  /// at least one id into `out`, distinct and in strictly ascending order —
+  /// the engine commits selections as-is, with no normalization pass.
+  virtual void select(const Graph& g, const EnabledSet& enabled, Rng& rng,
+                      std::vector<ProcessId>& out) = 0;
 };
 
 std::unique_ptr<Daemon> make_synchronous_daemon();

@@ -13,8 +13,11 @@ Engine::Engine(const Graph& g, const Protocol& protocol,
       daemon_(std::move(daemon)),
       rng_(seed),
       config_(g, protocol.spec()),
-      enabled_(static_cast<std::size_t>(g.num_vertices()), 0),
+      enabled_(g.num_vertices()),
       probe_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
+      probe_action_(static_cast<std::size_t>(g.num_vertices()),
+                    Protocol::kDisabled),
+      probe_reads_(static_cast<std::size_t>(g.num_vertices())),
       covered_(static_cast<std::size_t>(g.num_vertices()), 0),
       solo_active_(static_cast<std::size_t>(g.num_vertices()), 0),
       solo_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
@@ -91,14 +94,18 @@ void Engine::refresh_enabled() {
     const ProcessId p = dirty_queue_.back();
     dirty_queue_.pop_back();
     probe_dirty_[static_cast<std::size_t>(p)] = 0;
-    // Probes are simulator devices: no read logging, no rng consumption
-    // (guards are deterministic; only actions may draw randomness).
-    GuardContext guard(graph_, config_, p, nullptr);
-    const std::uint8_t now =
-        protocol_.first_enabled(guard) != Protocol::kDisabled ? 1 : 0;
-    enabled_count_ += static_cast<int>(now) -
-                      static_cast<int>(enabled_[static_cast<std::size_t>(p)]);
-    enabled_[static_cast<std::size_t>(p)] = now;
+    // Probes are simulator devices: no rng consumption (guards are
+    // deterministic; only actions may draw randomness) and nothing lands
+    // in the model's read counters — the guard's reads are recorded into
+    // the memo instead, to be replayed if the process is selected.
+    auto& reads = probe_reads_[static_cast<std::size_t>(p)];
+    reads.clear();
+    probe_recorder_.target = &reads;
+    GuardContext guard(graph_, config_, p, &probe_recorder_);
+    const int action = protocol_.first_enabled(guard);
+    probe_action_[static_cast<std::size_t>(p)] = action;
+    const bool now = action != Protocol::kDisabled;
+    enabled_.assign(p, now);
     // A process observed disabled is covered for the current round; this is
     // the only way "disabled at some moment" can begin mid-round, which is
     // what lets step() skip the all-vertices covering walk.
@@ -109,12 +116,12 @@ void Engine::refresh_enabled() {
 bool Engine::is_enabled(ProcessId p) {
   SSS_REQUIRE(p >= 0 && p < graph_.num_vertices(), "process id out of range");
   refresh_enabled();
-  return enabled_[static_cast<std::size_t>(p)] != 0;
+  return enabled_.test(p);
 }
 
 int Engine::num_enabled() {
   refresh_enabled();
-  return enabled_count_;
+  return enabled_.count();
 }
 
 bool Engine::quiescent() const {
@@ -164,7 +171,7 @@ void Engine::reset_round() {
   std::fill(covered_.begin(), covered_.end(), 0);
   covered_count_ = 0;
   for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
-    if (!enabled_[static_cast<std::size_t>(p)]) {
+    if (!enabled_.test(p)) {
       covered_[static_cast<std::size_t>(p)] = 1;
       ++covered_count_;
     }
@@ -178,22 +185,39 @@ Engine::StepInfo Engine::step() {
   selection_.clear();
   daemon_->select(graph_, enabled_, rng_, selection_);
   SSS_ASSERT(!selection_.empty(), "daemon selected an empty set");
-  if (selection_.size() > 1) {
-    std::sort(selection_.begin(), selection_.end());
-    selection_.erase(std::unique(selection_.begin(), selection_.end()),
-                     selection_.end());
+  // The Daemon contract (strictly ascending, hence distinct) replaces the
+  // old per-step sort+unique normalization. The check is always on — a
+  // duplicate would double-fire a process and silently corrupt metrics —
+  // but O(k), unlike the O(k log k) sort it retired.
+  for (std::size_t i = 1; i < selection_.size(); ++i) {
+    SSS_ASSERT(selection_[i - 1] < selection_[i],
+               "daemon selections must be strictly ascending");
   }
 
   read_counter_.begin_step();
 
   // Phase 1: every selected process evaluates against the gamma_i snapshot.
-  // staged_ grows monotonically and its write buffers keep their capacity,
-  // so this loop allocates nothing in steady state.
+  // The guard half is replayed from the memo (invariant 4): the refresh
+  // above drained the dirty queue, so each memo holds exactly the action
+  // and read log a live first_enabled run would produce now. staged_ grows
+  // monotonically and its write buffers keep their capacity, so this loop
+  // allocates nothing in steady state.
   const std::size_t selected = selection_.size();
   if (staged_.size() < selected) staged_.resize(selected);
   for (std::size_t i = 0; i < selected; ++i) {
-    evaluate_process_into(graph_, protocol_, config_, selection_[i], rng_,
-                          &logger_mux_, staged_[i]);
+    const ProcessId p = selection_[i];
+    ProcessStep& staged = staged_[i];
+    staged.writes.clear();
+    staged.comm_write_attempted = false;
+    for (const auto& [subject, var] : probe_reads_[static_cast<std::size_t>(p)]) {
+      logger_mux_.on_read(p, subject, var);
+    }
+    staged.action = probe_action_[static_cast<std::size_t>(p)];
+    if (staged.action == Protocol::kDisabled) continue;
+    ActionContext action(graph_, config_, p, rng_, &logger_mux_,
+                         &staged.writes);
+    protocol_.execute(staged.action, action);
+    staged.comm_write_attempted = action.comm_write_attempted();
   }
 
   // Phase 2: simultaneous commit forms gamma_{i+1}.

@@ -16,6 +16,7 @@ ReferenceEngine::ReferenceEngine(const Graph& g, const Protocol& protocol,
       rng_(seed),
       config_(g, protocol.spec()),
       enabled_(static_cast<std::size_t>(g.num_vertices()), 0),
+      enabled_set_(g.num_vertices()),
       probe_valid_(static_cast<std::size_t>(g.num_vertices()), 0),
       covered_(static_cast<std::size_t>(g.num_vertices()), 0),
       read_counter_(g, protocol.spec()) {
@@ -88,8 +89,12 @@ std::uint64_t ReferenceEngine::rounds_inclusive() const {
 Engine::StepInfo ReferenceEngine::step() {
   refresh_enabled();
 
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    enabled_set_.assign(p, enabled_[static_cast<std::size_t>(p)] != 0);
+  }
+
   selection_.clear();
-  daemon_->select(graph_, enabled_, rng_, selection_);
+  daemon_->select(graph_, enabled_set_, rng_, selection_);
   SSS_ASSERT(!selection_.empty(), "daemon selected an empty set");
   std::sort(selection_.begin(), selection_.end());
   selection_.erase(std::unique(selection_.begin(), selection_.end()),

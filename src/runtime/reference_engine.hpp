@@ -71,6 +71,9 @@ class ReferenceEngine {
   Configuration config_;
 
   std::vector<std::uint8_t> enabled_;
+  /// Rebuilt from `enabled_` by a full O(n) pass before every daemon call —
+  /// the reference answer the incremental engine's set must match.
+  EnabledSet enabled_set_;
   std::vector<std::uint8_t> probe_valid_;
 
   std::vector<std::uint8_t> covered_;

@@ -27,8 +27,7 @@ class UniformCentralDaemon final : public Daemon {
     static const std::string kName = "uniform-central";
     return kName;
   }
-  bool wants_enabled() const override { return false; }
-  void select(const Graph& g, const std::vector<std::uint8_t>&, Rng& rng,
+  void select(const Graph& g, const EnabledSet&, Rng& rng,
               std::vector<ProcessId>& out) override {
     out.push_back(static_cast<ProcessId>(
         rng.below(static_cast<std::uint64_t>(g.num_vertices()))));

@@ -1,13 +1,19 @@
-/// Tests for the daemon family: selection shape, fairness, and the factory.
+/// Tests for the daemon family: selection shape, fairness, the factory,
+/// and the enabled-set feed — daemons now consume the engine-maintained
+/// `EnabledSet` instead of rescanning an n-byte bitmap, and the random
+/// daemons must keep their historical sorted-enumeration semantics.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
+#include "core/coloring_protocol.hpp"
 #include "graph/builders.hpp"
 #include "runtime/daemon.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/enabled_set.hpp"
+#include "runtime/reference_engine.hpp"
 #include "support/require.hpp"
 #include "test_util.hpp"
 
@@ -17,8 +23,42 @@ namespace {
 using testing::AlwaysFlip;
 using testing::Inert;
 
-std::vector<std::uint8_t> all_enabled(int n) {
-  return std::vector<std::uint8_t>(static_cast<std::size_t>(n), 1);
+EnabledSet set_from_bitmap(const std::vector<std::uint8_t>& bitmap) {
+  EnabledSet set(static_cast<int>(bitmap.size()));
+  for (std::size_t p = 0; p < bitmap.size(); ++p) {
+    set.assign(static_cast<ProcessId>(p), bitmap[p] != 0);
+  }
+  return set;
+}
+
+EnabledSet all_enabled(int n) {
+  return set_from_bitmap(std::vector<std::uint8_t>(
+      static_cast<std::size_t>(n), 1));
+}
+
+TEST(EnabledSetTest, AssignCountKthNextCyclic) {
+  EnabledSet set(130);  // spans three words
+  EXPECT_EQ(set.count(), 0);
+  EXPECT_EQ(set.next_cyclic(5), -1);
+  for (ProcessId p : {3, 64, 65, 129}) set.assign(p, true);
+  set.assign(64, true);  // idempotent
+  EXPECT_EQ(set.count(), 4);
+  EXPECT_TRUE(set.test(64));
+  EXPECT_FALSE(set.test(63));
+  EXPECT_EQ(set.kth(0), 3);
+  EXPECT_EQ(set.kth(1), 64);
+  EXPECT_EQ(set.kth(2), 65);
+  EXPECT_EQ(set.kth(3), 129);
+  EXPECT_EQ(set.next_cyclic(-1), 3);
+  EXPECT_EQ(set.next_cyclic(3), 64);
+  EXPECT_EQ(set.next_cyclic(129), 3);  // wraps
+  set.assign(64, false);
+  set.assign(64, false);  // idempotent
+  EXPECT_EQ(set.count(), 3);
+  EXPECT_EQ(set.kth(1), 65);
+  std::vector<ProcessId> seen;
+  set.for_each([&](ProcessId p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<ProcessId>{3, 65, 129}));
 }
 
 TEST(Daemons, FactoryKnowsAllNames) {
@@ -32,7 +72,7 @@ TEST(Daemons, FactoryKnowsAllNames) {
 TEST(Daemons, SynchronousSelectsExactlyTheEnabled) {
   const Graph g = path(5);
   auto daemon = make_synchronous_daemon();
-  std::vector<std::uint8_t> enabled = {1, 0, 1, 0, 1};
+  const EnabledSet enabled = set_from_bitmap({1, 0, 1, 0, 1});
   Rng rng(1);
   std::vector<ProcessId> out;
   daemon->select(g, enabled, rng, out);
@@ -42,7 +82,7 @@ TEST(Daemons, SynchronousSelectsExactlyTheEnabled) {
 TEST(Daemons, SynchronousFallsBackToEveryone) {
   const Graph g = path(3);
   auto daemon = make_synchronous_daemon();
-  std::vector<std::uint8_t> enabled = {0, 0, 0};
+  const EnabledSet enabled(3);
   Rng rng(1);
   std::vector<ProcessId> out;
   daemon->select(g, enabled, rng, out);
@@ -54,12 +94,12 @@ TEST(Daemons, CentralDaemonsPickOneEnabledProcess) {
   Rng rng(2);
   for (const char* name : {"central-rr", "central-random"}) {
     auto daemon = make_daemon(name);
-    std::vector<std::uint8_t> enabled = {0, 1, 0, 1, 1, 0};
+    const EnabledSet enabled = set_from_bitmap({0, 1, 0, 1, 1, 0});
     for (int step = 0; step < 20; ++step) {
       std::vector<ProcessId> out;
       daemon->select(g, enabled, rng, out);
       ASSERT_EQ(out.size(), 1u) << name;
-      EXPECT_TRUE(enabled[static_cast<std::size_t>(out[0])]) << name;
+      EXPECT_TRUE(enabled.test(out[0])) << name;
     }
   }
 }
@@ -83,7 +123,7 @@ TEST(Daemons, EnumeratorIsPeriodic) {
   Rng rng(4);
   for (int step = 0; step < 9; ++step) {
     std::vector<ProcessId> out;
-    daemon->select(g, {}, rng, out);
+    daemon->select(g, EnabledSet(3), rng, out);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0], step % 3);
   }
@@ -95,7 +135,7 @@ TEST(Daemons, DistributedSelectsNonEmptySubsets) {
   Rng rng(5);
   for (int step = 0; step < 100; ++step) {
     std::vector<ProcessId> out;
-    daemon->select(g, {}, rng, out);
+    daemon->select(g, all_enabled(8), rng, out);
     EXPECT_GE(out.size(), 1u);
     std::set<ProcessId> dedup(out.begin(), out.end());
     EXPECT_EQ(dedup.size(), out.size());
@@ -109,15 +149,71 @@ TEST(Daemons, DistributedIsFairOverWindows) {
   std::vector<int> selected(6, 0);
   for (int step = 0; step < 200; ++step) {
     std::vector<ProcessId> out;
-    daemon->select(g, {}, rng, out);
+    daemon->select(g, all_enabled(6), rng, out);
     for (ProcessId p : out) ++selected[static_cast<std::size_t>(p)];
   }
   for (int count : selected) EXPECT_GT(count, 50);
 }
 
+TEST(Daemons, DistributedTossesCoinsOverTheEnabledSetOnly) {
+  const Graph g = path(8);
+  auto daemon = make_distributed_random_daemon(0.5);
+  Rng rng(9);
+  const EnabledSet enabled = set_from_bitmap({0, 1, 0, 0, 1, 1, 0, 1});
+  for (int step = 0; step < 50; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, enabled, rng, out);
+    ASSERT_GE(out.size(), 1u);
+    for (ProcessId p : out) EXPECT_TRUE(enabled.test(p));
+  }
+}
+
+TEST(Daemons, DistributedFallsBackToOneProcessWhenNothingEnabled) {
+  const Graph g = path(8);
+  auto daemon = make_distributed_random_daemon(0.5);
+  Rng rng(10);
+  for (int step = 0; step < 50; ++step) {
+    std::vector<ProcessId> out;
+    daemon->select(g, EnabledSet(8), rng, out);
+    ASSERT_EQ(out.size(), 1u);  // no-op step: one process, zero O(n) passes
+    EXPECT_GE(out[0], 0);
+    EXPECT_LT(out[0], 8);
+  }
+}
+
 TEST(Daemons, DistributedRejectsBadProbability) {
   EXPECT_THROW(make_distributed_random_daemon(0.0), PreconditionError);
   EXPECT_THROW(make_distributed_random_daemon(1.5), PreconditionError);
+}
+
+/// The enabled-set feed must not change what "uniform over the enabled
+/// processes" means: central-random's draw indexes the enabled ids in
+/// ascending order, exactly as the retired sorted-scratch scan did.
+TEST(Daemons, CentralRandomKeepsSortedEnumerationSemantics) {
+  const Graph g = path(10);
+  const std::vector<std::vector<std::uint8_t>> patterns = {
+      {0, 1, 0, 1, 1, 0, 0, 1, 0, 1}, {1, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 0}};
+  for (const auto& bitmap : patterns) {
+    const EnabledSet enabled = set_from_bitmap(bitmap);
+    auto daemon = make_central_random_daemon();
+    Rng rng(77);
+    Rng oracle_rng = rng;  // identical stream for the scratch-scan oracle
+    for (int step = 0; step < 40; ++step) {
+      std::vector<ProcessId> out;
+      daemon->select(g, enabled, rng, out);
+      std::vector<ProcessId> scratch;  // the pre-EnabledSet implementation
+      for (ProcessId p = 0; p < 10; ++p) {
+        if (bitmap[static_cast<std::size_t>(p)]) scratch.push_back(p);
+      }
+      if (scratch.empty()) {
+        for (ProcessId p = 0; p < 10; ++p) scratch.push_back(p);
+      }
+      const ProcessId expected = scratch[oracle_rng.below(scratch.size())];
+      ASSERT_EQ(out, (std::vector<ProcessId>{expected})) << "step " << step;
+    }
+  }
 }
 
 TEST(Daemons, AdversarialSelectsClusters) {
@@ -168,6 +264,34 @@ TEST(Daemons, InertProtocolMakesNoOpSteps) {
     EXPECT_EQ(info.fired, 0);
   }
   EXPECT_TRUE(before == engine.config());
+}
+
+/// Regression for the enabled-set feed: the random daemons driven by the
+/// incremental engine's set must match the full-scan ReferenceEngine
+/// step-for-step on the whole menagerie — selections, firings, and
+/// configurations alike.
+TEST(Daemons, EnabledSetFedRandomDaemonsMatchReferenceEngine) {
+  for (const auto& named : testing::sweep_graphs()) {
+    const ColoringProtocol protocol(named.graph);
+    for (const char* daemon_name : {"central-random", "distributed"}) {
+      Engine fast(named.graph, protocol, make_daemon(daemon_name), 4242);
+      ReferenceEngine oracle(named.graph, protocol, make_daemon(daemon_name),
+                             4242);
+      fast.randomize_state();
+      oracle.randomize_state();
+      ASSERT_TRUE(fast.config() == oracle.config());
+      for (int step = 0; step < 200; ++step) {
+        const Engine::StepInfo a = fast.step();
+        const Engine::StepInfo b = oracle.step();
+        ASSERT_EQ(a.selected, b.selected)
+            << named.label << "/" << daemon_name << " step " << step;
+        ASSERT_EQ(a.fired, b.fired)
+            << named.label << "/" << daemon_name << " step " << step;
+        ASSERT_TRUE(fast.config() == oracle.config())
+            << named.label << "/" << daemon_name << " diverged at " << step;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json files and gate on regressions.
+
+Every bench binary in this repository emits a flat machine-readable record
+set next to its text table (see src/support/bench_json.hpp):
+
+    {"bench": "<name>", "records": [{"key": value, ...}, ...]}
+
+This tool pairs the baseline and current record sets, prints a per-metric
+delta table, and exits non-zero when a *gated* metric regresses past the
+threshold (default 10%). Records are matched by their identity — the
+tuple of string/bool fields — so reordering records or adding new ones
+never produces false deltas.
+
+Metric direction is inferred from the name:
+  * gated (higher is better): contains "speedup" — same-run ratios
+    (incremental vs reference engine, pooled vs serial batch), which
+    compare two measurements taken on the same machine in the same
+    process and therefore survive runner-hardware changes;
+  * informational: absolute wall-clock numbers ("per_sec", "throughput")
+    and convergence statistics (rounds, steps, bits). The former swing
+    with the runner the sample landed on, the latter describe the
+    protocols, not the implementation — both are reported, never gated.
+
+A baseline record (or whole bench) that carried gated metrics but is
+missing from the current run FAILS the gate: a regression must not be
+able to escape by renaming or deleting its record.
+
+Exit codes: 0 = no gated regression (including "no baseline yet"),
+1 = regression past threshold or vanished gated record, 2 = usage or
+malformed input.
+
+Reproduce the CI gate locally:
+
+    ./build/bench_engine_hotpath --quick        # writes BENCH_*.json
+    mkdir -p /tmp/bench-current && mv BENCH_*.json /tmp/bench-current
+    python3 tools/bench_diff.py <baseline-dir> /tmp/bench-current
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+GATED_HINTS = ("speedup",)
+
+
+def is_gated(metric: str) -> bool:
+    return any(hint in metric for hint in GATED_HINTS)
+
+
+def load_benches(directory: Path) -> dict[str, list[dict]]:
+    """Maps bench name -> records for every BENCH_*.json in directory."""
+    benches: dict[str, list[dict]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: cannot parse {path}: {error}")
+        name = doc.get("bench")
+        records = doc.get("records")
+        if not isinstance(name, str) or not isinstance(records, list):
+            if "context" in doc and "benchmarks" in doc:
+                # google-benchmark native output (bench_engine_throughput):
+                # absolute timings only, which are never gated anyway.
+                print(f"notice: {path.name} is google-benchmark format; "
+                      "skipped (absolute timings are not gated)")
+                continue
+            raise SystemExit(f"error: {path} is not a bench record document")
+        benches[name] = records
+    return benches
+
+
+def record_key(record: dict) -> tuple:
+    """Identity of a record: its non-numeric fields, sorted by key."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in record.items()
+            if isinstance(v, (str, bool))
+        )
+    )
+
+
+def numeric_fields(record: dict) -> dict[str, float]:
+    return {
+        k: float(v)
+        for k, v in record.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+class Row:
+    def __init__(self, bench, key, metric, base, cur, gated, regressed):
+        self.bench = bench
+        self.key = key
+        self.metric = metric
+        self.base = base
+        self.cur = cur
+        self.gated = gated
+        self.regressed = regressed
+
+    @property
+    def delta_pct(self) -> float:
+        if self.base == 0:
+            return math.inf if self.cur != 0 else 0.0
+        return 100.0 * (self.cur - self.base) / abs(self.base)
+
+    def status(self) -> str:
+        if not self.gated:
+            return "info"
+        return "REGRESSED" if self.regressed else "ok"
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float) -> tuple[list[Row], list[str]]:
+    """Returns (delta rows, descriptions of vanished gated records)."""
+    rows: list[Row] = []
+    vanished: list[str] = []
+    for bench, base_records in sorted(baseline.items()):
+        cur_records = current.get(bench)
+        if cur_records is None:
+            if any(is_gated(m) for r in base_records
+                   for m in numeric_fields(r)):
+                vanished.append(f"bench '{bench}' (gated) missing from "
+                                "current run")
+            else:
+                print(f"notice: bench '{bench}' missing from current run")
+            continue
+        cur_by_key = {record_key(r): r for r in cur_records}
+        for base_record in base_records:
+            key = record_key(base_record)
+            cur_record = cur_by_key.get(key)
+            if cur_record is None:
+                label = ", ".join(f"{k}={v}" for k, v in key)
+                if any(is_gated(m) for m in numeric_fields(base_record)):
+                    vanished.append(f"gated record [{label}] of '{bench}' "
+                                    "missing from current run")
+                else:
+                    print(f"notice: record [{label}] of '{bench}' missing "
+                          "from current run")
+                continue
+            base_metrics = numeric_fields(base_record)
+            cur_metrics = numeric_fields(cur_record)
+            for metric in sorted(base_metrics):
+                if metric not in cur_metrics:
+                    label = ", ".join(f"{k}={v}" for k, v in key)
+                    if is_gated(metric):
+                        vanished.append(f"gated metric '{metric}' of record "
+                                        f"[{label}] in '{bench}' missing "
+                                        "from current run")
+                    else:
+                        print(f"notice: metric '{metric}' of record "
+                              f"[{label}] in '{bench}' missing from "
+                              "current run")
+                    continue
+                base_value = base_metrics[metric]
+                cur_value = cur_metrics[metric]
+                gated = is_gated(metric)
+                regressed = (
+                    gated
+                    and base_value > 0
+                    and cur_value < base_value * (1.0 - threshold)
+                )
+                rows.append(Row(bench, key, metric, base_value, cur_value,
+                                gated, regressed))
+    return rows, vanished
+
+
+def key_label(key: tuple) -> str:
+    return "/".join(str(v) for _, v in key) or "-"
+
+
+def text_table(rows: list[Row], verbose: bool) -> str:
+    shown = [r for r in rows if verbose or r.gated]
+    if not shown:
+        return "(no gated metrics in common)"
+    headers = ["bench", "record", "metric", "baseline", "current", "delta",
+               "status"]
+    cells = [
+        [r.bench, key_label(r.key), r.metric, f"{r.base:.6g}",
+         f"{r.cur:.6g}", f"{r.delta_pct:+.1f}%", r.status()]
+        for r in shown
+    ]
+    widths = [max(len(h), *(len(c[i]) for c in cells))
+              for i, h in enumerate(headers)]
+    def fmt(row):
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(c) for c in cells)
+    return "\n".join(lines)
+
+
+def markdown_table(rows: list[Row], threshold: float) -> str:
+    shown = [r for r in rows if r.gated]
+    lines = [
+        "### Bench gate",
+        "",
+        f"Gated metrics ({', '.join(GATED_HINTS)}), regression "
+        f"threshold {threshold:.0%}.",
+        "",
+        "| bench | record | metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for r in shown:
+        status = "❌ regressed" if r.regressed else "✅ ok"
+        lines.append(
+            f"| {r.bench} | {key_label(r.key)} | {r.metric} | {r.base:.6g} "
+            f"| {r.cur:.6g} | {r.delta_pct:+.1f}% | {status} |"
+        )
+    if not shown:
+        lines.append("| _none_ | | | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="directory with baseline BENCH_*.json files")
+    parser.add_argument("current", type=Path,
+                        help="directory with current BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="gated regression threshold as a fraction "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        help="append a markdown delta table to this file "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print informational (non-gated) metrics")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the delta table (exit code only)")
+    args = parser.parse_args()
+
+    if not (0.0 < args.threshold < 1.0):
+        print("error: --threshold must be a fraction in (0, 1)",
+              file=sys.stderr)
+        return 2
+    if not args.current.is_dir():
+        print(f"error: current directory {args.current} not found",
+              file=sys.stderr)
+        return 2
+    if not args.baseline.is_dir():
+        print(f"notice: no baseline at {args.baseline}; first run passes "
+              "vacuously")
+        return 0
+
+    baseline = load_benches(args.baseline)
+    current = load_benches(args.current)
+    if not baseline:
+        print("notice: baseline has no BENCH_*.json; first run passes "
+              "vacuously")
+        return 0
+
+    rows, vanished = compare(baseline, current, args.threshold)
+    if not args.quiet:
+        print(text_table(rows, args.verbose))
+    if args.markdown is not None:
+        with args.markdown.open("a") as out:
+            out.write(markdown_table(rows, args.threshold))
+
+    regressions = [r for r in rows if r.regressed]
+    if regressions or vanished:
+        print(f"\nFAIL: {len(regressions)} gated metric(s) regressed more "
+              f"than {args.threshold:.0%}, {len(vanished)} vanished:")
+        for r in regressions:
+            print(f"  {r.bench} [{key_label(r.key)}] {r.metric}: "
+                  f"{r.base:.6g} -> {r.cur:.6g} ({r.delta_pct:+.1f}%)")
+        for description in vanished:
+            print(f"  {description}")
+        return 1
+    print(f"\nOK: no gated metric regressed more than {args.threshold:.0%} "
+          f"({sum(1 for r in rows if r.gated)} gated comparisons)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
