@@ -6,19 +6,22 @@
 /// configuration) and the measured k-efficiency certificate, across four
 /// daemons and five seeds each.
 ///
-/// The whole menagerie runs as ONE batch plan (analysis/batch.hpp): every
-/// graph is an item, trials from all graphs share the worker pool, and a
-/// slow family cannot serialize the rest. Emits
-/// BENCH_coloring_convergence.json next to the table.
+/// The menagerie is declared in examples/manifests/coloring_convergence
+/// .json and expanded by the shared plan builder (analysis/plan.hpp) —
+/// the bench is a thin shell over the same plan `sss_lab run` executes,
+/// still one batch (analysis/batch.hpp): every graph is an item, trials
+/// from all graphs share the worker pool, and a slow family cannot
+/// serialize the rest. Emits BENCH_coloring_convergence.json next to the
+/// table.
 
 #include <cstdio>
 
 #include "analysis/batch.hpp"
+#include "analysis/plan.hpp"
 #include "bench_common.hpp"
-#include "core/bounds.hpp"
 #include "core/coloring_protocol.hpp"
-#include "core/problems.hpp"
 #include "support/bench_json.hpp"
+#include "support/require.hpp"
 
 int main() {
   using namespace sss;
@@ -29,36 +32,29 @@ int main() {
   print_note("silent = certified by the exact quiescence check;");
   print_note("k = max distinct neighbors any process read in any step.");
 
-  const ColoringProblem problem;
-  BatchStore store;
-  std::vector<BatchItem> plan;
-  std::vector<const ColoringProtocol*> protocols;
-  for (const Graph& g : experiment_graphs()) {
-    const Graph& stored = store.add(g);
-    const ColoringProtocol& protocol =
-        store.emplace_protocol<ColoringProtocol>(stored);
-    protocols.push_back(&protocol);
-    SweepOptions options;
-    options.daemons = {"distributed", "synchronous", "central-rr",
-                       "adversarial"};
-    options.seeds_per_daemon = 5;
-    options.run.max_steps = 4'000'000;
-    plan.push_back(
-        make_batch_item(stored.name(), stored, protocol, &problem, options));
-  }
-  const BatchResult result = run_batch(plan, BatchOptions{});
+  const ExperimentPlan plan = plan_from_manifest_file(
+      std::string(SSS_MANIFEST_DIR) + "/coloring_convergence.json");
+  const BatchResult result = run_batch(plan.items, BatchOptions{});
 
   TextTable table({"graph", "size", "palette", "runs", "silent",
                    "rounds(med)", "rounds(p90)", "rounds(max)", "steps(med)",
                    "k"});
   BenchJsonWriter json("coloring_convergence");
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    const Graph& g = *plan[i].graph;
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    const Graph& g = *plan.items[i].graph;
+    const auto* protocol =
+        dynamic_cast<const ColoringProtocol*>(plan.items[i].protocol);
+    // The palette column (and the bench's whole claim check) is about
+    // Protocol COLORING; a manifest edit that swaps protocols must fail
+    // loudly, not print palette 0 under a plausible table.
+    SSS_REQUIRE(protocol != nullptr,
+                "coloring_convergence manifest must use the COLORING "
+                "protocol");
     const SweepSummary& s = result.summaries[i];
     table.row()
         .add(g.name())
         .add(graph_stats(g))
-        .add(protocols[i]->palette_size())
+        .add(protocol->palette_size())
         .add(s.runs)
         .add(s.silent_runs)
         .add(s.rounds_to_silence.median, 1)

@@ -8,70 +8,56 @@
 /// swept over Delta, plus the space-complexity table
 /// 2*log(Delta+1) + log(delta.p).
 ///
-/// All 12 measurement trials (6 Deltas x {efficient, full-read}) run as
-/// one batch plan; `extra_steps` supplies the post-silence window in which
-/// guards keep being evaluated. Emits BENCH_comm_complexity.json.
+/// The measurement grid is no longer hand-built: this bench is a thin
+/// shell over examples/manifests/comm_complexity.json, expanded by the
+/// shared plan builder (analysis/plan.hpp) — the same plan `sss_lab run`
+/// executes, so the CLI and the bench agree by construction. The
+/// manifest's base_seeds pin the exact engine seeds the historical
+/// hand-built plan used, keeping every measured number identical; its
+/// `extra_steps` supplies the post-silence window in which guards keep
+/// being evaluated. Emits BENCH_comm_complexity.json.
 
 #include <cstdio>
 
 #include "analysis/batch.hpp"
-#include "baselines/full_read_coloring.hpp"
+#include "analysis/plan.hpp"
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
 #include "core/coloring_protocol.hpp"
 #include "runtime/engine.hpp"
 #include "support/bench_json.hpp"
-
-namespace {
-
-/// One measured-bits trial as a batch item: a single distributed-daemon
-/// run to silence (same engine seed the historical serial loop used:
-/// base_seed + 1), then 400 post-silence steps before the read maxima are
-/// sampled.
-sss::BatchItem measured_bits_item(const sss::Graph& g,
-                                  const sss::Protocol& protocol,
-                                  std::uint64_t seed) {
-  sss::BatchItem item;
-  item.label = protocol.name() + "/" + g.name();
-  item.graph = &g;
-  item.protocol = &protocol;
-  item.daemons = {"distributed"};
-  item.seeds_per_daemon = 1;
-  item.run.max_steps = 2'000'000;
-  item.base_seed = seed - 1;
-  item.extra_steps = 400;
-  return item;
-}
-
-}  // namespace
+#include "support/require.hpp"
 
 int main() {
   using namespace sss;
   using namespace sss::bench;
 
   print_banner("E2: communication complexity (Section 3.2)");
-  const std::vector<int> deltas = {2, 3, 4, 6, 8, 12};
-  BatchStore store;
-  std::vector<BatchItem> plan;
-  for (int delta : deltas) {
-    const Graph& g = store.add(star(delta));  // hub has degree Delta
-    const ColoringProtocol& efficient =
-        store.emplace_protocol<ColoringProtocol>(g);
-    const FullReadColoring& baseline =
-        store.emplace_protocol<FullReadColoring>(g);
-    plan.push_back(measured_bits_item(g, efficient,
-                                      1000 + static_cast<std::uint64_t>(delta)));
-    plan.push_back(measured_bits_item(g, baseline,
-                                      2000 + static_cast<std::uint64_t>(delta)));
+  const ExperimentPlan plan = plan_from_manifest_file(
+      std::string(SSS_MANIFEST_DIR) + "/comm_complexity.json");
+  // The manifest expands graph-major: items 2i / 2i+1 are the efficient /
+  // full-read trials on the i-th star. The table pairs summaries by that
+  // convention, so enforce it — a reordered or extended manifest must
+  // fail loudly, not print swapped columns.
+  SSS_REQUIRE(plan.items.size() % 2 == 0,
+              "comm_complexity manifest must expand to (efficient, "
+              "full-read) pairs");
+  for (std::size_t i = 0; 2 * i + 1 < plan.items.size(); ++i) {
+    SSS_REQUIRE(plan.items[2 * i].protocol->name() == "COLORING" &&
+                    plan.items[2 * i + 1].protocol->name() ==
+                        "FULL-READ-COLORING" &&
+                    plan.items[2 * i].graph == plan.items[2 * i + 1].graph,
+                "comm_complexity manifest items must pair COLORING and "
+                "FULL-READ-COLORING on the same graph");
   }
-  const BatchResult result = run_batch(plan, BatchOptions{});
+  const BatchResult result = run_batch(plan.items, BatchOptions{});
 
   TextTable table({"Delta", "graph", "efficient pred", "efficient meas",
                    "full-read pred", "full-read meas", "ratio"});
   BenchJsonWriter json("comm_complexity");
-  for (std::size_t i = 0; i < deltas.size(); ++i) {
-    const int delta = deltas[i];
-    const Graph& g = *plan[2 * i].graph;
+  for (std::size_t i = 0; 2 * i + 1 < plan.items.size(); ++i) {
+    const Graph& g = *plan.items[2 * i].graph;
+    const int delta = g.max_degree();
     const int eff_pred = coloring_comm_bits_efficient(delta);
     const int full_pred = coloring_comm_bits_full_read(delta, delta);
     const int eff_meas = result.summaries[2 * i].bits_measured;

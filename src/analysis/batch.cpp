@@ -33,6 +33,7 @@ BatchItem make_batch_item(std::string label, const Graph& g,
   item.seeds_per_daemon = options.seeds_per_daemon;
   item.run = options.run;
   item.base_seed = options.base_seed;
+  item.exclude_frozen = options.exclude_frozen;
   return item;
 }
 
@@ -134,15 +135,22 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
   }
 
   std::vector<RunStats> results(static_cast<std::size_t>(total));
+  // The streaming hook may be called from any worker; one mutex serializes
+  // the calls so sinks never need their own locking. Rows arrive in
+  // completion order — the (item, trial) indices they carry make the
+  // stream canonically sortable.
+  std::mutex stream_mutex;
   auto run_trial = [&](int global) {
     const TrialRef ref = trials[static_cast<std::size_t>(global)];
     const BatchItem& item = items[static_cast<std::size_t>(ref.item)];
     const std::string& daemon_name =
         item.daemons[static_cast<std::size_t>(ref.index_in_item) /
                      static_cast<std::size_t>(item.seeds_per_daemon)];
-    Engine engine(
-        *item.graph, *item.protocol, make_daemon(daemon_name),
-        item.base_seed + 1 + static_cast<std::uint64_t>(ref.index_in_item));
+    const std::uint64_t engine_seed =
+        item.base_seed + 1 + static_cast<std::uint64_t>(ref.index_in_item);
+    Engine engine(*item.graph, *item.protocol, make_daemon(daemon_name),
+                  engine_seed);
+    engine.set_exclude_frozen(item.exclude_frozen);
     engine.randomize_state();
     RunStats stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
     if (item.extra_steps > 0) {
@@ -153,6 +161,19 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
           engine.read_counter().max_bits_per_process_step();
     }
     results[static_cast<std::size_t>(global)] = stats;
+    if (options.on_trial) {
+      BatchTrialRow row;
+      row.item = ref.item;
+      row.trial = ref.index_in_item;
+      row.label = item.label;
+      row.graph = item.graph->name();
+      row.protocol = item.protocol->name();
+      row.daemon = daemon_name;
+      row.engine_seed = engine_seed;
+      row.stats = stats;
+      const std::lock_guard<std::mutex> lock(stream_mutex);
+      options.on_trial(row);
+    }
   };
 
   int threads = options.threads != 0

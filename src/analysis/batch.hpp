@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,28 +42,47 @@
 namespace sss {
 
 /// One sweep unit of a batch plan. Pointers are non-owning and must
-/// outlive `run_batch`; `problem` may be null.
+/// outlive `run_batch`; `problem` may be null. Daemon/seed defaults are
+/// the shared sweep defaults from analysis/experiment.hpp.
 struct BatchItem {
   std::string label;
   const Graph* graph = nullptr;
   const Protocol* protocol = nullptr;
   const Problem* problem = nullptr;
-  std::vector<std::string> daemons = {"distributed", "central-rr",
-                                      "synchronous"};
-  int seeds_per_daemon = 5;
+  std::vector<std::string> daemons = default_sweep_daemons();
+  int seeds_per_daemon = kDefaultSeedsPerDaemon;
   RunOptions run;
-  std::uint64_t base_seed = 42;
+  std::uint64_t base_seed = kDefaultBaseSeed;
   /// Extra engine.step() calls after run() completes, before the trial's
   /// read maxima are sampled — the post-silence window the communication-
   /// complexity measurements need (guards keep being evaluated after
   /// stabilization).
   int extra_steps = 0;
+  /// Forwarded to Engine::set_exclude_frozen for every trial (opt-in
+  /// verified-self-loop exclusion; see engine.hpp).
+  bool exclude_frozen = false;
 };
 
 /// Converts a `sweep_convergence` call into the equivalent batch item.
 BatchItem make_batch_item(std::string label, const Graph& g,
                           const Protocol& protocol, const Problem* problem,
                           const SweepOptions& options);
+
+/// One finished trial, as handed to the streaming callback: the trial's
+/// plan coordinates plus its raw stats. Everything identifying is carried
+/// in the row itself so a sink can emit it without consulting the plan,
+/// and `(item, trial)` is a total order — streamed output is
+/// sortable-deterministic no matter which worker finished first.
+struct BatchTrialRow {
+  int item = 0;   ///< index into the plan's item vector
+  int trial = 0;  ///< trial index within the item (daemon-major, seed-minor)
+  std::string label;     ///< BatchItem::label
+  std::string graph;     ///< Graph::name()
+  std::string protocol;  ///< Protocol::name()
+  std::string daemon;    ///< daemon name of this trial
+  std::uint64_t engine_seed = 0;  ///< exact seed the trial's engine used
+  RunStats stats;
+};
 
 struct BatchOptions {
   /// Worker threads: 0 = one per hardware thread, 1 = run inline.
@@ -72,6 +92,16 @@ struct BatchOptions {
   /// [1, item count]). Fewer shards trade stealing granularity for fewer
   /// cursors.
   int shards = 0;
+  /// Streaming hook: called once per trial as it finishes, so results
+  /// reach a sink (file, pipe, live dashboard) incrementally instead of
+  /// only after the whole plan completes. Calls are serialized by the
+  /// runner (no sink-side locking needed) but arrive in completion order
+  /// — sort by (item, trial) for a canonical stream. The in-order
+  /// reduction into summaries is unaffected; note the runner itself still
+  /// holds one RunStats per trial for that reduction (medians/percentiles
+  /// need every sample), so this hook changes when results leave the
+  /// process, not the runner's own footprint.
+  std::function<void(const BatchTrialRow&)> on_trial;
 };
 
 struct BatchResult {

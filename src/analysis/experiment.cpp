@@ -5,6 +5,13 @@
 
 namespace sss {
 
+const std::vector<std::string>& default_sweep_daemons() {
+  static const std::vector<std::string> kDaemons = {"distributed",
+                                                    "central-rr",
+                                                    "synchronous"};
+  return kDaemons;
+}
+
 SweepSummary sweep_convergence(const Graph& g, const Protocol& protocol,
                                const Problem* problem,
                                const SweepOptions& options) {

@@ -22,16 +22,25 @@
 
 namespace sss {
 
+/// Defaults shared by every sweep-shaped option struct (SweepOptions here,
+/// BatchItem in analysis/batch.hpp), kept in one place so they cannot
+/// drift apart.
+const std::vector<std::string>& default_sweep_daemons();
+inline constexpr int kDefaultSeedsPerDaemon = 5;
+inline constexpr std::uint64_t kDefaultBaseSeed = 42;
+
 struct SweepOptions {
-  std::vector<std::string> daemons = {"distributed", "central-rr",
-                                      "synchronous"};
-  int seeds_per_daemon = 5;
+  std::vector<std::string> daemons = default_sweep_daemons();
+  int seeds_per_daemon = kDefaultSeedsPerDaemon;
   RunOptions run;
-  std::uint64_t base_seed = 42;
+  std::uint64_t base_seed = kDefaultBaseSeed;
   /// Worker threads for the trial runner: 0 = one per hardware thread,
   /// 1 = run inline. Results are identical for every value (see file
   /// comment).
   int threads = 0;
+  /// Forwarded to Engine::set_exclude_frozen for every trial (opt-in
+  /// verified-self-loop exclusion; see engine.hpp).
+  bool exclude_frozen = false;
 };
 
 struct SweepSummary {

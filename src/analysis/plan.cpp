@@ -1,0 +1,270 @@
+#include "analysis/plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/family_registry.hpp"
+#include "runtime/daemon.hpp"
+#include "support/params.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// The run-shaping keys accepted in "defaults" and per sweep.
+const std::vector<std::string> kRunKeys = {
+    "daemons",    "seeds_per_daemon",    "base_seed",
+    "max_steps",  "stop_on_silence",     "quiescence_patience",
+    "extra_steps", "exclude_frozen"};
+
+void require_known_keys(const JsonValue& object,
+                        const std::vector<std::string>& allowed,
+                        const std::string& owner) {
+  for (const auto& [key, value] : object.members()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw PreconditionError("unknown key \"" + key + "\" in " + owner +
+                              " (accepted: " + join(allowed, ", ") + ")");
+    }
+  }
+}
+
+/// Sweep-shaping knobs resolved from manifest defaults + sweep overrides.
+struct RunDefaults {
+  std::vector<std::string> daemons = default_sweep_daemons();
+  int seeds_per_daemon = kDefaultSeedsPerDaemon;
+  std::uint64_t base_seed = kDefaultBaseSeed;
+  RunOptions run;
+  int extra_steps = 0;
+  bool exclude_frozen = false;
+};
+
+std::vector<std::string> parse_daemons(const JsonValue& value) {
+  std::vector<std::string> daemons;
+  for (const JsonValue& entry : value.items()) {
+    const std::string& name = entry.as_string();
+    const std::vector<std::string>& known = daemon_names();
+    SSS_REQUIRE(std::find(known.begin(), known.end(), name) != known.end(),
+                "unknown daemon \"" + name + "\" (known: " +
+                    join(known, ", ") + ")");
+    daemons.push_back(name);
+  }
+  SSS_REQUIRE(!daemons.empty(), "\"daemons\" cannot be empty");
+  return daemons;
+}
+
+/// Applies the run keys present in `object` on top of `base`.
+RunDefaults apply_run_keys(RunDefaults base, const JsonValue& object) {
+  if (const JsonValue* daemons = object.find("daemons")) {
+    base.daemons = parse_daemons(*daemons);
+  }
+  if (const JsonValue* seeds = object.find("seeds_per_daemon")) {
+    // Validate on the int64 BEFORE narrowing — an out-of-int-range value
+    // must error, not wrap.
+    const std::int64_t count = seeds->as_int();
+    SSS_REQUIRE(count >= 1 && count <= std::numeric_limits<int>::max(),
+                "\"seeds_per_daemon\" must be >= 1 (and fit an int)");
+    base.seeds_per_daemon = static_cast<int>(count);
+  }
+  if (const JsonValue* seed = object.find("base_seed")) {
+    SSS_REQUIRE(seed->as_int() >= 0, "\"base_seed\" cannot be negative");
+    base.base_seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  if (const JsonValue* steps = object.find("max_steps")) {
+    base.run.max_steps = static_cast<std::uint64_t>(steps->as_int());
+    SSS_REQUIRE(steps->as_int() >= 1, "\"max_steps\" must be >= 1");
+  }
+  if (const JsonValue* stop = object.find("stop_on_silence")) {
+    base.run.stop_on_silence = stop->as_bool();
+  }
+  if (const JsonValue* patience = object.find("quiescence_patience")) {
+    SSS_REQUIRE(patience->as_int() >= 0,
+                "\"quiescence_patience\" cannot be negative");
+    base.run.quiescence_patience =
+        static_cast<std::uint64_t>(patience->as_int());
+  }
+  if (const JsonValue* extra = object.find("extra_steps")) {
+    const std::int64_t steps = extra->as_int();
+    SSS_REQUIRE(steps >= 0 && steps <= std::numeric_limits<int>::max(),
+                "\"extra_steps\" must be >= 0 (and fit an int)");
+    base.extra_steps = static_cast<int>(steps);
+  }
+  if (const JsonValue* frozen = object.find("exclude_frozen")) {
+    base.exclude_frozen = frozen->as_bool();
+  }
+  return base;
+}
+
+ParamValue scalar_param(const std::string& key, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNumber:
+      return ParamValue(value.as_double());
+    case JsonValue::Kind::kString:
+      return ParamValue(value.as_string());
+    case JsonValue::Kind::kBool:
+      return ParamValue(value.as_bool() ? 1 : 0);
+    default:
+      throw PreconditionError("parameter \"" + key +
+                              "\" must be a number, string, or boolean");
+  }
+}
+
+/// Expands one graph spec into parameter maps: the cartesian product of
+/// its list-valued parameters, in member order with the last list varying
+/// fastest (odometer order).
+std::vector<ParamMap> expand_graph_params(const JsonValue& spec) {
+  std::vector<ParamMap> combos = {ParamMap{}};
+  for (const auto& [key, value] : spec.members()) {
+    if (key == "family") continue;
+    if (value.is_array()) {
+      SSS_REQUIRE(!value.items().empty(),
+                  "parameter sweep \"" + key + "\" cannot be empty");
+      std::vector<ParamMap> next;
+      next.reserve(combos.size() * value.size());
+      for (const ParamMap& combo : combos) {
+        for (const JsonValue& element : value.items()) {
+          ParamMap extended = combo;
+          extended[key] = scalar_param(key, element);
+          next.push_back(std::move(extended));
+        }
+      }
+      combos = std::move(next);
+    } else {
+      for (ParamMap& combo : combos) {
+        combo[key] = scalar_param(key, value);
+      }
+    }
+  }
+  return combos;
+}
+
+ParamMap protocol_params(const JsonValue& spec) {
+  ParamMap params;
+  for (const auto& [key, value] : spec.members()) {
+    if (key == "name") continue;
+    SSS_REQUIRE(!value.is_array() && !value.is_object(),
+                "protocol parameter \"" + key + "\" must be a scalar");
+    params[key] = scalar_param(key, value);
+  }
+  return params;
+}
+
+void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
+                  ExperimentPlan& plan) {
+  std::vector<std::string> allowed = kRunKeys;
+  allowed.insert(allowed.end(),
+                 {"graphs", "protocols", "problem", "base_seeds"});
+  require_known_keys(sweep, allowed, "sweep");
+  SSS_REQUIRE(!(sweep.find("base_seed") != nullptr &&
+                sweep.find("base_seeds") != nullptr),
+              "a sweep accepts \"base_seed\" or \"base_seeds\", not both");
+
+  const RunDefaults defaults = apply_run_keys(manifest_defaults, sweep);
+
+  const Problem* problem = nullptr;
+  if (const JsonValue* problem_name = sweep.find("problem")) {
+    if (!problem_name->is_null()) {
+      problem = &plan.store.add(
+          ProblemRegistry::instance().make(problem_name->as_string()));
+    }
+  }
+
+  const JsonValue& graphs = sweep.at("graphs");
+  SSS_REQUIRE(!graphs.items().empty(), "\"graphs\" cannot be empty");
+  const JsonValue& protocols = sweep.at("protocols");
+  SSS_REQUIRE(!protocols.items().empty(), "\"protocols\" cannot be empty");
+
+  std::vector<BatchItem> sweep_items;
+  for (const JsonValue& graph_spec : graphs.items()) {
+    const std::string& family = graph_spec.at("family").as_string();
+    for (const ParamMap& params : expand_graph_params(graph_spec)) {
+      const Graph& graph = plan.store.add(
+          GraphFamilyRegistry::instance().build(family, params));
+      for (const JsonValue& protocol_spec : protocols.items()) {
+        const Protocol& protocol = plan.store.add(
+            ProtocolRegistry::instance().make(
+                protocol_spec.at("name").as_string(), graph,
+                protocol_params(protocol_spec)));
+        BatchItem item;
+        item.label = protocol.name() + "/" + graph.name();
+        item.graph = &graph;
+        item.protocol = &protocol;
+        item.problem = problem;
+        item.daemons = defaults.daemons;
+        item.seeds_per_daemon = defaults.seeds_per_daemon;
+        item.run = defaults.run;
+        item.base_seed = defaults.base_seed;
+        item.extra_steps = defaults.extra_steps;
+        item.exclude_frozen = defaults.exclude_frozen;
+        sweep_items.push_back(std::move(item));
+      }
+    }
+  }
+
+  if (const JsonValue* base_seeds = sweep.find("base_seeds")) {
+    SSS_REQUIRE(base_seeds->items().size() == sweep_items.size(),
+                "\"base_seeds\" has " +
+                    std::to_string(base_seeds->items().size()) +
+                    " entries but the sweep expands to " +
+                    std::to_string(sweep_items.size()) + " items");
+    for (std::size_t i = 0; i < sweep_items.size(); ++i) {
+      const std::int64_t seed = base_seeds->items()[i].as_int();
+      SSS_REQUIRE(seed >= 0, "\"base_seeds\" entries cannot be negative");
+      sweep_items[i].base_seed = static_cast<std::uint64_t>(seed);
+    }
+  }
+
+  for (BatchItem& item : sweep_items) {
+    plan.items.push_back(std::move(item));
+  }
+}
+
+}  // namespace
+
+int ExperimentPlan::total_trials() const {
+  int total = 0;
+  for (const BatchItem& item : items) {
+    total += static_cast<int>(item.daemons.size()) * item.seeds_per_daemon;
+  }
+  return total;
+}
+
+ExperimentPlan plan_from_manifest(const JsonValue& manifest) {
+  require_known_keys(manifest, {"name", "defaults", "sweeps"}, "manifest");
+  ExperimentPlan plan;
+  plan.name = manifest.at("name").as_string();
+  SSS_REQUIRE(!plan.name.empty(), "manifest \"name\" cannot be empty");
+
+  RunDefaults defaults;
+  if (const JsonValue* defaults_object = manifest.find("defaults")) {
+    require_known_keys(*defaults_object, kRunKeys, "\"defaults\"");
+    defaults = apply_run_keys(defaults, *defaults_object);
+  }
+
+  const JsonValue& sweeps = manifest.at("sweeps");
+  SSS_REQUIRE(!sweeps.items().empty(),
+              "manifest needs at least one entry in \"sweeps\"");
+  for (const JsonValue& sweep : sweeps.items()) {
+    expand_sweep(sweep, defaults, plan);
+  }
+  return plan;
+}
+
+ExperimentPlan plan_from_manifest_text(const std::string& text) {
+  return plan_from_manifest(JsonValue::parse(text));
+}
+
+ExperimentPlan plan_from_manifest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SSS_REQUIRE(in.good(), "cannot read manifest file \"" + path + "\"");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return plan_from_manifest_text(buffer.str());
+}
+
+}  // namespace sss

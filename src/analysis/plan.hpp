@@ -1,0 +1,78 @@
+#pragma once
+/// \file plan.hpp
+/// Experiment-manifest parser: a JSON manifest in, a ready-to-run batch
+/// plan out — the declarative front half of the experiment lab.
+///
+/// The paper's result grids are (protocol x graph family x daemon x seed)
+/// sweeps; a manifest spells one such grid as data and this module expands
+/// it into a `BatchStore` (owning the constructed graphs, protocols and
+/// problems) plus the `BatchItem` vector `run_batch` consumes. Names
+/// resolve through the registries: graph/family_registry.hpp,
+/// core/protocol_registry.hpp, core/problem_registry.hpp, and the daemon
+/// names of runtime/daemon.hpp.
+///
+/// Manifest shape (all parsing is strict — unknown keys throw):
+///
+///   {
+///     "name": "comm_complexity",
+///     "defaults": { <run keys> },            // optional
+///     "sweeps": [
+///       {
+///         "graphs": [
+///           {"family": "star", "leaves": [2, 3, 4]},   // list = sweep
+///           {"family": "grid", "rows": 5, "cols": 6}
+///         ],
+///         "protocols": [
+///           {"name": "coloring"},
+///           {"name": "full-read-coloring", "palette_size": 5}
+///         ],
+///         "problem": "vertex-coloring",      // optional
+///         <run keys>                         // override the defaults
+///       }
+///     ]
+///   }
+///
+/// Run keys (accepted in "defaults" and per sweep): "daemons" (array of
+/// daemon names), "seeds_per_daemon", "base_seed", "base_seeds" (per-sweep
+/// only: one base seed per expanded item, for plans that pin historical
+/// seeds), "max_steps", "stop_on_silence", "quiescence_patience",
+/// "extra_steps", "exclude_frozen".
+///
+/// Expansion is deterministic: sweeps in order; within a sweep, graph
+/// specs in order; within a graph spec, the cartesian product of its
+/// list-valued parameters (in member order, the last list varying
+/// fastest); and for each expanded graph every protocol in order. Item
+/// labels are "<protocol name>/<graph name>". Trial semantics (seed
+/// derivation, daemon-major order, reduction) are run_batch's.
+
+#include <string>
+#include <vector>
+
+#include "analysis/batch.hpp"
+#include "support/json.hpp"
+
+namespace sss {
+
+/// A manifest expanded into runnable form. Movable, not copyable; `items`
+/// reference `store`, which owns everything the manifest constructed.
+struct ExperimentPlan {
+  std::string name;
+  BatchStore store;
+  std::vector<BatchItem> items;
+
+  /// Total trial count of the plan (sum over items of daemons x seeds).
+  int total_trials() const;
+};
+
+/// Expands a parsed manifest. Throws PreconditionError on schema errors,
+/// unknown names, or invalid parameters.
+ExperimentPlan plan_from_manifest(const JsonValue& manifest);
+
+/// Parses `text` as JSON and expands it.
+ExperimentPlan plan_from_manifest_text(const std::string& text);
+
+/// Reads `path` and expands it. Throws PreconditionError when the file
+/// cannot be read.
+ExperimentPlan plan_from_manifest_file(const std::string& path);
+
+}  // namespace sss

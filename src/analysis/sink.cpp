@@ -1,0 +1,150 @@
+#include "analysis/sink.hpp"
+
+#include <utility>
+
+#include "support/json.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+
+void ResultSink::on_item(int, const BatchItem&, const SweepSummary&) {}
+void ResultSink::finish() {}
+
+namespace {
+
+/// The flat field list shared by the JSONL and CSV sinks, in emission
+/// order. Keeping it in one table keeps the two formats column-identical.
+struct TrialField {
+  const char* name;
+  std::uint64_t (*value)(const BatchTrialRow&);
+};
+
+constexpr TrialField kIntFields[] = {
+    {"steps", [](const BatchTrialRow& r) { return r.stats.steps; }},
+    {"rounds", [](const BatchTrialRow& r) { return r.stats.rounds; }},
+    {"steps_to_silence",
+     [](const BatchTrialRow& r) { return r.stats.steps_to_silence; }},
+    {"rounds_to_silence",
+     [](const BatchTrialRow& r) { return r.stats.rounds_to_silence; }},
+    {"steps_to_legitimate",
+     [](const BatchTrialRow& r) { return r.stats.steps_to_legitimate; }},
+    {"rounds_to_legitimate",
+     [](const BatchTrialRow& r) { return r.stats.rounds_to_legitimate; }},
+    {"total_reads",
+     [](const BatchTrialRow& r) { return r.stats.total_reads; }},
+    {"total_read_bits",
+     [](const BatchTrialRow& r) { return r.stats.total_read_bits; }},
+    {"max_reads_per_process_step",
+     [](const BatchTrialRow& r) {
+       return static_cast<std::uint64_t>(r.stats.max_reads_per_process_step);
+     }},
+    {"max_bits_per_process_step",
+     [](const BatchTrialRow& r) {
+       return static_cast<std::uint64_t>(r.stats.max_bits_per_process_step);
+     }},
+};
+
+}  // namespace
+
+void JsonlSink::on_trial(const BatchTrialRow& row) {
+  std::string line = "{\"item\": " + std::to_string(row.item) +
+                     ", \"trial\": " + std::to_string(row.trial) +
+                     ", \"label\": " + json_quote(row.label) +
+                     ", \"graph\": " + json_quote(row.graph) +
+                     ", \"protocol\": " + json_quote(row.protocol) +
+                     ", \"daemon\": " + json_quote(row.daemon) +
+                     ", \"engine_seed\": " + std::to_string(row.engine_seed) +
+                     ", \"silent\": " + (row.stats.silent ? "true" : "false") +
+                     ", \"reached_legitimate\": " +
+                     (row.stats.reached_legitimate ? "true" : "false");
+  for (const TrialField& field : kIntFields) {
+    line += ", \"" + std::string(field.name) +
+            "\": " + std::to_string(field.value(row));
+  }
+  line += "}\n";
+  out_ << line;
+}
+
+void JsonlSink::finish() { out_.flush(); }
+
+void CsvSink::on_trial(const BatchTrialRow& row) {
+  if (!wrote_header_) {
+    std::vector<std::string> header = {"item",     "trial",  "label",
+                                       "graph",    "protocol", "daemon",
+                                       "engine_seed", "silent",
+                                       "reached_legitimate"};
+    for (const TrialField& field : kIntFields) header.push_back(field.name);
+    writer_.write_row(header);
+    wrote_header_ = true;
+  }
+  std::vector<std::string> cells = {
+      std::to_string(row.item),
+      std::to_string(row.trial),
+      row.label,
+      row.graph,
+      row.protocol,
+      row.daemon,
+      std::to_string(row.engine_seed),
+      row.stats.silent ? "true" : "false",
+      row.stats.reached_legitimate ? "true" : "false"};
+  for (const TrialField& field : kIntFields) {
+    cells.push_back(std::to_string(field.value(row)));
+  }
+  writer_.write_row(cells);
+}
+
+// Flush at the finish point like JsonlSink, so a caller checking stream
+// state after run_batch_to_sinks observes write errors instead of losing
+// them in the ofstream destructor.
+void CsvSink::finish() { out_.flush(); }
+
+BenchJsonSink::BenchJsonSink(std::string bench_name, std::string directory)
+    : writer_(std::move(bench_name)), directory_(std::move(directory)) {}
+
+void BenchJsonSink::on_item(int, const BatchItem& item,
+                            const SweepSummary& summary) {
+  writer_.record()
+      .field("label", item.label)
+      .field("graph", item.graph->name())
+      .field("protocol", item.protocol->name())
+      .field("runs", summary.runs)
+      .field("silent_runs", summary.silent_runs)
+      .field("rounds_to_silence_median", summary.rounds_to_silence.median)
+      .field("rounds_to_silence_p90", summary.rounds_to_silence.p90)
+      .field("rounds_to_silence_max",
+             static_cast<std::int64_t>(summary.max_rounds_to_silence))
+      .field("steps_to_silence_median", summary.steps_to_silence.median)
+      .field("k_measured", summary.k_measured)
+      .field("bits_measured", summary.bits_measured)
+      .field("mean_total_reads", summary.mean_total_reads)
+      .field("mean_total_bits", summary.mean_total_bits);
+}
+
+void BenchJsonSink::finish() { writer_.write(directory_); }
+
+BatchResult run_batch_to_sinks(const std::vector<BatchItem>& items,
+                               BatchOptions options,
+                               const std::vector<ResultSink*>& sinks) {
+  for (ResultSink* sink : sinks) {
+    SSS_REQUIRE(sink != nullptr, "null result sink");
+  }
+  auto upstream = std::move(options.on_trial);
+  if (!sinks.empty() || upstream) {
+    // Only install the wrapper when someone listens: a null on_trial lets
+    // run_batch skip per-trial row construction entirely.
+    options.on_trial = [&, upstream](const BatchTrialRow& row) {
+      if (upstream) upstream(row);
+      for (ResultSink* sink : sinks) sink->on_trial(row);
+    };
+  }
+  const BatchResult result = run_batch(items, options);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (ResultSink* sink : sinks) {
+      sink->on_item(static_cast<int>(i), items[i], result.summaries[i]);
+    }
+  }
+  for (ResultSink* sink : sinks) sink->finish();
+  return result;
+}
+
+}  // namespace sss

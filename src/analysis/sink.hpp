@@ -1,0 +1,104 @@
+#pragma once
+/// \file sink.hpp
+/// Streaming result sinks for the batch runner.
+///
+/// Results leave the process as they are produced instead of only after
+/// the whole plan completes: `run_batch_to_sinks` wires sinks into
+/// `BatchOptions::on_trial`, so per-trial rows stream out as trials
+/// finish (serialized by the runner, completion order) — a caller
+/// post-processing a huge plan never buffers rows itself — and per-item
+/// summary rows follow after the bit-identical in-order reduction. (The
+/// runner still holds one RunStats per trial internally for that
+/// reduction; see BatchOptions::on_trial.) Because every trial row
+/// carries its (item, trial) coordinates, a streamed file is
+/// sortable-deterministic: sorting rows by those indices yields the same
+/// bytes at any thread or shard count.
+///
+/// Implementations:
+///  * `JsonlSink` — one flat JSON object per line, integers/bools/strings
+///    only, so output is byte-reproducible across platforms;
+///  * `CsvSink`  — the same rows as RFC-4180 CSV with a header;
+///  * `BenchJsonSink` — per-item summary records through BenchJsonWriter,
+///    producing the BENCH_<name>.json artifacts the bench-gate CI diffs.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/batch.hpp"
+#include "support/bench_json.hpp"
+#include "support/csv.hpp"
+
+namespace sss {
+
+/// Observer of batch results. `on_trial` calls are serialized by the
+/// runner but arrive in completion order; `on_item` calls arrive after all
+/// trials, in item order. `finish` is the flush point for sinks that
+/// buffer or write files.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void on_trial(const BatchTrialRow& row) = 0;
+  virtual void on_item(int item_index, const BatchItem& item,
+                       const SweepSummary& summary);
+  virtual void finish();
+};
+
+/// One JSON object per trial per line. Field order is fixed; values are
+/// limited to strings, integers, and booleans (see file comment).
+class JsonlSink final : public ResultSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void on_trial(const BatchTrialRow& row) override;
+  void finish() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// The same per-trial rows as CSV; the header row is written on first use.
+class CsvSink final : public ResultSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit CsvSink(std::ostream& out) : out_(out), writer_(out) {}
+
+  void on_trial(const BatchTrialRow& row) override;
+  void finish() override;
+
+ private:
+  std::ostream& out_;
+  CsvWriter writer_;
+  bool wrote_header_ = false;
+};
+
+/// Per-item summary records through the BENCH_<name>.json writer; trial
+/// rows are ignored. `finish` writes the artifact into `directory`.
+class BenchJsonSink final : public ResultSink {
+ public:
+  explicit BenchJsonSink(std::string bench_name, std::string directory = ".");
+
+  void on_trial(const BatchTrialRow& row) override {}
+  void on_item(int item_index, const BatchItem& item,
+               const SweepSummary& summary) override;
+  void finish() override;
+
+  const BenchJsonWriter& writer() const { return writer_; }
+
+ private:
+  BenchJsonWriter writer_;
+  std::string directory_;
+};
+
+/// Runs the plan with every sink attached: trial rows stream through
+/// `BatchOptions::on_trial` (any `on_trial` the caller already installed
+/// is called first), summaries fan out after reduction, and every sink is
+/// `finish`ed before returning. Null sink pointers are rejected.
+BatchResult run_batch_to_sinks(const std::vector<BatchItem>& items,
+                               BatchOptions options,
+                               const std::vector<ResultSink*>& sinks);
+
+}  // namespace sss

@@ -1,0 +1,75 @@
+#include "core/problem_registry.hpp"
+
+#include <algorithm>
+
+#include "support/params.hpp"
+
+namespace sss {
+
+ProblemRegistry& ProblemRegistry::instance() {
+  // Construct-on-first-use with the built-ins installed here, so linking
+  // any registry user links them too (see family_registry.cpp).
+  static ProblemRegistry* registry = [] {
+    auto* fresh = new ProblemRegistry();
+    fresh->register_problem("vertex-coloring", {"coloring"}, [] {
+      return std::make_unique<ColoringProblem>();
+    });
+    fresh->register_problem("maximal-independent-set", {"mis"}, [] {
+      return std::make_unique<MisProblem>();
+    });
+    fresh->register_problem("maximal-matching", {"matching"}, [] {
+      return std::make_unique<MatchingProblem>();
+    });
+    return fresh;
+  }();
+  return *registry;
+}
+
+void ProblemRegistry::register_problem(std::string name,
+                                       std::vector<std::string> aliases,
+                                       Factory make) {
+  SSS_REQUIRE(!name.empty() && make != nullptr,
+              "a problem entry needs a name and a factory");
+  SSS_REQUIRE(!contains(name),
+              "problem \"" + name + "\" is already registered");
+  for (const std::string& alias : aliases) {
+    SSS_REQUIRE(!contains(alias),
+                "problem alias \"" + alias + "\" is already registered");
+  }
+  entries_.push_back(Entry{std::move(name), std::move(aliases),
+                           std::move(make)});
+}
+
+const ProblemRegistry::Entry* ProblemRegistry::lookup(
+    const std::string& name) const {
+  for (const Entry& candidate : entries_) {
+    if (candidate.name == name) return &candidate;
+    for (const std::string& alias : candidate.aliases) {
+      if (alias == name) return &candidate;
+    }
+  }
+  return nullptr;
+}
+
+bool ProblemRegistry::contains(const std::string& name) const {
+  return lookup(name) != nullptr;
+}
+
+std::unique_ptr<Problem> ProblemRegistry::make(const std::string& name) const {
+  const Entry* found = lookup(name);
+  if (found == nullptr) {
+    throw PreconditionError("unknown problem \"" + name +
+                            "\" (known: " + join(names(), ", ") + ")");
+  }
+  return found->make();
+}
+
+std::vector<std::string> ProblemRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& candidate : entries_) out.push_back(candidate.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

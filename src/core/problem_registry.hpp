@@ -1,0 +1,63 @@
+#pragma once
+/// \file problem_registry.hpp
+/// Name-based factory for the legitimacy predicates of Section 5, the
+/// problem half of the manifest-driven experiment lab.
+///
+/// Canonical names are the Problem::name() strings ("vertex-coloring",
+/// "maximal-independent-set", "maximal-matching"); the short aliases
+/// "coloring", "mis" and "matching" resolve to the same entries so
+/// manifests can use either. Mirrors runtime/daemon.hpp's
+/// factory-by-name; open via `register_problem` / `ProblemRegistrar`.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problems.hpp"
+
+namespace sss {
+
+class ProblemRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Problem>()>;
+
+  /// The process-wide registry, with the built-in problems installed.
+  static ProblemRegistry& instance();
+
+  /// Adds a problem under `name` plus optional aliases; re-registering an
+  /// existing name or alias throws.
+  void register_problem(std::string name, std::vector<std::string> aliases,
+                        Factory make);
+
+  /// Instantiates the problem registered under `name` (or one of its
+  /// aliases). Throws PreconditionError on unknown names.
+  std::unique_ptr<Problem> make(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Canonical names (no aliases) in sorted order.
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::string> aliases;
+    Factory make;
+  };
+
+  const Entry* lookup(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Static-init helper for self-registration.
+struct ProblemRegistrar {
+  ProblemRegistrar(std::string name, std::vector<std::string> aliases,
+                   ProblemRegistry::Factory make) {
+    ProblemRegistry::instance().register_problem(
+        std::move(name), std::move(aliases), std::move(make));
+  }
+};
+
+}  // namespace sss

@@ -1,0 +1,126 @@
+#include "core/protocol_registry.hpp"
+
+#include <algorithm>
+
+#include "baselines/full_read_coloring.hpp"
+#include "baselines/full_read_matching.hpp"
+#include "baselines/full_read_mis.hpp"
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "graph/coloring.hpp"
+
+namespace sss {
+
+namespace {
+
+/// The coloring substrate of the locally-colored protocols, by scheme name.
+Coloring make_coloring(const Graph& g, const ParamMap& params) {
+  const std::string scheme = param_string(params, "coloring", "greedy");
+  if (scheme == "greedy") return greedy_coloring(g);
+  if (scheme == "dsatur") return dsatur_coloring(g);
+  if (scheme == "identity") return identity_coloring(g);
+  if (scheme == "random") {
+    Rng rng(static_cast<std::uint64_t>(param_int(params, "coloring_seed", 1)));
+    return randomized_greedy_coloring(g, rng);
+  }
+  throw PreconditionError(
+      "unknown coloring scheme \"" + scheme +
+      "\" (accepted: greedy, dsatur, random, identity)");
+}
+
+int palette_size(const ParamMap& params) {
+  return static_cast<int>(param_int(params, "palette_size", 0));
+}
+
+const std::vector<std::string> kColoredParams = {"coloring", "coloring_seed"};
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  // Construct-on-first-use with the built-ins installed here, so linking
+  // any registry user links them too (see family_registry.cpp).
+  static ProtocolRegistry* registry = [] {
+    auto* fresh = new ProtocolRegistry();
+    fresh->register_protocol(
+        "coloring", {"palette_size"},
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<ColoringProtocol>(g, palette_size(p));
+        });
+    fresh->register_protocol(
+        "full-read-coloring", {"palette_size"},
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<FullReadColoring>(g, palette_size(p));
+        });
+    fresh->register_protocol(
+        "mis", {"coloring", "coloring_seed", "promote_on_higher_color"},
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<MisProtocol>(
+              g, make_coloring(g, p),
+              param_bool(p, "promote_on_higher_color", true));
+        });
+    fresh->register_protocol(
+        "full-read-mis", kColoredParams,
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<FullReadMis>(g, make_coloring(g, p));
+        });
+    fresh->register_protocol(
+        "matching", kColoredParams,
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<MatchingProtocol>(g, make_coloring(g, p));
+        });
+    fresh->register_protocol(
+        "full-read-matching", kColoredParams,
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<FullReadMatching>(g, make_coloring(g, p));
+        });
+    return fresh;
+  }();
+  return *registry;
+}
+
+void ProtocolRegistry::register_protocol(std::string name,
+                                         std::vector<std::string> params,
+                                         Factory make) {
+  SSS_REQUIRE(!name.empty() && make != nullptr,
+              "a protocol entry needs a name and a factory");
+  SSS_REQUIRE(!contains(name),
+              "protocol \"" + name + "\" is already registered");
+  entries_.push_back(Entry{std::move(name), std::move(params),
+                           std::move(make)});
+}
+
+bool ProtocolRegistry::contains(const std::string& protocol_name) const {
+  for (const Entry& candidate : entries_) {
+    if (candidate.name == protocol_name) return true;
+  }
+  return false;
+}
+
+const ProtocolRegistry::Entry& ProtocolRegistry::entry(
+    const std::string& protocol_name) const {
+  for (const Entry& candidate : entries_) {
+    if (candidate.name == protocol_name) return candidate;
+  }
+  throw PreconditionError("unknown protocol \"" + protocol_name +
+                          "\" (known: " + join(names(), ", ") + ")");
+}
+
+std::unique_ptr<Protocol> ProtocolRegistry::make(
+    const std::string& protocol_name, const Graph& g,
+    const ParamMap& params) const {
+  const Entry& chosen = entry(protocol_name);
+  require_known_params(params, chosen.params,
+                       "protocol \"" + chosen.name + "\"");
+  return chosen.make(g, params);
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& candidate : entries_) out.push_back(candidate.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

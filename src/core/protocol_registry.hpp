@@ -1,0 +1,79 @@
+#pragma once
+/// \file protocol_registry.hpp
+/// Name-based protocol factory: the paper's three 1-efficient protocols
+/// and their full-read baselines, constructible from (name, parameter map)
+/// — the protocol half of the manifest-driven experiment lab.
+///
+/// Mirrors runtime/daemon.hpp's factory-by-name and
+/// graph/family_registry.hpp's parameter handling. Locally-colored
+/// protocols (MIS, MATCHING and their baselines) take their coloring
+/// substrate as a parameter:
+///
+///   coloring       "greedy" (default) | "dsatur" | "random" | "identity"
+///   coloring_seed  seed for the "random" scheme (default 1)
+///
+/// "identity" is the globally-unique-ids setting of [13]; the others are
+/// proper colorings from graph/coloring.hpp. The coloring protocols take
+/// `palette_size` (default 0 = Delta+1). Booleans are spelled 0/1
+/// (`promote_on_higher_color` for MIS's convergence-accelerator ablation).
+///
+/// Open registry: `register_protocol` / `ProtocolRegistrar` add entries
+/// from any translation unit; built-ins are installed by this module.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/protocol.hpp"
+#include "support/params.hpp"
+
+namespace sss {
+
+class ProtocolRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Protocol>(const Graph&, const ParamMap&)>;
+
+  struct Entry {
+    std::string name;
+    /// Accepted parameter names (all optional for protocols).
+    std::vector<std::string> params;
+    Factory make;
+  };
+
+  /// The process-wide registry, with the built-in protocols installed.
+  static ProtocolRegistry& instance();
+
+  /// Adds a protocol; re-registering an existing name throws.
+  void register_protocol(std::string name, std::vector<std::string> params,
+                         Factory make);
+
+  /// Instantiates `protocol_name` on `g`. Unknown names and unknown or
+  /// ill-typed parameters throw PreconditionError.
+  std::unique_ptr<Protocol> make(const std::string& protocol_name,
+                                 const Graph& g,
+                                 const ParamMap& params = {}) const;
+
+  bool contains(const std::string& protocol_name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+ private:
+  const Entry& entry(const std::string& protocol_name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Static-init helper for self-registration.
+struct ProtocolRegistrar {
+  ProtocolRegistrar(std::string name, std::vector<std::string> params,
+                    ProtocolRegistry::Factory make) {
+    ProtocolRegistry::instance().register_protocol(
+        std::move(name), std::move(params), std::move(make));
+  }
+};
+
+}  // namespace sss

@@ -1,0 +1,172 @@
+#include "graph/family_registry.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/builders.hpp"
+
+namespace sss {
+
+GraphFamilyRegistry& GraphFamilyRegistry::instance() {
+  // Construct-on-first-use, then install the built-ins exactly once. The
+  // built-ins live here (not in per-family static registrars) so that
+  // linking any registry user is guaranteed to link them — a static
+  // library would drop registrar-only translation units.
+  static GraphFamilyRegistry* registry = [] {
+    auto* fresh = new GraphFamilyRegistry();
+
+    const auto seeded_rng = [](const ParamMap& params) {
+      return Rng(static_cast<std::uint64_t>(param_int(params, "seed", 1)));
+    };
+    const auto size = [](const ParamMap& params, const char* name) {
+      const std::int64_t value = require_param_int(params, name);
+      SSS_REQUIRE(value >= std::numeric_limits<int>::min() &&
+                      value <= std::numeric_limits<int>::max(),
+                  std::string("parameter \"") + name +
+                      "\" is out of range for a graph size");
+      return static_cast<int>(value);
+    };
+
+    fresh->register_family("path", {{"n"}}, [=](const ParamMap& p) {
+      return path(size(p, "n"));
+    });
+    fresh->register_family("cycle", {{"n"}}, [=](const ParamMap& p) {
+      return cycle(size(p, "n"));
+    });
+    fresh->register_family("complete", {{"n"}}, [=](const ParamMap& p) {
+      return complete(size(p, "n"));
+    });
+    fresh->register_family("star", {{"leaves"}}, [=](const ParamMap& p) {
+      return star(size(p, "leaves"));
+    });
+    fresh->register_family("wheel", {{"rim"}}, [=](const ParamMap& p) {
+      return wheel(size(p, "rim"));
+    });
+    fresh->register_family("grid", {{"rows"}, {"cols"}},
+                           [=](const ParamMap& p) {
+                             return grid(size(p, "rows"), size(p, "cols"));
+                           });
+    fresh->register_family("torus", {{"rows"}, {"cols"}},
+                           [=](const ParamMap& p) {
+                             return torus(size(p, "rows"), size(p, "cols"));
+                           });
+    fresh->register_family("hypercube", {{"dim"}}, [=](const ParamMap& p) {
+      return hypercube(size(p, "dim"));
+    });
+    fresh->register_family("complete-bipartite", {{"a"}, {"b"}},
+                           [=](const ParamMap& p) {
+                             return complete_bipartite(size(p, "a"),
+                                                       size(p, "b"));
+                           });
+    fresh->register_family("balanced-binary-tree", {{"n"}},
+                           [=](const ParamMap& p) {
+                             return balanced_binary_tree(size(p, "n"));
+                           });
+    fresh->register_family("caterpillar", {{"spine"}, {"legs"}},
+                           [=](const ParamMap& p) {
+                             return caterpillar(size(p, "spine"),
+                                                size(p, "legs"));
+                           });
+    fresh->register_family("lollipop", {{"clique"}, {"tail"}},
+                           [=](const ParamMap& p) {
+                             return lollipop(size(p, "clique"),
+                                             size(p, "tail"));
+                           });
+    fresh->register_family("barbell", {{"k"}, {"bridge"}},
+                           [=](const ParamMap& p) {
+                             return barbell(size(p, "k"), size(p, "bridge"));
+                           });
+    fresh->register_family("petersen", {}, [](const ParamMap&) {
+      return petersen();
+    });
+    fresh->register_family("random-tree", {{"n"}, {"seed", false, 1}},
+                           [=](const ParamMap& p) {
+                             Rng rng = seeded_rng(p);
+                             return random_tree(size(p, "n"), rng);
+                           });
+    fresh->register_family(
+        "erdos-renyi", {{"n"}, {"p"}, {"seed", false, 1}},
+        [=](const ParamMap& p) {
+          Rng rng = seeded_rng(p);
+          return erdos_renyi_connected(size(p, "n"), param_double(p, "p", 0.0),
+                                       rng);
+        });
+    fresh->register_family("random-regular",
+                           {{"n"}, {"d"}, {"seed", false, 1}},
+                           [=](const ParamMap& p) {
+                             Rng rng = seeded_rng(p);
+                             return random_regular(size(p, "n"), size(p, "d"),
+                                                   rng);
+                           });
+    fresh->register_family("theorem1-spider", {{"delta"}},
+                           [=](const ParamMap& p) {
+                             return theorem1_spider(size(p, "delta"));
+                           });
+    // Only the network of the rooted dag; the orientation belongs to the
+    // impossibility harness, not to convergence sweeps.
+    fresh->register_family("theorem2-gadget", {{"delta"}},
+                           [=](const ParamMap& p) {
+                             return theorem2_gadget(size(p, "delta")).graph;
+                           });
+    fresh->register_family("fig9-path", {{"n"}}, [=](const ParamMap& p) {
+      return fig9_path(size(p, "n"));
+    });
+    fresh->register_family("fig11-tight-matching", {}, [](const ParamMap&) {
+      return fig11_tight_matching();
+    });
+    return fresh;
+  }();
+  return *registry;
+}
+
+void GraphFamilyRegistry::register_family(std::string name,
+                                          std::vector<ParamSpec> params,
+                                          Builder build) {
+  SSS_REQUIRE(!name.empty() && build != nullptr,
+              "a graph family needs a name and a builder");
+  SSS_REQUIRE(!contains(name), "graph family \"" + name +
+                                   "\" is already registered");
+  families_.push_back(Family{std::move(name), std::move(params),
+                             std::move(build)});
+}
+
+bool GraphFamilyRegistry::contains(const std::string& family_name) const {
+  for (const Family& family : families_) {
+    if (family.name == family_name) return true;
+  }
+  return false;
+}
+
+const GraphFamilyRegistry::Family& GraphFamilyRegistry::family(
+    const std::string& family_name) const {
+  for (const Family& family : families_) {
+    if (family.name == family_name) return family;
+  }
+  throw PreconditionError("unknown graph family \"" + family_name +
+                          "\" (known: " + join(names(), ", ") + ")");
+}
+
+Graph GraphFamilyRegistry::build(const std::string& family_name,
+                                 const ParamMap& params) const {
+  const Family& entry = family(family_name);
+  std::vector<std::string> allowed;
+  allowed.reserve(entry.params.size());
+  for (const ParamSpec& spec : entry.params) allowed.push_back(spec.name);
+  require_known_params(params, allowed, "graph family \"" + entry.name + "\"");
+  for (const ParamSpec& spec : entry.params) {
+    SSS_REQUIRE(!spec.required || params.find(spec.name) != params.end(),
+                "graph family \"" + entry.name +
+                    "\" requires parameter \"" + spec.name + "\"");
+  }
+  return entry.build(params);
+}
+
+std::vector<std::string> GraphFamilyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const Family& family : families_) out.push_back(family.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

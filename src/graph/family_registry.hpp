@@ -1,0 +1,79 @@
+#pragma once
+/// \file family_registry.hpp
+/// Name-based registry of graph families — every builders.hpp family
+/// (including the paper's theorem gadgets) reachable as data.
+///
+/// Mirrors the daemon factory-by-name in runtime/daemon.hpp, extended with
+/// parsed parameters so an experiment manifest can spell
+/// `{"family": "grid", "rows": 5, "cols": 6}` instead of calling C++. Each
+/// entry declares its parameter schema (names, required/optional,
+/// defaults); `build` validates the map strictly — unknown parameter names
+/// and missing required parameters throw with the accepted set in the
+/// message.
+///
+/// The registry is open: `register_family` (or the `GraphFamilyRegistrar`
+/// helper, for self-registration at static-init time) adds new families
+/// from any translation unit. The built-in families are registered by this
+/// module itself, so any reference to the registry links them in.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/params.hpp"
+
+namespace sss {
+
+/// Schema of one accepted parameter of a family (or of any other
+/// registry entry reusing the type).
+struct ParamSpec {
+  std::string name;
+  bool required = true;
+  /// Default for optional numeric parameters (documentation + fallback).
+  double fallback = 0.0;
+};
+
+class GraphFamilyRegistry {
+ public:
+  using Builder = std::function<Graph(const ParamMap&)>;
+
+  struct Family {
+    std::string name;
+    std::vector<ParamSpec> params;
+    Builder build;
+  };
+
+  /// The process-wide registry, with the built-in families installed.
+  static GraphFamilyRegistry& instance();
+
+  /// Adds a family; re-registering an existing name throws.
+  void register_family(std::string name, std::vector<ParamSpec> params,
+                       Builder build);
+
+  /// Builds `family_name` from `params`. Unknown family, unknown parameter
+  /// names, missing required parameters, and non-integral sizes all throw
+  /// PreconditionError.
+  Graph build(const std::string& family_name, const ParamMap& params) const;
+
+  bool contains(const std::string& family_name) const;
+  const Family& family(const std::string& family_name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Family> families_;
+};
+
+/// Static-init helper for self-registration:
+///   static GraphFamilyRegistrar reg{"my-family", {{"n"}}, build_fn};
+struct GraphFamilyRegistrar {
+  GraphFamilyRegistrar(std::string name, std::vector<ParamSpec> params,
+                       GraphFamilyRegistry::Builder build) {
+    GraphFamilyRegistry::instance().register_family(
+        std::move(name), std::move(params), std::move(build));
+  }
+};
+
+}  // namespace sss

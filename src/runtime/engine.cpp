@@ -15,6 +15,8 @@ Engine::Engine(const Graph& g, const Protocol& protocol,
       config_(g, protocol.spec()),
       enabled_(g.num_vertices()),
       probe_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
+      active_(g.num_vertices()),
+      frozen_(static_cast<std::size_t>(g.num_vertices()), 0),
       probe_action_(static_cast<std::size_t>(g.num_vertices()),
                     Protocol::kDisabled),
       probe_reads_(static_cast<std::size_t>(g.num_vertices())),
@@ -110,7 +112,59 @@ void Engine::refresh_enabled() {
     // the only way "disabled at some moment" can begin mid-round, which is
     // what lets step() skip the all-vertices covering walk.
     if (!now) cover(p);
+    if (exclude_frozen_) {
+      const bool frozen = now && verified_self_loop(p, action);
+      frozen_[static_cast<std::size_t>(p)] = frozen ? 1 : 0;
+      active_.assign(p, now && !frozen);
+      // A frozen process counts as co-selected every step (its self-loop
+      // fires and changes nothing), so it is covered from the moment the
+      // classification holds — otherwise rounds could never complete.
+      if (frozen) cover(p);
+    }
   }
+}
+
+bool Engine::verified_self_loop(ProcessId p, int action) {
+  // A simulator device like the probes: private rng (never the model
+  // stream), no read logging, writes discarded before returning. The
+  // empty random script makes draw attempts observable — an action that
+  // consumes randomness cannot be certified from one sample and is
+  // conservatively treated as live.
+  static const std::vector<Value> kNoScript;
+  Rng scratch_rng(0x51ee9ULL);
+  ActionContext ctx(graph_, config_, p, scratch_rng, nullptr,
+                    &frozen_scratch_);
+  ctx.set_random_script(&kNoScript);
+  protocol_.execute(action, ctx);
+  if (!ctx.random_draws().empty()) return false;
+  for (const PendingWrite& write : ctx.writes()) {
+    const Value current = write.is_comm
+                              ? config_.comm(p, write.var)
+                              : config_.internal_var(p, write.var);
+    if (write.value != current) return false;
+  }
+  return true;
+}
+
+void Engine::set_exclude_frozen(bool on) {
+  if (on == exclude_frozen_) return;
+  exclude_frozen_ = on;
+  if (on) {
+    // Classification is refreshed through the probe dirty queue, so force
+    // a full pass: clean probes would otherwise keep stale frozen bits.
+    std::fill(frozen_.begin(), frozen_.end(), 0);
+    active_.reset(graph_.num_vertices());
+    for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+      mark_probe_dirty(p);
+    }
+  }
+}
+
+bool Engine::is_frozen(ProcessId p) {
+  SSS_REQUIRE(p >= 0 && p < graph_.num_vertices(), "process id out of range");
+  if (!exclude_frozen_) return false;
+  refresh_enabled();
+  return frozen_[static_cast<std::size_t>(p)] != 0;
 }
 
 bool Engine::is_enabled(ProcessId p) {
@@ -171,7 +225,8 @@ void Engine::reset_round() {
   std::fill(covered_.begin(), covered_.end(), 0);
   covered_count_ = 0;
   for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
-    if (!enabled_.test(p)) {
+    if (!enabled_.test(p) ||
+        (exclude_frozen_ && frozen_[static_cast<std::size_t>(p)])) {
       covered_[static_cast<std::size_t>(p)] = 1;
       ++covered_count_;
     }
@@ -183,7 +238,13 @@ Engine::StepInfo Engine::step() {
   refresh_enabled();
 
   selection_.clear();
-  daemon_->select(graph_, enabled_, rng_, selection_);
+  // Frozen exclusion: hand the daemon the active subset, unless that
+  // would empty a non-empty enabled set (all enabled processes frozen) —
+  // selection must stay well-formed, and selecting a frozen self-loop is
+  // harmless.
+  const EnabledSet& sampled =
+      exclude_frozen_ && active_.count() > 0 ? active_ : enabled_;
+  daemon_->select(graph_, sampled, rng_, selection_);
   SSS_ASSERT(!selection_.empty(), "daemon selected an empty set");
   // The Daemon contract (strictly ascending, hence distinct) replaces the
   // old per-step sort+unique normalization. The check is always on — a

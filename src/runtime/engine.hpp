@@ -165,6 +165,35 @@ class Engine {
   bool is_enabled(ProcessId p);
   int num_enabled();
 
+  /// Opt-in (off by default): exclude *frozen* processes from the enabled
+  /// set handed to the daemon. A process is frozen when its first enabled
+  /// action is a verified self-loop — executing it consumes no randomness
+  /// and writes only values equal to the current configuration, so firing
+  /// it is indistinguishable from not selecting it. The classic case is a
+  /// silent COLORING network's degree-1 leaves, whose pointer rotation
+  /// cur <- (cur mod 1) + 1 rewrites cur with itself forever: under the
+  /// distributed daemon they keep the sampled set at Theta(n) after
+  /// silence (the ROADMAP selection-floor item) even though selecting
+  /// them can never change anything.
+  ///
+  /// Semantics: a frozen process is treated exactly as if the daemon
+  /// co-selected it every step and its self-loop fired — it is covered
+  /// for round accounting at classification time, and the configuration
+  /// trajectory is unchanged because the fired action writes no new
+  /// values. Daemon rng consumption *does* change (the sampled set is
+  /// smaller), so runs with exclusion on are not bit-identical to runs
+  /// with it off under randomized daemons; under the synchronous daemon
+  /// with a deterministic protocol they are configuration-identical step
+  /// for step (equivalence-tested against ReferenceEngine). When every
+  /// enabled process is frozen the full enabled set is handed to the
+  /// daemon unchanged, keeping selection well-formed.
+  void set_exclude_frozen(bool on);
+  bool exclude_frozen() const { return exclude_frozen_; }
+
+  /// Frozen status of p under the current configuration; always false
+  /// while exclusion is off.
+  bool is_frozen(ProcessId p);
+
   /// Exact silence check of the current configuration.
   bool quiescent() const;
 
@@ -185,6 +214,9 @@ class Engine {
   void mark_probe_dirty(ProcessId p);
   void mark_solo_dirty(ProcessId p);
   void refresh_enabled();
+  /// Would firing `action` (p's memoized first enabled action) provably
+  /// leave the configuration unchanged? See set_exclude_frozen.
+  bool verified_self_loop(ProcessId p, int action);
   void note_comm_changed(ProcessId p);
   void cover(ProcessId p);
   void reset_round();
@@ -205,6 +237,15 @@ class Engine {
   EnabledSet enabled_;
   std::vector<std::uint8_t> probe_dirty_;
   std::vector<ProcessId> dirty_queue_;
+
+  // Frozen-process exclusion (see set_exclude_frozen). `active_` is
+  // enabled minus frozen, maintained alongside `enabled_` by the same
+  // dirty-queue refresh; both vectors are only consulted while
+  // `exclude_frozen_` is on, so the default path pays nothing.
+  bool exclude_frozen_ = false;
+  EnabledSet active_;
+  std::vector<std::uint8_t> frozen_;
+  std::vector<PendingWrite> frozen_scratch_;
 
   // Guard memo (invariant 4): per-process action chosen by the last probe
   // and the neighbor reads its guard evaluation logged, replayed verbatim

@@ -1,0 +1,397 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <system_error>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+
+/// Appends one Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+/// Recursive-descent reader over the document text. Tracks line/column for
+/// error messages; depth is bounded to keep adversarial inputs from
+/// exhausting the call stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw PreconditionError("json parse error at " + std::to_string(line_) +
+                            ":" + std::to_string(column_) + ": " + message);
+  }
+
+  bool at_end() const { return pos_ == text_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char ch = peek();
+    ++pos_;
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+
+  void expect(char ch, const char* what) {
+    if (at_end() || peek() != ch) {
+      fail(std::string("expected ") + what);
+    }
+    advance();
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      advance();
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input");
+    const char ch = peek();
+    switch (ch) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kString;
+        value.string_ = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = ch == 't';
+        parse_literal(ch == 't' ? "true" : "false");
+        return value;
+      }
+      case 'n':
+        parse_literal("null");
+        return JsonValue{};
+      default:
+        if (ch == '-' || (ch >= '0' && ch <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  void parse_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (at_end() || peek() != *p) {
+        fail(std::string("invalid literal (expected \"") + literal + "\")");
+      }
+      advance();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    expect('{', "'{'");
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : value.members_) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':', "':' after object key");
+      value.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return value;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    expect('[', "'['");
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return value;
+    }
+    for (;;) {
+      value.items_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return value;
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t result = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("unterminated \\u escape");
+      const char ch = advance();
+      result <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        result |= static_cast<std::uint32_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        result |= static_cast<std::uint32_t>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        result |= static_cast<std::uint32_t>(ch - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return result;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char ch = advance();
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (at_end() || peek() != '\\') fail("unpaired surrogate");
+            advance();
+            if (at_end() || peek() != 'u') fail("unpaired surrogate");
+            advance();
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') advance();
+    if (at_end()) fail("truncated number");
+    if (peek() == '0') {
+      advance();
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    } else {
+      fail("invalid number");
+    }
+    if (!at_end() && peek() == '.') {
+      advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    // from_chars, not strtod: conversion must be locale-independent (a
+    // host program on a comma-decimal locale must not change what "0.15"
+    // means).
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value.number_);
+    if (ec == std::errc::result_out_of_range) fail("number out of range");
+    if (ec != std::errc() || end != last) fail("invalid number");
+    if (!std::isfinite(value.number_)) fail("number out of range");
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+const char* JsonValue::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool() const {
+  SSS_REQUIRE(is_bool(), std::string("expected a JSON bool, got ") +
+                             kind_name(kind_));
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  SSS_REQUIRE(is_number(), std::string("expected a JSON number, got ") +
+                               kind_name(kind_));
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double value = as_double();
+  SSS_REQUIRE(std::floor(value) == value &&
+                  value >= -9007199254740992.0 && value <= 9007199254740992.0,
+              "expected an integral JSON number");
+  return static_cast<std::int64_t>(value);
+}
+
+const std::string& JsonValue::as_string() const {
+  SSS_REQUIRE(is_string(), std::string("expected a JSON string, got ") +
+                               kind_name(kind_));
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  SSS_REQUIRE(is_array(), std::string("expected a JSON array, got ") +
+                              kind_name(kind_));
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  SSS_REQUIRE(is_object(), std::string("expected a JSON object, got ") +
+                               kind_name(kind_));
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  SSS_REQUIRE(value != nullptr, "missing required key \"" + key + "\"");
+  return *value;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return items_.size();
+  return members().size();
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(ch >> 4) & 0xF]);
+          out.push_back(kHex[ch & 0xF]);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace sss

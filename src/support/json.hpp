@@ -1,0 +1,89 @@
+#pragma once
+/// \file json.hpp
+/// A small strict JSON reader, sibling of bench_json (which only writes).
+///
+/// The experiment lab reads its plans from JSON manifests
+/// (analysis/plan.hpp), so the library needs a parser it fully controls:
+/// deterministic, dependency-free, and strict enough that a typo in a
+/// manifest is an error with a line/column instead of a silently ignored
+/// key. The reader is a classic recursive-descent pass over the full
+/// document:
+///
+///  * the complete JSON grammar (RFC 8259): objects, arrays, strings with
+///    escapes (\uXXXX included, encoded back to UTF-8), numbers, the three
+///    literals;
+///  * object member order is preserved — manifest semantics depend on it
+///    (parameter expansion order) — and duplicate keys are rejected;
+///  * numbers are stored as double; `as_int()` additionally checks the
+///    value is integral and in range, which is what manifest fields
+///    (sizes, seeds) want;
+///  * all errors throw PreconditionError with 1-based line:column.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sss {
+
+/// One parsed JSON value; a tree of these is a document.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON document from `text` (trailing garbage is an
+  /// error). Throws PreconditionError on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each requires the matching kind.
+  bool as_bool() const;
+  double as_double() const;
+  /// Requires an integral number that fits std::int64_t exactly.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array elements, in document order. Requires an array.
+  const std::vector<JsonValue>& items() const;
+
+  /// Object members in document order (see file comment). Requires an
+  /// object.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object lookup: the member's value, or nullptr when absent.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Object lookup that throws PreconditionError when `key` is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Element/member count of an array/object.
+  std::size_t size() const;
+
+  /// Human-readable kind name ("object", "number", ...), for messages.
+  static const char* kind_name(Kind kind);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `text` as a JSON string literal including the surrounding
+/// quotes — the emission-side helper the JSONL/CSV sinks share.
+std::string json_quote(const std::string& text);
+
+}  // namespace sss

@@ -1,0 +1,117 @@
+#pragma once
+/// \file params.hpp
+/// The parameter-map currency of the name-based registries.
+///
+/// A registry entry (graph family, protocol, problem) is keyed by name and
+/// configured by a flat map of named scalar parameters — numbers or
+/// strings, exactly what a JSON manifest can spell. The helpers here do
+/// the strict-lookup legwork every factory needs: typed access with
+/// defaults, integral validation, and an unknown-key check so a typo in a
+/// manifest ("pallete_size") is an error instead of a silently ignored
+/// parameter.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/require.hpp"
+#include "support/string_util.hpp"
+
+namespace sss {
+
+/// One scalar parameter value: a number or a string. Booleans travel as
+/// numbers (0/1).
+struct ParamValue {
+  enum class Kind { kNumber, kString };
+
+  ParamValue() = default;
+  ParamValue(double value) : kind(Kind::kNumber), number(value) {}  // NOLINT
+  ParamValue(int value)  // NOLINT
+      : kind(Kind::kNumber), number(static_cast<double>(value)) {}
+  ParamValue(std::string value)  // NOLINT
+      : kind(Kind::kString), text(std::move(value)) {}
+  ParamValue(const char* value) : kind(Kind::kString), text(value) {}  // NOLINT
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+};
+
+/// Named parameters, ordered by name (deterministic iteration).
+using ParamMap = std::map<std::string, ParamValue>;
+
+/// Number-valued parameter, or `fallback` when absent.
+inline double param_double(const ParamMap& params, const std::string& name,
+                           double fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  SSS_REQUIRE(it->second.kind == ParamValue::Kind::kNumber,
+              "parameter \"" + name + "\" must be a number");
+  return it->second.number;
+}
+
+/// Integral parameter (validated), or `fallback` when absent.
+inline std::int64_t param_int(const ParamMap& params, const std::string& name,
+                              std::int64_t fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  SSS_REQUIRE(it->second.kind == ParamValue::Kind::kNumber,
+              "parameter \"" + name + "\" must be a number");
+  const double value = it->second.number;
+  // Range-check BEFORE the cast: double -> int64 outside the target range
+  // is undefined behaviour, not a recoverable error.
+  SSS_REQUIRE(value >= -9007199254740992.0 && value <= 9007199254740992.0 &&
+                  std::floor(value) == value,
+              "parameter \"" + name + "\" must be an integer");
+  return static_cast<std::int64_t>(value);
+}
+
+/// Integral parameter that must be present.
+inline std::int64_t require_param_int(const ParamMap& params,
+                                      const std::string& name) {
+  SSS_REQUIRE(params.find(name) != params.end(),
+              "missing required parameter \"" + name + "\"");
+  return param_int(params, name, 0);
+}
+
+/// String-valued parameter, or `fallback` when absent.
+inline std::string param_string(const ParamMap& params,
+                                const std::string& name,
+                                const std::string& fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  SSS_REQUIRE(it->second.kind == ParamValue::Kind::kString,
+              "parameter \"" + name + "\" must be a string");
+  return it->second.text;
+}
+
+/// Boolean parameter (spelled 0/1 in the map), or `fallback` when absent.
+inline bool param_bool(const ParamMap& params, const std::string& name,
+                       bool fallback) {
+  const std::int64_t value = param_int(params, name, fallback ? 1 : 0);
+  SSS_REQUIRE(value == 0 || value == 1,
+              "parameter \"" + name + "\" must be a boolean (0 or 1)");
+  return value != 0;
+}
+
+/// Rejects any parameter name outside `allowed`, naming both the stray key
+/// and the accepted set — the registry-wide typo guard.
+inline void require_known_params(const ParamMap& params,
+                                 const std::vector<std::string>& allowed,
+                                 const std::string& owner) {
+  for (const auto& [name, value] : params) {
+    bool known = false;
+    for (const std::string& candidate : allowed) {
+      if (candidate == name) {
+        known = true;
+        break;
+      }
+    }
+    SSS_REQUIRE(known, "unknown parameter \"" + name + "\" for " + owner +
+                           " (accepted: " + join(allowed, ", ") + ")");
+  }
+}
+
+}  // namespace sss

@@ -1,0 +1,172 @@
+/// Tests for the engine's opt-in frozen-process exclusion
+/// (Engine::set_exclude_frozen): classification correctness, equivalence
+/// against ReferenceEngine, round-accounting liveness, and the daemon-
+/// facing exclusion itself.
+///
+/// The semantic claim under test: a frozen process's only enabled action
+/// is a verified self-loop, so excluding it from the daemon's sampled set
+/// is indistinguishable (configuration-wise) from selecting it. Under the
+/// synchronous daemon with a deterministic protocol the claim is exact —
+/// Engine with exclusion on must track ReferenceEngine (which never
+/// excludes) configuration-for-configuration, because the only selection
+/// difference is dropped self-loops and neither daemon consumes rng.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coloring_protocol.hpp"
+#include "core/matching_protocol.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/problems.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/reference_engine.hpp"
+#include "runtime/trace.hpp"
+
+namespace sss {
+namespace {
+
+TEST(FrozenFlag, SynchronousLockstepMatchesReferenceEngine) {
+  // Deterministic protocols under the synchronous daemon: dropping frozen
+  // self-loops from the selection must leave every configuration
+  // bit-identical to the reference (non-excluding) engine.
+  const std::vector<Graph> graphs = {star(7), grid(3, 4), caterpillar(4, 3)};
+  for (const Graph& g : graphs) {
+    for (const bool use_matching : {false, true}) {
+      const Coloring colors = greedy_coloring(g);
+      std::unique_ptr<Protocol> protocol;
+      if (use_matching) {
+        protocol = std::make_unique<MatchingProtocol>(g, colors);
+      } else {
+        protocol = std::make_unique<MisProtocol>(g, colors);
+      }
+      Engine engine(g, *protocol, make_synchronous_daemon(), 99);
+      engine.set_exclude_frozen(true);
+      ReferenceEngine reference(g, *protocol, make_synchronous_daemon(), 99);
+      engine.randomize_state();
+      reference.set_config(engine.config());
+      for (int step = 0; step < 400; ++step) {
+        engine.step();
+        reference.step();
+        ASSERT_TRUE(engine.config() == reference.config())
+            << g.name() << " step " << step
+            << (use_matching ? " MATCHING" : " MIS");
+      }
+    }
+  }
+}
+
+TEST(FrozenFlag, ClassifiesSilentStarLeavesAsFrozen) {
+  // After a star stabilizes under COLORING, every leaf's only enabled
+  // action is the degree-1 pointer rotation cur <- (cur mod 1) + 1 — a
+  // verified self-loop. The hub keeps genuinely rotating.
+  const Graph g = star(8);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 5);
+  engine.set_exclude_frozen(true);
+  engine.randomize_state();
+  const RunStats stats = engine.run(RunOptions{});
+  ASSERT_TRUE(stats.silent);
+  for (ProcessId leaf = 1; leaf < g.num_vertices(); ++leaf) {
+    EXPECT_TRUE(engine.is_enabled(leaf));
+    EXPECT_TRUE(engine.is_frozen(leaf)) << leaf;
+  }
+  EXPECT_TRUE(engine.is_enabled(0));
+  EXPECT_FALSE(engine.is_frozen(0));  // hub: cur genuinely advances
+}
+
+TEST(FrozenFlag, ExcludedProcessesAreNeverSelected) {
+  const Graph g = star(8);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 5);
+  engine.set_exclude_frozen(true);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run(RunOptions{}).silent);
+
+  TraceRecorder trace;
+  engine.set_trace(&trace);
+  const std::uint64_t rounds_before = engine.rounds();
+  for (int i = 0; i < 64; ++i) engine.step();
+  engine.set_trace(nullptr);
+  for (const TraceEvent& event : trace.events()) {
+    ASSERT_EQ(event.selected.size(), 1u);
+    EXPECT_EQ(event.selected.front(), 0);  // only the hub is sampled
+  }
+  // Frozen processes count as covered, so rounds must keep completing —
+  // with 8 of 9 processes never selected a round would otherwise stall.
+  EXPECT_GT(engine.rounds(), rounds_before);
+}
+
+TEST(FrozenFlag, RandomizedRunsStillConvergeAndStayCorrect) {
+  // COLORING + distributed daemon: exclusion changes the daemon's coin
+  // stream (the sampled set shrinks), so trajectories differ from the
+  // non-excluding run — but stabilization and the output predicate must
+  // be unaffected.
+  const ColoringProblem problem;
+  for (const Graph& g : {star(10), caterpillar(5, 2), grid(4, 4)}) {
+    const ColoringProtocol protocol(g);
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      Engine engine(g, protocol, make_distributed_random_daemon(), seed);
+      engine.set_exclude_frozen(true);
+      engine.randomize_state();
+      RunOptions options;
+      options.max_steps = 2'000'000;
+      const RunStats stats = engine.run(options);
+      ASSERT_TRUE(stats.silent) << g.name() << " seed " << seed;
+      EXPECT_TRUE(problem.holds(g, engine.config()))
+          << g.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(FrozenFlag, UniqueFixedPointMatchesWithAndWithoutExclusion) {
+  // MIS with the promote disjunct stabilizes to the unique greedy-by-color
+  // MIS, so even under a randomized daemon the frozen-on and frozen-off
+  // runs must land on the same silent configuration.
+  const Graph g = caterpillar(5, 2);
+  const Coloring colors = greedy_coloring(g);
+  const MisProtocol protocol(g, colors);
+
+  Engine plain(g, protocol, make_distributed_random_daemon(), 17);
+  plain.randomize_state();
+  ASSERT_TRUE(plain.run(RunOptions{}).silent);
+
+  Engine frozen(g, protocol, make_distributed_random_daemon(), 17);
+  frozen.set_exclude_frozen(true);
+  frozen.randomize_state();
+  ASSERT_TRUE(frozen.run(RunOptions{}).silent);
+
+  EXPECT_EQ(extract_mis(g, plain.config()), extract_mis(g, frozen.config()));
+}
+
+TEST(FrozenFlag, OffByDefaultAndInert) {
+  const Graph g = star(6);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 3);
+  EXPECT_FALSE(engine.exclude_frozen());
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run(RunOptions{}).silent);
+  // Exclusion off: is_frozen reports false even for self-loop leaves.
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    EXPECT_FALSE(engine.is_frozen(p));
+  }
+}
+
+TEST(FrozenFlag, ToggleMidRunReclassifiesEverything) {
+  const Graph g = star(6);
+  const ColoringProtocol protocol(g);
+  Engine engine(g, protocol, make_central_round_robin_daemon(), 3);
+  engine.randomize_state();
+  ASSERT_TRUE(engine.run(RunOptions{}).silent);
+  engine.set_exclude_frozen(true);
+  EXPECT_TRUE(engine.is_frozen(1));
+  engine.set_exclude_frozen(false);
+  EXPECT_FALSE(engine.is_frozen(1));
+}
+
+}  // namespace
+}  // namespace sss

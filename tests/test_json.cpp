@@ -1,0 +1,107 @@
+/// Tests for the strict JSON reader (support/json.hpp): the full grammar,
+/// member-order preservation, duplicate-key rejection, and precise error
+/// behaviour on malformed documents.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0.125").as_double(), 0.125);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e2").as_double(), -150.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2E+1").as_double(), 20.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::parse(R"({
+    "name": "demo",
+    "sizes": [1, 2, 3],
+    "nested": {"deep": [{"x": true}]},
+    "empty_array": [],
+    "empty_object": {}
+  })");
+  EXPECT_EQ(doc.size(), 5u);
+  EXPECT_EQ(doc.at("name").as_string(), "demo");
+  EXPECT_EQ(doc.at("sizes").items().size(), 3u);
+  EXPECT_EQ(doc.at("sizes").items()[2].as_int(), 3);
+  EXPECT_TRUE(
+      doc.at("nested").at("deep").items()[0].at("x").as_bool());
+  EXPECT_EQ(doc.at("empty_array").size(), 0u);
+  EXPECT_EQ(doc.at("empty_object").size(), 0u);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), PreconditionError);
+}
+
+TEST(Json, PreservesMemberOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d\n\t")").as_string(),
+            "a\"b\\c/d\n\t");
+  EXPECT_EQ(JsonValue::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            "{",           "[1, 2",        "{\"a\": }",
+      "{\"a\" 1}",   "tru",         "01",           "1.",
+      "1e",          "\"unterm",    "\"bad\\q\"",   "[1,]",
+      "{,}",         "nan",         "[1] garbage",  "\"\\ud800\"",
+      "{\"a\": 1 \"b\": 2}",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(JsonValue::parse(text), PreconditionError) << text;
+  }
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1, "a": 2})"), PreconditionError);
+}
+
+TEST(Json, ReportsErrorPosition) {
+  try {
+    JsonValue::parse("{\n  \"a\": [1, oops]\n}");
+    FAIL() << "expected a parse error";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("2:"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Json, TypedAccessorsValidateKind) {
+  const JsonValue number = JsonValue::parse("1.5");
+  EXPECT_THROW(number.as_string(), PreconditionError);
+  EXPECT_THROW(number.as_int(), PreconditionError);  // not integral
+  EXPECT_THROW(number.items(), PreconditionError);
+  EXPECT_THROW(number.members(), PreconditionError);
+  EXPECT_THROW(JsonValue::parse("\"x\"").as_double(), PreconditionError);
+}
+
+TEST(Json, QuoteRoundTripsThroughParse) {
+  const std::string original = "line\nwith \"quotes\" & \\slashes\\ \t end";
+  const JsonValue parsed = JsonValue::parse(json_quote(original));
+  EXPECT_EQ(parsed.as_string(), original);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,211 @@
+/// Tests for the experiment-manifest plan builder (analysis/plan.hpp):
+/// expansion shape and order, defaults/override layering, base_seeds
+/// pinning, equivalence with a hand-built plan, and the strict error
+/// paths (unknown keys, names, and malformed sweeps).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/batch.hpp"
+#include "analysis/plan.hpp"
+#include "core/coloring_protocol.hpp"
+#include "graph/builders.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+namespace {
+
+constexpr const char* kSmallManifest = R"({
+  "name": "small",
+  "defaults": {
+    "daemons": ["central-rr", "distributed"],
+    "seeds_per_daemon": 2,
+    "max_steps": 30000,
+    "base_seed": 7
+  },
+  "sweeps": [
+    {
+      "graphs": [
+        {"family": "star", "leaves": [3, 4]},
+        {"family": "grid", "rows": 2, "cols": [2, 3]}
+      ],
+      "protocols": [{"name": "coloring"}, {"name": "full-read-coloring"}],
+      "problem": "vertex-coloring"
+    },
+    {
+      "graphs": [{"family": "petersen"}],
+      "protocols": [{"name": "mis"}],
+      "daemons": ["synchronous"],
+      "seeds_per_daemon": 1,
+      "extra_steps": 16,
+      "exclude_frozen": true
+    }
+  ]
+})";
+
+TEST(Plan, ExpandsInDocumentedOrder) {
+  const ExperimentPlan plan = plan_from_manifest_text(kSmallManifest);
+  EXPECT_EQ(plan.name, "small");
+  // Sweep 1: (star3, star4, grid2x2, grid2x3) x (coloring, full-read) = 8,
+  // then sweep 2's single item.
+  ASSERT_EQ(plan.items.size(), 9u);
+  const std::vector<std::string> labels = {
+      "COLORING/star(3)",    "FULL-READ-COLORING/star(3)",
+      "COLORING/star(4)",    "FULL-READ-COLORING/star(4)",
+      "COLORING/grid(2x2)",  "FULL-READ-COLORING/grid(2x2)",
+      "COLORING/grid(2x3)",  "FULL-READ-COLORING/grid(2x3)",
+      "MIS/petersen"};
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(plan.items[i].label, labels[i]) << i;
+  }
+  EXPECT_EQ(plan.total_trials(), 8 * 2 * 2 + 1);
+}
+
+TEST(Plan, AppliesDefaultsAndOverrides) {
+  const ExperimentPlan plan = plan_from_manifest_text(kSmallManifest);
+  const BatchItem& first = plan.items.front();
+  EXPECT_EQ(first.daemons,
+            (std::vector<std::string>{"central-rr", "distributed"}));
+  EXPECT_EQ(first.seeds_per_daemon, 2);
+  EXPECT_EQ(first.base_seed, 7u);
+  EXPECT_EQ(first.run.max_steps, 30000u);
+  EXPECT_EQ(first.extra_steps, 0);
+  EXPECT_FALSE(first.exclude_frozen);
+  ASSERT_NE(first.problem, nullptr);
+  EXPECT_EQ(first.problem->name(), "vertex-coloring");
+
+  const BatchItem& last = plan.items.back();
+  EXPECT_EQ(last.daemons, (std::vector<std::string>{"synchronous"}));
+  EXPECT_EQ(last.seeds_per_daemon, 1);
+  EXPECT_EQ(last.run.max_steps, 30000u);  // inherited from defaults
+  EXPECT_EQ(last.extra_steps, 16);
+  EXPECT_TRUE(last.exclude_frozen);
+  EXPECT_EQ(last.problem, nullptr);
+}
+
+TEST(Plan, BaseSeedsPinPerItemSeeds) {
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "seeds",
+    "sweeps": [{
+      "graphs": [{"family": "star", "leaves": [2, 3]}],
+      "protocols": [{"name": "coloring"}, {"name": "full-read-coloring"}],
+      "daemons": ["distributed"],
+      "seeds_per_daemon": 1,
+      "base_seeds": [100, 200, 101, 201]
+    }]
+  })");
+  ASSERT_EQ(plan.items.size(), 4u);
+  EXPECT_EQ(plan.items[0].base_seed, 100u);
+  EXPECT_EQ(plan.items[1].base_seed, 200u);
+  EXPECT_EQ(plan.items[2].base_seed, 101u);
+  EXPECT_EQ(plan.items[3].base_seed, 201u);
+}
+
+TEST(Plan, RoundTripMatchesHandBuiltPlan) {
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "roundtrip",
+    "sweeps": [{
+      "graphs": [{"family": "star", "leaves": 4}],
+      "protocols": [{"name": "coloring"}],
+      "daemons": ["distributed", "central-rr"],
+      "seeds_per_daemon": 2,
+      "max_steps": 20000,
+      "base_seed": 11
+    }]
+  })");
+  BatchOptions serial;
+  serial.threads = 1;
+  const BatchResult from_manifest = run_batch(plan.items, serial);
+
+  const Graph g = star(4);
+  const ColoringProtocol protocol(g);
+  BatchItem item;
+  item.label = "hand";
+  item.graph = &g;
+  item.protocol = &protocol;
+  item.daemons = {"distributed", "central-rr"};
+  item.seeds_per_daemon = 2;
+  item.run.max_steps = 20000;
+  item.base_seed = 11;
+  const BatchResult by_hand = run_batch({item}, serial);
+
+  const SweepSummary& a = from_manifest.summaries.front();
+  const SweepSummary& b = by_hand.summaries.front();
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.silent_runs, b.silent_runs);
+  EXPECT_EQ(a.max_steps_to_silence, b.max_steps_to_silence);
+  EXPECT_EQ(a.k_measured, b.k_measured);
+  EXPECT_EQ(a.bits_measured, b.bits_measured);
+  EXPECT_EQ(a.mean_total_reads, b.mean_total_reads);
+  EXPECT_EQ(a.mean_total_bits, b.mean_total_bits);
+}
+
+TEST(Plan, RejectsUnknownAndMalformedInput) {
+  const auto expand = [](const std::string& text) {
+    return plan_from_manifest_text(text);
+  };
+  // Unknown keys at every level.
+  EXPECT_THROW(expand(R"({"name": "x", "sweps": []})"), PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "defaults": {"daemon": []},
+                          "sweeps": []})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring"}],
+      "grahps": []}]})"),
+               PreconditionError);
+  // Unknown registry names.
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "moebius", "n": 4}],
+      "protocols": [{"name": "coloring"}]}]})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "gossip"}]}]})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring"}],
+      "problem": "domination"}]})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring"}],
+      "daemons": ["lazy"]}]})"),
+               PreconditionError);
+  // Unknown graph parameter (registry-level validation through the plan).
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "m": 4}],
+      "protocols": [{"name": "coloring"}]}]})"),
+               PreconditionError);
+  // Shape errors.
+  EXPECT_THROW(expand(R"({"sweeps": []})"), PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": []})"), PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [], "protocols": [{"name": "coloring"}]}]})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}], "protocols": []}]})"),
+               PreconditionError);
+  // base_seeds arity mismatch, and base_seed/base_seeds exclusivity.
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring"}],
+      "base_seeds": [1, 2]}]})"),
+               PreconditionError);
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring"}],
+      "base_seed": 5, "base_seeds": [1]}]})"),
+               PreconditionError);
+  // Protocol parameters must be scalars.
+  EXPECT_THROW(expand(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": 4}],
+      "protocols": [{"name": "coloring", "palette_size": [4, 5]}]}]})"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace sss

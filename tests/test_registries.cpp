@@ -1,0 +1,180 @@
+/// Tests for the name-based registries: completeness (every builders.hpp
+/// family and every protocol/problem reachable by name), equivalence with
+/// direct construction, and the strict unknown-name / unknown-parameter
+/// error paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coloring_protocol.hpp"
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "graph/coloring.hpp"
+#include "graph/family_registry.hpp"
+#include "support/require.hpp"
+
+namespace sss {
+namespace {
+
+TEST(GraphFamilyRegistry, EveryBuilderFamilyIsRegistered) {
+  // One name per builders.hpp entry point; a new builder without a
+  // registry entry fails this list.
+  const std::vector<std::string> expected = {
+      "path",           "cycle",       "complete",
+      "star",           "wheel",       "grid",
+      "torus",          "hypercube",   "complete-bipartite",
+      "balanced-binary-tree",          "caterpillar",
+      "lollipop",       "barbell",     "petersen",
+      "random-tree",    "erdos-renyi", "random-regular",
+      "theorem1-spider", "theorem2-gadget",
+      "fig9-path",      "fig11-tight-matching"};
+  const GraphFamilyRegistry& registry = GraphFamilyRegistry::instance();
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_EQ(registry.names().size(), expected.size());
+}
+
+TEST(GraphFamilyRegistry, BuildsEveryFamily) {
+  const GraphFamilyRegistry& registry = GraphFamilyRegistry::instance();
+  const std::vector<std::pair<std::string, ParamMap>> samples = {
+      {"path", {{"n", 5}}},
+      {"cycle", {{"n", 6}}},
+      {"complete", {{"n", 4}}},
+      {"star", {{"leaves", 3}}},
+      {"wheel", {{"rim", 5}}},
+      {"grid", {{"rows", 3}, {"cols", 4}}},
+      {"torus", {{"rows", 3}, {"cols", 3}}},
+      {"hypercube", {{"dim", 3}}},
+      {"complete-bipartite", {{"a", 2}, {"b", 3}}},
+      {"balanced-binary-tree", {{"n", 7}}},
+      {"caterpillar", {{"spine", 3}, {"legs", 2}}},
+      {"lollipop", {{"clique", 3}, {"tail", 2}}},
+      {"barbell", {{"k", 3}, {"bridge", 1}}},
+      {"petersen", {}},
+      {"random-tree", {{"n", 8}, {"seed", 7}}},
+      {"erdos-renyi", {{"n", 10}, {"p", 0.3}, {"seed", 7}}},
+      {"random-regular", {{"n", 8}, {"d", 3}, {"seed", 7}}},
+      {"theorem1-spider", {{"delta", 3}}},
+      {"theorem2-gadget", {{"delta", 2}}},
+      {"fig9-path", {{"n", 6}}},
+      {"fig11-tight-matching", {}},
+  };
+  ASSERT_EQ(samples.size(), registry.names().size());
+  for (const auto& [name, params] : samples) {
+    const Graph g = registry.build(name, params);
+    EXPECT_GE(g.num_vertices(), 1) << name;
+  }
+}
+
+TEST(GraphFamilyRegistry, MatchesDirectConstruction) {
+  const GraphFamilyRegistry& registry = GraphFamilyRegistry::instance();
+  const Graph from_registry =
+      registry.build("grid", {{"rows", 3}, {"cols", 4}});
+  const Graph direct = grid(3, 4);
+  EXPECT_EQ(from_registry.name(), direct.name());
+  EXPECT_EQ(from_registry.edges(), direct.edges());
+
+  // Seeded families are deterministic in their seed parameter.
+  const Graph r1 = registry.build("random-regular",
+                                  {{"n", 12}, {"d", 3}, {"seed", 9}});
+  const Graph r2 = registry.build("random-regular",
+                                  {{"n", 12}, {"d", 3}, {"seed", 9}});
+  EXPECT_EQ(r1.edges(), r2.edges());
+}
+
+TEST(GraphFamilyRegistry, RejectsBadNamesAndParams) {
+  const GraphFamilyRegistry& registry = GraphFamilyRegistry::instance();
+  EXPECT_THROW(registry.build("moebius", {}), PreconditionError);
+  EXPECT_THROW(registry.build("path", {{"m", 5}}), PreconditionError);
+  EXPECT_THROW(registry.build("path", {}), PreconditionError);  // missing n
+  EXPECT_THROW(registry.build("path", {{"n", 2.5}}), PreconditionError);
+  EXPECT_THROW(registry.build("path", {{"n", "five"}}), PreconditionError);
+  // Out-of-range sizes must error, never wrap: 2^32 + 8 is not path(8),
+  // and 1e300 must not reach a double -> int64 cast (UB).
+  EXPECT_THROW(registry.build("path", {{"n", 4294967304.0}}),
+               PreconditionError);
+  EXPECT_THROW(registry.build("path", {{"n", 1e300}}), PreconditionError);
+  EXPECT_THROW(registry.build("grid", {{"rows", 3}}), PreconditionError);
+}
+
+TEST(ProtocolRegistry, EveryProtocolIsRegisteredAndConstructs) {
+  const std::vector<std::string> expected = {
+      "coloring",     "full-read-coloring", "matching",
+      "full-read-matching", "mis",          "full-read-mis"};
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  EXPECT_EQ(registry.names().size(), expected.size());
+  const Graph g = petersen();
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    const std::unique_ptr<Protocol> protocol = registry.make(name, g);
+    ASSERT_NE(protocol, nullptr) << name;
+    EXPECT_FALSE(protocol->name().empty()) << name;
+  }
+}
+
+TEST(ProtocolRegistry, ForwardsParameters) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const Graph g = star(4);
+  const std::unique_ptr<Protocol> wide =
+      registry.make("coloring", g, {{"palette_size", 9}});
+  EXPECT_EQ(dynamic_cast<const ColoringProtocol&>(*wide).palette_size(), 9);
+
+  // Coloring schemes: identity gives n distinct colors on any graph.
+  const std::unique_ptr<Protocol> mis =
+      registry.make("mis", g, {{"coloring", "identity"}});
+  EXPECT_EQ(mis->name(), "MIS");
+  const std::unique_ptr<Protocol> ablated =
+      registry.make("mis", g, {{"promote_on_higher_color", 0}});
+  EXPECT_NE(ablated, nullptr);
+}
+
+TEST(ProtocolRegistry, RejectsBadNamesAndParams) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const Graph g = cycle(5);
+  EXPECT_THROW(registry.make("gossip", g), PreconditionError);
+  EXPECT_THROW(registry.make("coloring", g, {{"pallete_size", 4}}),
+               PreconditionError);
+  EXPECT_THROW(registry.make("mis", g, {{"coloring", "rainbow"}}),
+               PreconditionError);
+  EXPECT_THROW(registry.make("mis", g, {{"promote_on_higher_color", 3}}),
+               PreconditionError);
+}
+
+TEST(ProblemRegistry, NamesAliasesAndPredicates) {
+  const ProblemRegistry& registry = ProblemRegistry::instance();
+  const std::vector<std::string> canonical = {
+      "maximal-independent-set", "maximal-matching", "vertex-coloring"};
+  EXPECT_EQ(registry.names(), canonical);
+  for (const std::string& name : canonical) {
+    EXPECT_NE(registry.make(name), nullptr);
+  }
+  EXPECT_EQ(registry.make("mis")->name(), "maximal-independent-set");
+  EXPECT_EQ(registry.make("coloring")->name(), "vertex-coloring");
+  EXPECT_EQ(registry.make("matching")->name(), "maximal-matching");
+  EXPECT_THROW(registry.make("domination"), PreconditionError);
+}
+
+TEST(Registries, SelfRegistrationIsOpenAndGuarded) {
+  // New entries can be added at runtime (the self-registration path) and
+  // name collisions are rejected.
+  GraphFamilyRegistry& graphs = GraphFamilyRegistry::instance();
+  if (!graphs.contains("test-triangle")) {
+    graphs.register_family("test-triangle", {}, [](const ParamMap&) {
+      return complete(3);
+    });
+  }
+  EXPECT_EQ(graphs.build("test-triangle", {}).num_vertices(), 3);
+  EXPECT_THROW(graphs.register_family("test-triangle", {},
+                                      [](const ParamMap&) {
+                                        return complete(3);
+                                      }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,149 @@
+/// Tests for the streaming result sinks (analysis/sink.hpp) and the batch
+/// runner's per-trial callback: row completeness, serialization of the
+/// stream hook, and the core determinism contract — streamed JSONL rows
+/// are identical modulo order at 1 vs N threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/plan.hpp"
+#include "analysis/sink.hpp"
+#include "support/json.hpp"
+#include "support/string_util.hpp"
+
+namespace sss {
+namespace {
+
+constexpr const char* kPlanManifest = R"({
+  "name": "sink-test",
+  "sweeps": [{
+    "graphs": [
+      {"family": "star", "leaves": 5},
+      {"family": "grid", "rows": 3, "cols": 3}
+    ],
+    "protocols": [{"name": "coloring"}, {"name": "mis"}],
+    "problem": "coloring",
+    "daemons": ["distributed", "central-rr"],
+    "seeds_per_daemon": 2,
+    "max_steps": 30000
+  }]
+})";
+
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines = split(text, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string run_to_jsonl(const ExperimentPlan& plan, int threads) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  BatchOptions options;
+  options.threads = threads;
+  run_batch_to_sinks(plan.items, options, {&sink});
+  return out.str();
+}
+
+TEST(Sink, JsonlRowsIdenticalModuloOrderAcrossThreadCounts) {
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  const std::vector<std::string> serial = sorted_lines(run_to_jsonl(plan, 1));
+  ASSERT_EQ(static_cast<int>(serial.size()), plan.total_trials());
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(sorted_lines(run_to_jsonl(plan, threads)), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Sink, JsonlRowsAreCompleteAndWellFormed) {
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  const std::vector<std::string> lines = sorted_lines(run_to_jsonl(plan, 4));
+  std::set<std::pair<int, int>> coordinates;
+  for (const std::string& line : lines) {
+    const JsonValue row = JsonValue::parse(line);
+    const int item = static_cast<int>(row.at("item").as_int());
+    const int trial = static_cast<int>(row.at("trial").as_int());
+    coordinates.insert({item, trial});
+    ASSERT_LT(static_cast<std::size_t>(item), plan.items.size());
+    const BatchItem& source = plan.items[static_cast<std::size_t>(item)];
+    EXPECT_EQ(row.at("label").as_string(), source.label);
+    EXPECT_EQ(row.at("graph").as_string(), source.graph->name());
+    EXPECT_EQ(row.at("protocol").as_string(), source.protocol->name());
+    // Trial seed contract: base_seed + 1 + trial index.
+    EXPECT_EQ(row.at("engine_seed").as_int(),
+              static_cast<std::int64_t>(source.base_seed) + 1 + trial);
+    const std::string& daemon = row.at("daemon").as_string();
+    EXPECT_EQ(daemon,
+              source.daemons[static_cast<std::size_t>(trial) /
+                             static_cast<std::size_t>(
+                                 source.seeds_per_daemon)]);
+    EXPECT_TRUE(row.at("silent").is_bool());
+    EXPECT_GE(row.at("steps").as_int(), 0);
+  }
+  // Every (item, trial) coordinate exactly once.
+  EXPECT_EQ(static_cast<int>(coordinates.size()), plan.total_trials());
+}
+
+TEST(Sink, CsvEmitsHeaderPlusOneRowPerTrial) {
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  std::ostringstream out;
+  CsvSink sink(out);
+  BatchOptions options;
+  options.threads = 1;
+  run_batch_to_sinks(plan.items, options, {&sink});
+  std::vector<std::string> lines = split(out.str(), '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  ASSERT_EQ(static_cast<int>(lines.size()), plan.total_trials() + 1);
+  EXPECT_EQ(lines.front().substr(0, 11), "item,trial,");
+}
+
+TEST(Sink, BenchJsonSinkRecordsOneSummaryPerItem) {
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  BenchJsonSink sink("sink_test_artifact", "/nonexistent-dir-no-write");
+  BatchOptions options;
+  options.threads = 2;
+  run_batch_to_sinks(plan.items, options, {&sink});
+  const JsonValue doc = JsonValue::parse(sink.writer().str());
+  EXPECT_EQ(doc.at("bench").as_string(), "sink_test_artifact");
+  EXPECT_EQ(doc.at("records").items().size(), plan.items.size());
+  EXPECT_EQ(doc.at("records").items()[0].at("label").as_string(),
+            plan.items[0].label);
+}
+
+TEST(Sink, StreamedStatsMatchTheReduction) {
+  // The rows the sink saw, re-reduced per item, must equal run_batch's
+  // own in-order reduction.
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  std::vector<std::vector<RunStats>> rows(plan.items.size());
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    rows[i].resize(static_cast<std::size_t>(
+        plan.items[i].daemons.size() *
+        static_cast<std::size_t>(plan.items[i].seeds_per_daemon)));
+  }
+  BatchOptions options;
+  options.threads = 4;
+  options.on_trial = [&](const BatchTrialRow& row) {
+    rows[static_cast<std::size_t>(row.item)]
+        [static_cast<std::size_t>(row.trial)] = row.stats;
+  };
+  const BatchResult result = run_batch(plan.items, options);
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    const SweepSummary streamed = summarize_runs(
+        rows[i].data(), static_cast<int>(rows[i].size()));
+    EXPECT_EQ(streamed.runs, result.summaries[i].runs);
+    EXPECT_EQ(streamed.silent_runs, result.summaries[i].silent_runs);
+    EXPECT_EQ(streamed.mean_total_reads,
+              result.summaries[i].mean_total_reads);
+    EXPECT_EQ(streamed.max_steps_to_silence,
+              result.summaries[i].max_steps_to_silence);
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -216,6 +216,43 @@ def markdown_table(rows: list[Row], threshold: float) -> str:
     return "\n".join(lines) + "\n"
 
 
+def gate_fails(rows: list[Row], vanished: list[str]) -> bool:
+    """The single gate verdict shared by --json and the exit code."""
+    return bool(vanished or any(r.regressed for r in rows))
+
+
+def json_payload(rows: list[Row], vanished: list[str], threshold: float,
+                 notice: str | None = None) -> dict:
+    """Machine-readable delta document (see --json)."""
+    def finite(value: float) -> float | None:
+        return value if math.isfinite(value) else None
+    return {
+        "threshold": threshold,
+        "notice": notice,
+        "rows": [
+            {
+                "bench": r.bench,
+                "record": key_label(r.key),
+                "metric": r.metric,
+                "baseline": r.base,
+                "current": r.cur,
+                "delta_pct": finite(r.delta_pct),
+                "gated": r.gated,
+                "regressed": r.regressed,
+                "status": r.status(),
+            }
+            for r in rows
+        ],
+        "vanished": vanished,
+        "gated_comparisons": sum(1 for r in rows if r.gated),
+        "fail": gate_fails(rows, vanished),
+    }
+
+
+def write_json(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -230,6 +267,11 @@ def main() -> int:
     parser.add_argument("--markdown", type=Path, default=None,
                         help="append a markdown delta table to this file "
                              "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the full delta set as machine-readable "
+                             "JSON to this file (every metric row, gated "
+                             "and informational, plus vanished records and "
+                             "the verdict)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print informational (non-gated) metrics")
     parser.add_argument("--quiet", action="store_true",
@@ -245,15 +287,22 @@ def main() -> int:
               file=sys.stderr)
         return 2
     if not args.baseline.is_dir():
-        print(f"notice: no baseline at {args.baseline}; first run passes "
-              "vacuously")
+        notice = (f"no baseline at {args.baseline}; first run passes "
+                  "vacuously")
+        print(f"notice: {notice}")
+        if args.json_out is not None:
+            write_json(args.json_out,
+                       json_payload([], [], args.threshold, notice))
         return 0
 
     baseline = load_benches(args.baseline)
     current = load_benches(args.current)
     if not baseline:
-        print("notice: baseline has no BENCH_*.json; first run passes "
-              "vacuously")
+        notice = "baseline has no BENCH_*.json; first run passes vacuously"
+        print(f"notice: {notice}")
+        if args.json_out is not None:
+            write_json(args.json_out,
+                       json_payload([], [], args.threshold, notice))
         return 0
 
     rows, vanished = compare(baseline, current, args.threshold)
@@ -262,9 +311,11 @@ def main() -> int:
     if args.markdown is not None:
         with args.markdown.open("a") as out:
             out.write(markdown_table(rows, args.threshold))
+    if args.json_out is not None:
+        write_json(args.json_out, json_payload(rows, vanished, args.threshold))
 
     regressions = [r for r in rows if r.regressed]
-    if regressions or vanished:
+    if gate_fails(rows, vanished):
         print(f"\nFAIL: {len(regressions)} gated metric(s) regressed more "
               f"than {args.threshold:.0%}, {len(vanished)} vanished:")
         for r in regressions:

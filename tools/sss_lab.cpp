@@ -1,0 +1,214 @@
+/// \file sss_lab.cpp
+/// The experiment-lab CLI: run a JSON experiment manifest against the
+/// registries and stream results to sinks.
+///
+///   sss_lab run manifest.json [--sink out.jsonl] [--sink out.csv]
+///                             [--bench NAME] [--threads N] [--shards N]
+///                             [--quiet]
+///   sss_lab validate manifest.json
+///   sss_lab list
+///
+/// `run` expands the manifest (analysis/plan.hpp), executes it on the
+/// sharded batch runner, prints a per-item summary table, and streams
+/// per-trial rows to every `--sink` (format by extension: .jsonl or .csv)
+/// while trials finish. `--bench NAME` additionally writes the per-item
+/// summaries as BENCH_<NAME>.json, the artifact format the bench-gate CI
+/// diffs. `validate` expands without running; `list` prints every
+/// registered graph family, protocol, problem, and daemon name.
+///
+/// Exit codes: 0 success; 2 usage, manifest, or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/plan.hpp"
+#include "analysis/sink.hpp"
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/family_registry.hpp"
+#include "runtime/daemon.hpp"
+#include "support/require.hpp"
+#include "support/string_util.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace sss;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sss_lab <command> [args]\n"
+      "  run <manifest.json> [options]   expand and run a manifest\n"
+      "      --sink <path>     stream per-trial rows (.jsonl or .csv);\n"
+      "                        repeatable\n"
+      "      --bench <name>    write per-item summaries to BENCH_<name>.json\n"
+      "      --threads <n>     worker threads (0 = hardware, 1 = inline)\n"
+      "      --shards <n>      work-stealing shards (0 = one per item)\n"
+      "      --quiet           suppress the summary table\n"
+      "  validate <manifest.json>        expand only; print the plan shape\n"
+      "  list                            print all registered names\n");
+  return 2;
+}
+
+/// Parses the integer value of a --flag; throws on garbage.
+int int_value(const std::string& flag, const std::string& text) {
+  int value = -1;
+  std::size_t used = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = 0;  // fall through to the named error below
+  }
+  SSS_REQUIRE(used == text.size() && value >= 0,
+              flag + " needs a non-negative integer, got \"" + text + "\"");
+  return value;
+}
+
+void print_list() {
+  const auto print = [](const char* title,
+                        const std::vector<std::string>& names) {
+    std::printf("%s:\n", title);
+    for (const std::string& name : names) std::printf("  %s\n", name.c_str());
+  };
+  print("graph families", GraphFamilyRegistry::instance().names());
+  print("protocols", ProtocolRegistry::instance().names());
+  print("problems", ProblemRegistry::instance().names());
+  print("daemons", daemon_names());
+}
+
+void print_plan_shape(const ExperimentPlan& plan) {
+  std::printf("manifest \"%s\": %zu items, %d trials\n", plan.name.c_str(),
+              plan.items.size(), plan.total_trials());
+  for (const BatchItem& item : plan.items) {
+    std::printf("  %-40s daemons=%zu seeds=%d base_seed=%llu\n",
+                item.label.c_str(), item.daemons.size(),
+                item.seeds_per_daemon,
+                static_cast<unsigned long long>(item.base_seed));
+  }
+}
+
+void print_summaries(const ExperimentPlan& plan, const BatchResult& result) {
+  TextTable table({"item", "runs", "silent", "rounds(med)", "rounds(p90)",
+                   "rounds(max)", "steps(med)", "k", "bits"});
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    const SweepSummary& s = result.summaries[i];
+    table.row()
+        .add(plan.items[i].label)
+        .add(s.runs)
+        .add(s.silent_runs)
+        .add(s.rounds_to_silence.median, 1)
+        .add(s.rounds_to_silence.p90, 1)
+        .add(static_cast<std::int64_t>(s.max_rounds_to_silence))
+        .add(s.steps_to_silence.median, 1)
+        .add(s.k_measured)
+        .add(s.bits_measured);
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+int run_command(const std::vector<std::string>& args) {
+  std::string manifest_path;
+  std::vector<std::string> sink_paths;
+  std::string bench_name;
+  BatchOptions options;
+  bool quiet = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&](const std::string& flag) -> const std::string& {
+      SSS_REQUIRE(i + 1 < args.size(), flag + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--sink") {
+      sink_paths.push_back(value(arg));
+    } else if (arg == "--bench") {
+      bench_name = value(arg);
+    } else if (arg == "--threads") {
+      options.threads = int_value(arg, value(arg));
+    } else if (arg == "--shards") {
+      options.shards = int_value(arg, value(arg));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw PreconditionError("unknown option \"" + arg + "\"");
+    } else {
+      SSS_REQUIRE(manifest_path.empty(),
+                  "only one manifest path is accepted");
+      manifest_path = arg;
+    }
+  }
+  SSS_REQUIRE(!manifest_path.empty(), "run needs a manifest path");
+
+  const ExperimentPlan plan = plan_from_manifest_file(manifest_path);
+
+  std::vector<std::unique_ptr<std::ofstream>> files;
+  std::vector<std::unique_ptr<ResultSink>> owned;
+  std::vector<ResultSink*> sinks;
+  const auto has_suffix = [](const std::string& path,
+                             const std::string& suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  for (const std::string& path : sink_paths) {
+    const bool csv = has_suffix(path, ".csv");
+    SSS_REQUIRE(csv || has_suffix(path, ".jsonl"),
+                "--sink format is chosen by extension; \"" + path +
+                    "\" must end in .jsonl or .csv");
+    files.push_back(std::make_unique<std::ofstream>(path, std::ios::binary));
+    SSS_REQUIRE(files.back()->good(),
+                "cannot open sink file \"" + path + "\"");
+    if (csv) {
+      owned.push_back(std::make_unique<CsvSink>(*files.back()));
+    } else {
+      owned.push_back(std::make_unique<JsonlSink>(*files.back()));
+    }
+    sinks.push_back(owned.back().get());
+  }
+  if (!bench_name.empty()) {
+    owned.push_back(std::make_unique<BenchJsonSink>(bench_name));
+    sinks.push_back(owned.back().get());
+  }
+
+  const BatchResult result = run_batch_to_sinks(plan.items, options, sinks);
+  for (std::size_t i = 0; i < sink_paths.size(); ++i) {
+    SSS_REQUIRE(files[i]->good(),
+                "write error on sink file \"" + sink_paths[i] + "\"");
+  }
+  if (!quiet) print_summaries(plan, result);
+  std::printf("ran %d trials over %zu items\n", result.total_trials,
+              plan.items.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "run") return run_command(args);
+    if (command == "validate") {
+      if (args.size() != 1) return usage();
+      print_plan_shape(plan_from_manifest_file(args.front()));
+      return 0;
+    }
+    if (command == "list") {
+      if (!args.empty()) return usage();
+      print_list();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sss_lab: %s\n", error.what());
+    return 2;
+  }
+  std::fprintf(stderr, "sss_lab: unknown command \"%s\"\n", command.c_str());
+  return usage();
+}

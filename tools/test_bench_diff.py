@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py, run by the bench-gate CI job
+alongside the fixture self-test.
+
+Covers the library-level comparison logic and the --json machine-readable
+output: regression detection on the checked-in synthetic fixture, identity
+passes, vanished-record failures, the no-baseline vacuous pass, and the
+JSON document's shape and verdict.
+
+Run locally:  python3 tools/test_bench_diff.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+TOOL = TOOLS / "bench_diff.py"
+FIXTURES = TOOLS / "fixtures" / "bench_gate"
+
+sys.path.insert(0, str(TOOLS))
+bench_diff = __import__("bench_diff")
+
+
+def run_tool(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOL), *map(str, args)],
+        capture_output=True, text=True, check=False)
+
+
+class CompareLogic(unittest.TestCase):
+    def test_fixture_regression_is_flagged(self):
+        baseline = bench_diff.load_benches(FIXTURES / "baseline")
+        current = bench_diff.load_benches(FIXTURES / "regressed")
+        rows, vanished = bench_diff.compare(baseline, current, 0.25)
+        self.assertEqual(vanished, [])
+        regressed = [r for r in rows if r.regressed]
+        self.assertTrue(regressed)
+        self.assertTrue(all(r.gated for r in regressed))
+        self.assertTrue(all("speedup" in r.metric for r in regressed))
+
+    def test_identity_diff_is_clean(self):
+        baseline = bench_diff.load_benches(FIXTURES / "baseline")
+        rows, vanished = bench_diff.compare(baseline, baseline, 0.10)
+        self.assertEqual(vanished, [])
+        self.assertFalse(any(r.regressed for r in rows))
+        self.assertTrue(all(r.delta_pct == 0.0 for r in rows))
+
+    def test_vanished_gated_record_fails(self):
+        baseline = {"b": [{"case": "x", "speedup": 2.0},
+                          {"case": "y", "speedup": 3.0}]}
+        current = {"b": [{"case": "x", "speedup": 2.0}]}
+        rows, vanished = bench_diff.compare(baseline, current, 0.10)
+        self.assertEqual(len(vanished), 1)
+        self.assertIn("case=y", vanished[0])
+        self.assertFalse(any(r.regressed for r in rows))
+
+    def test_informational_metrics_never_gate(self):
+        baseline = {"b": [{"case": "x", "steps_per_sec": 100.0}]}
+        current = {"b": [{"case": "x", "steps_per_sec": 1.0}]}
+        rows, vanished = bench_diff.compare(baseline, current, 0.10)
+        self.assertEqual(vanished, [])
+        self.assertFalse(any(r.regressed for r in rows))
+        self.assertFalse(any(r.gated for r in rows))
+
+
+class JsonOutput(unittest.TestCase):
+    def run_with_json(self, baseline, current, threshold="0.25"):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "delta.json"
+            result = run_tool(baseline, current,
+                              "--threshold", threshold,
+                              "--json", out, "--quiet")
+            return result, json.loads(out.read_text())
+
+    def test_regression_verdict_and_shape(self):
+        result, doc = self.run_with_json(FIXTURES / "baseline",
+                                         FIXTURES / "regressed")
+        self.assertEqual(result.returncode, 1)
+        self.assertTrue(doc["fail"])
+        self.assertEqual(doc["threshold"], 0.25)
+        self.assertEqual(doc["vanished"], [])
+        self.assertGreater(doc["gated_comparisons"], 0)
+        regressed = [r for r in doc["rows"] if r["regressed"]]
+        self.assertTrue(regressed)
+        for row in regressed:
+            self.assertTrue(row["gated"])
+            self.assertEqual(row["status"], "REGRESSED")
+            self.assertLess(row["delta_pct"], -25.0)
+        for row in doc["rows"]:
+            self.assertEqual(
+                sorted(row), ["baseline", "bench", "current", "delta_pct",
+                              "gated", "metric", "record", "regressed",
+                              "status"])
+
+    def test_identity_verdict(self):
+        result, doc = self.run_with_json(FIXTURES / "baseline",
+                                         FIXTURES / "baseline")
+        self.assertEqual(result.returncode, 0)
+        self.assertFalse(doc["fail"])
+        self.assertFalse(any(r["regressed"] for r in doc["rows"]))
+
+    def test_missing_baseline_writes_vacuous_pass(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            result, doc = self.run_with_json(Path(tmp) / "nope",
+                                             FIXTURES / "baseline")
+        self.assertEqual(result.returncode, 0)
+        self.assertFalse(doc["fail"])
+        self.assertEqual(doc["rows"], [])
+        self.assertIn("no baseline", doc["notice"])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
