@@ -1,0 +1,19 @@
+/// E-BFS — silent BFS spanning-tree construction, communication-efficient
+/// vs full-read.
+///
+/// Protocol BFS-TREE reads at most its parent plus one round-robin
+/// neighbor per step (k = 2) where the classic full-read construction
+/// reads all Delta neighbors; both stabilize to the exact BFS tree of the
+/// flagged root. The menagerie, daemons and seeds are declared in
+/// examples/manifests/bfs_tree.json and expanded by the shared plan
+/// builder — the bench is a thin shell over the same plan `sss_lab run`
+/// executes. Emits BENCH_bfs_tree.json next to the table.
+
+#include "bench_common.hpp"
+
+int main() {
+  return sss::bench::run_efficiency_comparison(
+      "E-BFS: BFS-TREE convergence and reads vs full-read",
+      std::string(SSS_MANIFEST_DIR) + "/bfs_tree.json", "bfs_tree",
+      "BFS-TREE", /*efficient_k=*/2);
+}

@@ -1,0 +1,20 @@
+/// E-LE — communication-efficient self-stabilizing leader election vs
+/// full-read.
+///
+/// Protocol LEADER-ELECTION reads at most its parent plus one round-robin
+/// neighbor per step (k = 2) where the classic full-read election reads
+/// all Delta neighbors; both elect the minimum identifier and build the
+/// BFS tree rooted at it. The menagerie, daemons, seeds and identifier
+/// schemes are declared in examples/manifests/leader_election.json and
+/// expanded by the shared plan builder — the bench is a thin shell over
+/// the same plan `sss_lab run` executes. Emits BENCH_leader_election.json
+/// next to the table.
+
+#include "bench_common.hpp"
+
+int main() {
+  return sss::bench::run_efficiency_comparison(
+      "E-LE: LEADER-ELECTION convergence and reads vs full-read",
+      std::string(SSS_MANIFEST_DIR) + "/leader_election.json",
+      "leader_election", "LEADER-ELECTION", /*efficient_k=*/2);
+}

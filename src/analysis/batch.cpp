@@ -57,6 +57,7 @@ SweepSummary summarize_runs(const RunStats* stats, int count) {
           std::max(summary.max_steps_to_silence, run.steps_to_silence);
     }
     if (run.reached_legitimate) {
+      ++summary.legitimate_runs;
       rounds_to_legitimate.push_back(
           static_cast<double>(run.rounds_to_legitimate));
     }

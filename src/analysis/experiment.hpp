@@ -46,6 +46,9 @@ struct SweepOptions {
 struct SweepSummary {
   int runs = 0;
   int silent_runs = 0;
+  /// Runs whose trajectory reached the bound legitimacy predicate; stays
+  /// 0 when the sweep carries no problem (RunOptions::legitimacy unset).
+  int legitimate_runs = 0;
   std::uint64_t max_rounds_to_silence = 0;
   std::uint64_t max_steps_to_silence = 0;
   Summary rounds_to_silence;

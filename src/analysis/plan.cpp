@@ -114,31 +114,82 @@ ParamValue scalar_param(const std::string& key, const JsonValue& value) {
   }
 }
 
+/// Expands a {"from": a, "to": b, "step": s} range object (step optional,
+/// default 1) into the inclusive integer progression a, a+s, ..., <= b.
+/// Schema errors name the offending value's line:col in the manifest.
+std::vector<ParamValue> expand_param_range(const std::string& key,
+                                           const JsonValue& range) {
+  const std::string context =
+      "range parameter \"" + key + "\" at " + range.where();
+  for (const auto& [name, unused] : range.members()) {
+    SSS_REQUIRE(name == "from" || name == "to" || name == "step",
+                "unknown key \"" + name + "\" in " + context +
+                    " (accepted: from, to, step)");
+  }
+  SSS_REQUIRE(range.find("from") != nullptr && range.find("to") != nullptr,
+              context + " needs \"from\" and \"to\"");
+  // Type errors carry the field's own position, like the schema errors.
+  const auto range_int = [&](const char* name) {
+    const JsonValue& value = range.at(name);
+    SSS_REQUIRE(value.is_number(),
+                context + ": \"" + name + "\" must be an integer (at " +
+                    value.where() + "), got " +
+                    JsonValue::kind_name(value.kind()));
+    try {
+      return value.as_int();
+    } catch (const PreconditionError&) {
+      throw PreconditionError(context + ": \"" + name +
+                              "\" must be an integer (at " + value.where() +
+                              ")");
+    }
+  };
+  const std::int64_t from = range_int("from");
+  const std::int64_t to = range_int("to");
+  const std::int64_t step = range.find("step") != nullptr ? range_int("step") : 1;
+  SSS_REQUIRE(step >= 1, context + ": \"step\" must be >= 1");
+  SSS_REQUIRE(from <= to, context + ": \"from\" must be <= \"to\"");
+  const std::int64_t count = (to - from) / step + 1;
+  SSS_REQUIRE(count <= 100'000,
+              context + " expands to " + std::to_string(count) +
+                  " values (max 100000)");
+  std::vector<ParamValue> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t v = from; v <= to; v += step) {
+    values.emplace_back(static_cast<double>(v));
+  }
+  return values;
+}
+
 /// Expands one graph spec into parameter maps: the cartesian product of
-/// its list-valued parameters, in member order with the last list varying
-/// fastest (odometer order).
+/// its list- and range-valued parameters, in member order with the last
+/// sweep varying fastest (odometer order).
 std::vector<ParamMap> expand_graph_params(const JsonValue& spec) {
   std::vector<ParamMap> combos = {ParamMap{}};
   for (const auto& [key, value] : spec.members()) {
     if (key == "family") continue;
+    std::vector<ParamValue> sweep;
     if (value.is_array()) {
       SSS_REQUIRE(!value.items().empty(),
                   "parameter sweep \"" + key + "\" cannot be empty");
-      std::vector<ParamMap> next;
-      next.reserve(combos.size() * value.size());
-      for (const ParamMap& combo : combos) {
-        for (const JsonValue& element : value.items()) {
-          ParamMap extended = combo;
-          extended[key] = scalar_param(key, element);
-          next.push_back(std::move(extended));
-        }
+      sweep.reserve(value.size());
+      for (const JsonValue& element : value.items()) {
+        sweep.push_back(scalar_param(key, element));
       }
-      combos = std::move(next);
+    } else if (value.is_object()) {
+      sweep = expand_param_range(key, value);
     } else {
-      for (ParamMap& combo : combos) {
-        combo[key] = scalar_param(key, value);
+      sweep.push_back(scalar_param(key, value));
+    }
+    std::vector<ParamMap> next;
+    next.reserve(combos.size() * sweep.size());
+    for (const ParamMap& combo : combos) {
+      for (const ParamValue& element : sweep) {
+        ParamMap extended = combo;
+        extended[key] = element;
+        next.push_back(std::move(extended));
       }
     }
+    combos = std::move(next);
   }
   return combos;
 }

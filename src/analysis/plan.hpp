@@ -20,6 +20,7 @@
 ///       {
 ///         "graphs": [
 ///           {"family": "star", "leaves": [2, 3, 4]},   // list = sweep
+///           {"family": "path", "n": {"from": 4, "to": 64, "step": 4}},
 ///           {"family": "grid", "rows": 5, "cols": 6}
 ///         ],
 ///         "protocols": [
@@ -38,12 +39,27 @@
 /// seeds), "max_steps", "stop_on_silence", "quiescence_patience",
 /// "extra_steps", "exclude_frozen".
 ///
+/// Daemon lists are validated against the registered daemon names only —
+/// deliberately NOT against ProtocolRegistry::Entry::daemons, the
+/// per-protocol stabilization assumption the property harness enforces:
+/// experiments may intentionally probe a protocol outside its claim
+/// (that is what an ablation is), so a manifest pairing, say,
+/// full-read-coloring with the synchronous daemon expands and runs;
+/// expect such trials to report silent=false after max_steps rather
+/// than stabilize.
+///
+/// A graph parameter may be a scalar, an explicit list, or a range object
+/// {"from": a, "to": b, "step": s} (step optional, default 1) expanding
+/// to the inclusive integer progression a, a+s, ..., <= b; range schema
+/// errors report the offending value's line:col.
+///
 /// Expansion is deterministic: sweeps in order; within a sweep, graph
 /// specs in order; within a graph spec, the cartesian product of its
-/// list-valued parameters (in member order, the last list varying
-/// fastest); and for each expanded graph every protocol in order. Item
-/// labels are "<protocol name>/<graph name>". Trial semantics (seed
-/// derivation, daemon-major order, reduction) are run_batch's.
+/// list- and range-valued parameters (in member order, the last sweep
+/// varying fastest); and for each expanded graph every protocol in
+/// order. Item labels are "<protocol name>/<graph name>". Trial
+/// semantics (seed derivation, daemon-major order, reduction) are
+/// run_batch's.
 
 #include <string>
 #include <vector>

@@ -57,14 +57,16 @@ class FullReadMatching final : public Protocol {
 
 /// Legitimacy for the baseline's layout: the mutually-pointing PR pairs
 /// form a maximal matching. (The cur-based predicate of Section 5.3 does
-/// not apply — the baseline has no cur.)
+/// not apply — the baseline has no cur.) Registered in the
+/// ProblemRegistry as "mutual-pr-matching", which is what pairs the
+/// baseline with a sound predicate in the registry-wide property harness.
 class MutualPrMatchingProblem final : public Problem {
  public:
   const std::string& name() const override { return name_; }
   bool holds(const Graph& g, const Configuration& config) const override;
 
  private:
-  std::string name_ = "maximal-matching(mutual-PR)";
+  std::string name_ = "mutual-pr-matching";
 };
 
 }  // namespace sss

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "baselines/full_read_matching.hpp"
 #include "support/params.hpp"
+#include "verify/tree_predicates.hpp"
 
 namespace sss {
 
@@ -19,6 +21,15 @@ ProblemRegistry& ProblemRegistry::instance() {
     });
     fresh->register_problem("maximal-matching", {"matching"}, [] {
       return std::make_unique<MatchingProblem>();
+    });
+    fresh->register_problem("mutual-pr-matching", {}, [] {
+      return std::make_unique<MutualPrMatchingProblem>();
+    });
+    fresh->register_problem("bfs-spanning-tree", {"bfs-tree", "bfs"}, [] {
+      return std::make_unique<BfsTreeProblem>();
+    });
+    fresh->register_problem("leader-election", {"leader"}, [] {
+      return std::make_unique<LeaderElectionProblem>();
     });
     return fresh;
   }();

@@ -4,10 +4,11 @@
 /// problem half of the manifest-driven experiment lab.
 ///
 /// Canonical names are the Problem::name() strings ("vertex-coloring",
-/// "maximal-independent-set", "maximal-matching"); the short aliases
-/// "coloring", "mis" and "matching" resolve to the same entries so
-/// manifests can use either. Mirrors runtime/daemon.hpp's
-/// factory-by-name; open via `register_problem` / `ProblemRegistrar`.
+/// "maximal-independent-set", "maximal-matching", "bfs-spanning-tree",
+/// "leader-election"); the short aliases "coloring", "mis", "matching",
+/// "bfs-tree"/"bfs" and "leader" resolve to the same entries so manifests
+/// can use either. Mirrors runtime/daemon.hpp's factory-by-name; open via
+/// `register_problem` / `ProblemRegistrar`.
 
 #include <functional>
 #include <memory>

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "baselines/full_read_bfs_tree.hpp"
 #include "baselines/full_read_coloring.hpp"
+#include "baselines/full_read_leader_election.hpp"
 #include "baselines/full_read_matching.hpp"
 #include "baselines/full_read_mis.hpp"
+#include "core/bfs_tree_protocol.hpp"
 #include "core/coloring_protocol.hpp"
+#include "core/leader_election_protocol.hpp"
 #include "core/matching_protocol.hpp"
 #include "core/mis_protocol.hpp"
 #include "graph/coloring.hpp"
@@ -33,7 +37,25 @@ int palette_size(const ParamMap& params) {
   return static_cast<int>(param_int(params, "palette_size", 0));
 }
 
+/// Root process of the rooted tree protocols, validated against the graph.
+ProcessId tree_root(const Graph& g, const ParamMap& params) {
+  const std::int64_t root = param_int(params, "root", 0);
+  SSS_REQUIRE(root >= 0 && root < g.num_vertices(),
+              "parameter \"root\" must name a process id in [0, " +
+                  std::to_string(g.num_vertices()) + ")");
+  return static_cast<ProcessId>(root);
+}
+
+/// Identifier assignment of the identified election protocols.
+std::vector<Value> election_ids(const Graph& g, const ParamMap& params) {
+  return make_id_assignment(
+      g, param_string(params, "id_scheme", "identity"),
+      static_cast<std::uint64_t>(param_int(params, "id_seed", 1)));
+}
+
 const std::vector<std::string> kColoredParams = {"coloring", "coloring_seed"};
+const std::vector<std::string> kRootedParams = {"root"};
+const std::vector<std::string> kIdentifiedParams = {"id_scheme", "id_seed"};
 
 }  // namespace
 
@@ -43,36 +65,66 @@ ProtocolRegistry& ProtocolRegistry::instance() {
   static ProtocolRegistry* registry = [] {
     auto* fresh = new ProtocolRegistry();
     fresh->register_protocol(
-        "coloring", {"palette_size"},
+        "coloring", {"palette_size"}, "vertex-coloring",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<ColoringProtocol>(g, palette_size(p));
         });
     fresh->register_protocol(
-        "full-read-coloring", {"palette_size"},
+        "full-read-coloring", {"palette_size"}, "vertex-coloring",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<FullReadColoring>(g, palette_size(p));
-        });
+        },
+        // Redrawing among the colors the neighbors do not use can leave
+        // two deterministically co-fired neighbors one shared free color
+        // forever (see Entry::daemons); the claim needs a scheduler that
+        // eventually fires conflicting neighbors apart.
+        {"central-rr", "central-random", "distributed", "enumerator"});
     fresh->register_protocol(
         "mis", {"coloring", "coloring_seed", "promote_on_higher_color"},
+        "maximal-independent-set",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<MisProtocol>(
               g, make_coloring(g, p),
               param_bool(p, "promote_on_higher_color", true));
         });
     fresh->register_protocol(
-        "full-read-mis", kColoredParams,
+        "full-read-mis", kColoredParams, "maximal-independent-set",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<FullReadMis>(g, make_coloring(g, p));
         });
     fresh->register_protocol(
-        "matching", kColoredParams,
+        "matching", kColoredParams, "maximal-matching",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<MatchingProtocol>(g, make_coloring(g, p));
         });
+    // The baseline carries no cur variable, so the Section 5.3 predicate
+    // does not apply to its layout; it pairs with the mutual-PR variant.
     fresh->register_protocol(
-        "full-read-matching", kColoredParams,
+        "full-read-matching", kColoredParams, "mutual-pr-matching",
         [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
           return std::make_unique<FullReadMatching>(g, make_coloring(g, p));
+        });
+    fresh->register_protocol(
+        "bfs-tree", kRootedParams, "bfs-spanning-tree",
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<BfsTreeProtocol>(g, tree_root(g, p));
+        });
+    fresh->register_protocol(
+        "full-read-bfs-tree", kRootedParams, "bfs-spanning-tree",
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<FullReadBfsTree>(g, tree_root(g, p));
+        });
+    fresh->register_protocol(
+        "leader-election", kIdentifiedParams, "leader-election",
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<LeaderElectionProtocol>(g,
+                                                          election_ids(g, p));
+        });
+    fresh->register_protocol(
+        "full-read-leader-election", kIdentifiedParams, "leader-election",
+        [](const Graph& g, const ParamMap& p) -> std::unique_ptr<Protocol> {
+          return std::make_unique<FullReadLeaderElection>(
+              g, election_ids(g, p));
         });
     return fresh;
   }();
@@ -81,12 +133,14 @@ ProtocolRegistry& ProtocolRegistry::instance() {
 
 void ProtocolRegistry::register_protocol(std::string name,
                                          std::vector<std::string> params,
-                                         Factory make) {
+                                         std::string problem, Factory make,
+                                         std::vector<std::string> daemons) {
   SSS_REQUIRE(!name.empty() && make != nullptr,
               "a protocol entry needs a name and a factory");
   SSS_REQUIRE(!contains(name),
               "protocol \"" + name + "\" is already registered");
   entries_.push_back(Entry{std::move(name), std::move(params),
+                           std::move(problem), std::move(daemons),
                            std::move(make)});
 }
 
@@ -97,7 +151,7 @@ bool ProtocolRegistry::contains(const std::string& protocol_name) const {
   return false;
 }
 
-const ProtocolRegistry::Entry& ProtocolRegistry::entry(
+const ProtocolRegistry::Entry& ProtocolRegistry::info(
     const std::string& protocol_name) const {
   for (const Entry& candidate : entries_) {
     if (candidate.name == protocol_name) return candidate;
@@ -109,7 +163,7 @@ const ProtocolRegistry::Entry& ProtocolRegistry::entry(
 std::unique_ptr<Protocol> ProtocolRegistry::make(
     const std::string& protocol_name, const Graph& g,
     const ParamMap& params) const {
-  const Entry& chosen = entry(protocol_name);
+  const Entry& chosen = info(protocol_name);
   require_known_params(params, chosen.params,
                        "protocol \"" + chosen.name + "\"");
   return chosen.make(g, params);

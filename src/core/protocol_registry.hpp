@@ -1,8 +1,9 @@
 #pragma once
 /// \file protocol_registry.hpp
-/// Name-based protocol factory: the paper's three 1-efficient protocols
-/// and their full-read baselines, constructible from (name, parameter map)
-/// — the protocol half of the manifest-driven experiment lab.
+/// Name-based protocol factory: the paper's three 1-efficient protocols,
+/// the communication-efficient BFS-tree and leader-election protocols,
+/// and their full-read baselines, constructible from (name, parameter
+/// map) — the protocol half of the manifest-driven experiment lab.
 ///
 /// Mirrors runtime/daemon.hpp's factory-by-name and
 /// graph/family_registry.hpp's parameter handling. Locally-colored
@@ -16,6 +17,13 @@
 /// proper colorings from graph/coloring.hpp. The coloring protocols take
 /// `palette_size` (default 0 = Delta+1). Booleans are spelled 0/1
 /// (`promote_on_higher_color` for MIS's convergence-accelerator ablation).
+/// The rooted tree protocols take `root` (default 0); the identified
+/// election protocols take `id_scheme` ("identity" (default) | "reverse"
+/// | "random") and `id_seed` (default 1, for the "random" scheme).
+///
+/// Every entry names the ProblemRegistry predicate it stabilizes to, so
+/// protocol-agnostic harnesses can audit any entry without a hand-kept
+/// protocol -> problem table.
 ///
 /// Open registry: `register_protocol` / `ProtocolRegistrar` add entries
 /// from any translation unit; built-ins are installed by this module.
@@ -40,15 +48,30 @@ class ProtocolRegistry {
     std::string name;
     /// Accepted parameter names (all optional for protocols).
     std::vector<std::string> params;
+    /// Canonical ProblemRegistry name of the legitimacy predicate this
+    /// protocol stabilizes to — the hook the registry-wide property-test
+    /// harness and `sss_lab list` use to pair every protocol with its
+    /// problem automatically.
+    std::string problem;
+    /// Daemon names this protocol's stabilization claim assumes; empty =
+    /// any registered daemon. FULL-READ-COLORING, for instance, breaks
+    /// symmetry by redrawing among the colors its neighbors do not use,
+    /// which can leave two synchronously-fired neighbors a single shared
+    /// free color forever — its claim excludes the deterministic
+    /// co-firing schedulers (synchronous, adversarial).
+    std::vector<std::string> daemons;
     Factory make;
   };
 
   /// The process-wide registry, with the built-in protocols installed.
   static ProtocolRegistry& instance();
 
-  /// Adds a protocol; re-registering an existing name throws.
+  /// Adds a protocol; re-registering an existing name throws. `problem`
+  /// names the entry's legitimacy predicate in the ProblemRegistry;
+  /// `daemons` optionally restricts the stabilization claim (see Entry).
   void register_protocol(std::string name, std::vector<std::string> params,
-                         Factory make);
+                         std::string problem, Factory make,
+                         std::vector<std::string> daemons = {});
 
   /// Instantiates `protocol_name` on `g`. Unknown names and unknown or
   /// ill-typed parameters throw PreconditionError.
@@ -58,21 +81,25 @@ class ProtocolRegistry {
 
   bool contains(const std::string& protocol_name) const;
 
+  /// The full entry of `protocol_name` (params + problem + factory);
+  /// throws PreconditionError on unknown names.
+  const Entry& info(const std::string& protocol_name) const;
+
   /// Registered names in sorted order.
   std::vector<std::string> names() const;
 
  private:
-  const Entry& entry(const std::string& protocol_name) const;
-
   std::vector<Entry> entries_;
 };
 
 /// Static-init helper for self-registration.
 struct ProtocolRegistrar {
   ProtocolRegistrar(std::string name, std::vector<std::string> params,
-                    ProtocolRegistry::Factory make) {
+                    std::string problem, ProtocolRegistry::Factory make,
+                    std::vector<std::string> daemons = {}) {
     ProtocolRegistry::instance().register_protocol(
-        std::move(name), std::move(params), std::move(make));
+        std::move(name), std::move(params), std::move(problem),
+        std::move(make), std::move(daemons));
   }
 };
 

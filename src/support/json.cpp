@@ -92,6 +92,17 @@ class JsonParser {
     if (depth > kMaxDepth) fail("nesting too deep");
     skip_whitespace();
     if (at_end()) fail("unexpected end of input");
+    // Stamp every parsed value with the position of its first character,
+    // so consumers can point schema errors at the value (JsonValue::where).
+    const int value_line = line_;
+    const int value_column = column_;
+    JsonValue value = parse_value_dispatch(depth);
+    value.line_ = value_line;
+    value.column_ = value_column;
+    return value;
+  }
+
+  JsonValue parse_value_dispatch(int depth) {
     const char ch = peek();
     switch (ch) {
       case '{':
@@ -297,6 +308,10 @@ class JsonParser {
 
 JsonValue JsonValue::parse(const std::string& text) {
   return JsonParser(text).parse_document();
+}
+
+std::string JsonValue::where() const {
+  return std::to_string(line_) + ":" + std::to_string(column_);
 }
 
 const char* JsonValue::kind_name(Kind kind) {

@@ -68,6 +68,15 @@ class JsonValue {
   /// Element/member count of an array/object.
   std::size_t size() const;
 
+  /// 1-based source position of this value's first character; 0:0 for
+  /// values not produced by `parse`. Consumers interpreting the document
+  /// (e.g. the manifest plan builder) use it to point schema errors at
+  /// the offending value, matching the parser's own "line:col" style.
+  int line() const { return line_; }
+  int column() const { return column_; }
+  /// "line:col", e.g. "12:7" — for error messages.
+  std::string where() const;
+
   /// Human-readable kind name ("object", "number", ...), for messages.
   static const char* kind_name(Kind kind);
 
@@ -80,6 +89,8 @@ class JsonValue {
   std::string string_;
   std::vector<JsonValue> items_;
   std::vector<std::pair<std::string, JsonValue>> members_;
+  int line_ = 0;
+  int column_ = 0;
 };
 
 /// Escapes `text` as a JSON string literal including the surrounding

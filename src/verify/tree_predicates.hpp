@@ -1,0 +1,76 @@
+#pragma once
+/// \file tree_predicates.hpp
+/// Legitimacy predicates for the tree-shaped problems of the protocol
+/// registry: BFS spanning-tree construction and leader election. Both
+/// audit configurations through the shared communication layout of the
+/// cur-pointer protocols and their full-read baselines (distance, parent
+/// channel, and the root-flag / identifier constants), so one predicate
+/// serves the efficient protocol and its comparator alike — including
+/// hand-built configurations in tests and the stitched counterexamples of
+/// the impossibility module.
+
+#include <string>
+#include <vector>
+
+#include "core/problems.hpp"
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+
+namespace sss {
+
+/// BFS spanning tree w.r.t. the root flagged in the configuration:
+/// exactly one process carries R = 1; the root claims distance 0 and no
+/// parent; every other process claims its exact BFS distance from the
+/// root and a parent channel pointing at a distance-(D.p - 1) neighbor.
+/// Variable layout: BfsTreeProtocol::{kDistVar, kParentVar, kRootVar}.
+class BfsTreeProblem final : public Problem {
+ public:
+  BfsTreeProblem();
+  const std::string& name() const override { return name_; }
+  bool holds(const Graph& g, const Configuration& config) const override;
+
+ private:
+  std::string name_ = "bfs-spanning-tree";
+};
+
+/// Unique leader + tree agreement: every process claims the minimum
+/// identifier as leader; the owner of that identifier is in the self
+/// state (D = 0, PR = 0); every other process has a parent channel whose
+/// neighbor claims depth D.p - 1 and its depth is its exact BFS distance
+/// from the owner — so the parent pointers form a BFS spanning tree
+/// rooted at the elected process. Variable layout:
+/// LeaderElectionProtocol::{kLeaderVar, kDistVar, kParentVar, kIdVar}.
+class LeaderElectionProblem final : public Problem {
+ public:
+  LeaderElectionProblem();
+  const std::string& name() const override { return name_; }
+  bool holds(const Graph& g, const Configuration& config) const override;
+
+ private:
+  std::string name_ = "leader-election";
+};
+
+// --- Output extractors and independent validators (tests, checkers) --------
+
+/// The unique process with R = 1, or -1 when the flag count is not one.
+ProcessId extract_bfs_root(const Graph& g, const Configuration& config);
+
+/// The (child, parent) edges named by the parent channels; processes with
+/// PR = 0 contribute nothing. `parent_var` is the comm index of PR.
+std::vector<Edge> extract_parent_edges(const Graph& g,
+                                       const Configuration& config,
+                                       int parent_var);
+
+/// The leader id every process agrees on, or -1 on disagreement.
+Value extract_agreed_leader(const Graph& g, const Configuration& config);
+
+/// True iff `dist`/`parent` (claimed per-process distance and parent
+/// channel) encode the BFS tree rooted at `root`: dist equals the true
+/// BFS distance everywhere and every non-root parent channel points one
+/// level down. The predicate classes reduce to this after pulling their
+/// layouts out of the configuration.
+bool is_bfs_tree(const Graph& g, ProcessId root,
+                 const std::vector<Value>& dist,
+                 const std::vector<Value>& parent);
+
+}  // namespace sss

@@ -1,0 +1,183 @@
+#include "protocol_harness.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/reference_engine.hpp"
+
+namespace sss::testing {
+
+namespace {
+
+/// One lockstep comparison of the incremental engine against the
+/// full-scan oracle; returns a non-empty mismatch description on the
+/// first divergence.
+std::string lockstep_mismatch(const Graph& g, const Protocol& protocol,
+                              const std::string& daemon_name,
+                              std::uint64_t seed, int steps) {
+  Engine fast(g, protocol, make_daemon(daemon_name), seed);
+  ReferenceEngine oracle(g, protocol, make_daemon(daemon_name), seed);
+  fast.randomize_state();
+  oracle.randomize_state();
+  if (!(fast.config() == oracle.config())) {
+    return "randomized initial configurations differ";
+  }
+  for (int s = 0; s < steps; ++s) {
+    const Engine::StepInfo a = fast.step();
+    const Engine::StepInfo b = oracle.step();
+    const auto at = [&](const char* what) {
+      return std::string(what) + " diverged at step " + std::to_string(s);
+    };
+    if (a.selected != b.selected || a.fired != b.fired ||
+        a.comm_changed != b.comm_changed) {
+      return at("StepInfo");
+    }
+    if (!(fast.config() == oracle.config())) return at("configuration");
+    if (fast.rounds() != oracle.rounds() ||
+        fast.rounds_inclusive() != oracle.rounds_inclusive()) {
+      return at("round accounting");
+    }
+    if (fast.read_counter().total_reads() !=
+            oracle.read_counter().total_reads() ||
+        fast.read_counter().total_bits() !=
+            oracle.read_counter().total_bits() ||
+        fast.read_counter().max_reads_per_process_step() !=
+            oracle.read_counter().max_reads_per_process_step() ||
+        fast.read_counter().max_bits_per_process_step() !=
+            oracle.read_counter().max_bits_per_process_step()) {
+      return at("read metrics");
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string HarnessReport::str() const {
+  std::ostringstream out;
+  out << protocol << " (problem: " << problem << ", " << trials
+      << " trials): ";
+  if (violations.empty()) {
+    out << (trials > 0 ? "ok" : "NO TRIALS RAN");
+    return out.str();
+  }
+  out << violations.size() << " violation(s)";
+  for (const HarnessViolation& v : violations) {
+    out << "\n  [" << v.check << "] " << v.protocol << " on " << v.graph
+        << " under " << v.daemon << " seed " << v.seed << ": " << v.detail;
+  }
+  return out.str();
+}
+
+std::vector<Graph> harness_menagerie() {
+  std::vector<Graph> graphs;
+  graphs.push_back(path(7));
+  graphs.push_back(cycle(6));
+  graphs.push_back(star(5));
+  graphs.push_back(grid(3, 3));
+  graphs.push_back(balanced_binary_tree(9));
+  graphs.push_back(petersen());
+  return graphs;
+}
+
+HarnessReport run_protocol_property_suite(const std::string& protocol_name,
+                                          const HarnessOptions& options) {
+  const ProtocolRegistry::Entry& entry =
+      ProtocolRegistry::instance().info(protocol_name);
+  HarnessReport report;
+  report.protocol = protocol_name;
+  report.problem = entry.problem;
+  const std::unique_ptr<Problem> problem =
+      ProblemRegistry::instance().make(entry.problem);
+
+  // The grid sweeps every requested daemon the entry's stabilization
+  // claim covers (Entry::daemons, empty = all).
+  std::vector<std::string> daemons =
+      options.daemons.empty() ? daemon_names() : options.daemons;
+  if (!entry.daemons.empty()) {
+    std::erase_if(daemons, [&](const std::string& name) {
+      return std::find(entry.daemons.begin(), entry.daemons.end(), name) ==
+             entry.daemons.end();
+    });
+  }
+  const std::vector<Graph> graphs =
+      options.menagerie.empty() ? harness_menagerie() : options.menagerie;
+
+  std::uint64_t trial_index = 0;
+  for (const Graph& g : graphs) {
+    const std::unique_ptr<Protocol> protocol =
+        ProtocolRegistry::instance().make(protocol_name, g, options.params);
+    for (const std::string& daemon_name : daemons) {
+      for (int s = 0; s < options.seeds_per_daemon; ++s) {
+        const std::uint64_t seed = options.base_seed + trial_index++;
+        ++report.trials;
+        const auto violate = [&](std::string check, std::string detail) {
+          report.violations.push_back(HarnessViolation{
+              protocol_name, g.name(), daemon_name, seed, std::move(check),
+              std::move(detail)});
+        };
+
+        // Convergence: random start -> certified-silent configuration.
+        Engine engine(g, *protocol, make_daemon(daemon_name), seed);
+        engine.randomize_state();
+        RunOptions run;
+        run.max_steps = options.max_steps;
+        run.stop_on_silence = true;
+        const RunStats stats = engine.run(run);
+        if (!stats.silent) {
+          violate("convergence",
+                  "no certified-silent configuration within " +
+                      std::to_string(options.max_steps) + " steps");
+        } else {
+          // Legitimacy: silent => the paired predicate holds.
+          if (!problem->holds(g, engine.config())) {
+            violate("legitimacy",
+                    "silent configuration violates " + entry.problem);
+          } else {
+            // Closure + silence: the post-silence window never writes a
+            // communication variable and never falsifies the predicate.
+            const Configuration silent_config = engine.config();
+            bool comm_stable = true;
+            for (int extra = 0; extra < options.closure_steps; ++extra) {
+              engine.step();
+              if (!engine.config().same_comm(silent_config)) {
+                violate("silence",
+                        "communication variable changed " +
+                            std::to_string(extra + 1) +
+                            " step(s) after certified silence");
+                comm_stable = false;
+                break;
+              }
+            }
+            if (comm_stable && !problem->holds(g, engine.config())) {
+              violate("closure", entry.problem +
+                                     " falsified during the post-silence "
+                                     "window without a communication write");
+            }
+          }
+        }
+
+        // Equivalence: incremental engine vs full-scan oracle, same seed.
+        const std::string mismatch = lockstep_mismatch(
+            g, *protocol, daemon_name, seed, options.lockstep_steps);
+        if (!mismatch.empty()) violate("equivalence", mismatch);
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<HarnessReport> run_registry_property_suite(
+    const HarnessOptions& options) {
+  std::vector<HarnessReport> reports;
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    reports.push_back(run_protocol_property_suite(name, options));
+  }
+  return reports;
+}
+
+}  // namespace sss::testing

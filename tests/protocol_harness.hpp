@@ -1,0 +1,90 @@
+#pragma once
+/// \file protocol_harness.hpp
+/// Registry-wide property-test harness: one exhaustive correctness grid
+/// every registered protocol runs through, so a protocol dropped into the
+/// ProtocolRegistry gets convergence / legitimacy / closure / silence /
+/// lockstep-equivalence coverage for free instead of a hand-written suite.
+///
+/// For a protocol name the harness resolves the paired legitimacy
+/// predicate through ProtocolRegistry::info().problem, then runs a
+/// (daemon x menagerie x seed) grid. Each trial asserts four properties:
+///
+///  * convergence — a run from a uniformly random configuration reaches a
+///    configuration the exact quiescence check certifies silent within
+///    `max_steps`;
+///  * legitimacy — the silent configuration satisfies the predicate
+///    (silent => legitimate, the paper's Definition 3 direction);
+///  * closure + silence — continuing for `closure_steps` more steps never
+///    changes a communication variable (certified silence is real: read
+///    activity continues, writes never resume) and never falsifies the
+///    predicate;
+///  * equivalence — a fresh Engine and ReferenceEngine driven from the
+///    same seed stay configuration- and metrics-identical for
+///    `lockstep_steps` steps (the differential oracle of
+///    tests/test_engine_equivalence.cpp, applied to every registry entry).
+///
+/// Violations are collected, not thrown, so one report shows every
+/// failing (protocol, graph, daemon, seed) cell — and so the harness
+/// itself is testable: tests/test_protocol_harness.cpp registers a
+/// deliberately broken protocol and asserts the harness flags it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/params.hpp"
+
+namespace sss::testing {
+
+struct HarnessOptions {
+  /// Daemons to sweep; empty = every registered daemon name.
+  std::vector<std::string> daemons;
+  int seeds_per_daemon = 2;
+  std::uint64_t base_seed = 5000;
+  std::uint64_t max_steps = 400'000;
+  /// Post-silence window proving closure and silence.
+  int closure_steps = 64;
+  /// Engine-vs-ReferenceEngine lockstep length per trial.
+  int lockstep_steps = 96;
+  /// Extra registry parameters forwarded to the protocol factory.
+  ParamMap params;
+  /// Graphs to sweep; empty = harness_menagerie().
+  std::vector<Graph> menagerie;
+};
+
+struct HarnessViolation {
+  std::string protocol;
+  std::string graph;
+  std::string daemon;
+  std::uint64_t seed = 0;
+  /// Which property failed: "convergence", "legitimacy", "closure",
+  /// "silence", or "equivalence".
+  std::string check;
+  std::string detail;
+};
+
+struct HarnessReport {
+  std::string protocol;
+  std::string problem;
+  int trials = 0;
+  std::vector<HarnessViolation> violations;
+
+  bool ok() const { return !violations.empty() ? false : trials > 0; }
+  /// Human-readable summary of every violation (empty string when ok).
+  std::string str() const;
+};
+
+/// The harness's default graph menagerie: small, varied (degree spread,
+/// symmetry, bottlenecks, diameter extremes), fast to exhaust.
+std::vector<Graph> harness_menagerie();
+
+/// Runs the full property grid for one registry protocol name.
+HarnessReport run_protocol_property_suite(const std::string& protocol_name,
+                                          const HarnessOptions& options = {});
+
+/// Runs the grid for every name in the ProtocolRegistry, in sorted order.
+std::vector<HarnessReport> run_registry_property_suite(
+    const HarnessOptions& options = {});
+
+}  // namespace sss::testing

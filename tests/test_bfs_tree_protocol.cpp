@@ -1,0 +1,133 @@
+/// Protocol BFS-TREE and its full-read baseline: construction contracts,
+/// convergence sweeps across daemons x menagerie x roots with the
+/// 2-efficiency certificate, and exhaustive model-checker discharge on
+/// tiny instances (silent => legitimate, closure, reachability, and
+/// synchronous convergence from *every* configuration — a mechanical
+/// self-stabilization proof at that scale).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/full_read_bfs_tree.hpp"
+#include "core/bfs_tree_protocol.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+#include "verify/checks.hpp"
+#include "verify/tree_predicates.hpp"
+
+namespace sss {
+namespace {
+
+TEST(BfsTreeProtocol, ConstructionContracts) {
+  const Graph g = path(5);
+  EXPECT_THROW(BfsTreeProtocol(g, -1), PreconditionError);
+  EXPECT_THROW(BfsTreeProtocol(g, 5), PreconditionError);
+  const BfsTreeProtocol protocol(g, 2);
+  EXPECT_EQ(protocol.root(), 2);
+  EXPECT_EQ(protocol.max_distance(), 4);
+  EXPECT_EQ(protocol.spec().num_comm(), 3);
+  EXPECT_EQ(protocol.spec().num_internal(), 1);
+  EXPECT_TRUE(protocol.spec().comm[BfsTreeProtocol::kRootVar].is_constant());
+
+  Configuration config(g, protocol.spec());
+  protocol.install_constants(g, config);
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    EXPECT_EQ(config.comm(p, BfsTreeProtocol::kRootVar), p == 2 ? 1 : 0);
+  }
+}
+
+/// Runs one (daemon, seed) trial to certified silence and checks the
+/// result against the predicate and the k = 2 read certificate.
+void expect_converges(const Graph& g, const Protocol& protocol,
+                      const std::string& daemon_name, std::uint64_t seed,
+                      int max_reads) {
+  Engine engine(g, protocol, make_daemon(daemon_name), seed);
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 400'000;
+  const RunStats stats = engine.run(options);
+  ASSERT_TRUE(stats.silent)
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
+  EXPECT_TRUE(BfsTreeProblem().holds(g, engine.config()))
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
+  EXPECT_LE(stats.max_reads_per_process_step, max_reads)
+      << protocol.name() << " on " << g.name();
+}
+
+TEST(BfsTreeProtocol, ConvergesAcrossDaemonsAndMenagerie) {
+  for (const auto& named : testing::sweep_graphs()) {
+    const BfsTreeProtocol protocol(named.graph);
+    for (const std::string& daemon_name : daemon_names()) {
+      expect_converges(named.graph, protocol, daemon_name, 71, /*k=*/2);
+    }
+  }
+}
+
+TEST(BfsTreeProtocol, ConvergesFromEveryRoot) {
+  const Graph g = grid(3, 3);
+  for (ProcessId root = 0; root < g.num_vertices(); ++root) {
+    const BfsTreeProtocol protocol(g, root);
+    expect_converges(g, protocol, "distributed", 1000 + root, 2);
+  }
+}
+
+TEST(FullReadBfsTree, ConvergesWithDeltaReads) {
+  for (const auto& named : testing::sweep_graphs()) {
+    const FullReadBfsTree protocol(named.graph);
+    for (const std::string& daemon_name : daemon_names()) {
+      expect_converges(named.graph, protocol, daemon_name, 81,
+                       named.graph.max_degree());
+    }
+  }
+}
+
+TEST(BfsTreeProtocol, RegistryForwardsTheRootParameter) {
+  const Graph g = star(4);
+  const std::unique_ptr<Protocol> protocol =
+      ProtocolRegistry::instance().make("bfs-tree", g, {{"root", 3}});
+  EXPECT_EQ(dynamic_cast<const BfsTreeProtocol&>(*protocol).root(), 3);
+  EXPECT_THROW(ProtocolRegistry::instance().make("bfs-tree", g,
+                                                 {{"root", 99}}),
+               PreconditionError);
+  EXPECT_THROW(ProtocolRegistry::instance().make("full-read-bfs-tree", g,
+                                                 {{"radix", 2}}),
+               PreconditionError);
+}
+
+/// Exhaustive discharge on tiny instances, for the efficient protocol and
+/// the baseline alike.
+void expect_exhaustively_correct(const Graph& g, const Protocol& protocol) {
+  const BfsTreeProblem problem;
+  const CheckResult silent =
+      check_silent_implies_legitimate(g, protocol, problem);
+  EXPECT_TRUE(silent.ok) << g.name() << ": " << silent.detail << " ("
+                         << silent.violations << " violations)";
+  const CheckResult closure = check_closure(g, protocol, problem);
+  EXPECT_TRUE(closure.ok) << g.name() << ": " << closure.detail;
+  const CheckResult reachable =
+      check_legitimacy_reachable(g, protocol, problem);
+  EXPECT_TRUE(reachable.ok) << g.name() << ": " << reachable.detail;
+  const CheckResult converges =
+      check_synchronous_convergence(g, protocol, problem);
+  EXPECT_TRUE(converges.ok) << g.name() << ": " << converges.detail;
+}
+
+TEST(BfsTreeProtocol, ExhaustiveChecksOnTinyGraphs) {
+  for (const auto& named : testing::tiny_graphs()) {
+    expect_exhaustively_correct(named.graph, BfsTreeProtocol(named.graph));
+  }
+  // A non-default root on the asymmetric star: the root is a leaf.
+  expect_exhaustively_correct(star(3), BfsTreeProtocol(star(3), 2));
+}
+
+TEST(FullReadBfsTree, ExhaustiveChecksOnTinyGraphs) {
+  for (const auto& named : testing::tiny_graphs()) {
+    expect_exhaustively_correct(named.graph, FullReadBfsTree(named.graph));
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -88,6 +88,19 @@ TEST(Json, ReportsErrorPosition) {
   }
 }
 
+TEST(Json, StampsValuePositions) {
+  // Every parsed value carries the 1-based line:col of its first
+  // character, so document consumers (the manifest plan builder) can
+  // point schema errors at the offending value.
+  const JsonValue doc = JsonValue::parse("{\n  \"a\": [1, 22],\n  \"b\": 3\n}");
+  EXPECT_EQ(doc.where(), "1:1");
+  EXPECT_EQ(doc.at("a").where(), "2:8");
+  EXPECT_EQ(doc.at("a").items()[0].where(), "2:9");
+  EXPECT_EQ(doc.at("a").items()[1].where(), "2:12");
+  EXPECT_EQ(doc.at("b").where(), "3:8");
+  EXPECT_EQ(JsonValue().where(), "0:0");  // not produced by parse
+}
+
 TEST(Json, TypedAccessorsValidateKind) {
   const JsonValue number = JsonValue::parse("1.5");
   EXPECT_THROW(number.as_string(), PreconditionError);

@@ -1,0 +1,151 @@
+/// Protocol LEADER-ELECTION and its full-read baseline: identifier
+/// assignment contracts, convergence sweeps (the minimum id wins and the
+/// parent pointers form a BFS tree rooted at the winner, at 2 reads per
+/// step), and exhaustive model-checker discharge on tiny instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/full_read_leader_election.hpp"
+#include "core/leader_election_protocol.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+#include "verify/checks.hpp"
+#include "verify/tree_predicates.hpp"
+
+namespace sss {
+namespace {
+
+TEST(LeaderElectionProtocol, IdentifierContracts) {
+  const Graph g = path(4);
+  EXPECT_THROW(LeaderElectionProtocol(g, {0, 1, 2}), PreconditionError);
+  EXPECT_THROW(LeaderElectionProtocol(g, {0, 1, 2, 2}), PreconditionError);
+  EXPECT_THROW(LeaderElectionProtocol(g, {0, 1, 2, -3}), PreconditionError);
+  const LeaderElectionProtocol protocol(g, {7, 3, 9, 5});
+  EXPECT_EQ(protocol.min_id(), 3);
+  EXPECT_EQ(protocol.spec().num_comm(), 4);
+  EXPECT_TRUE(
+      protocol.spec().comm[LeaderElectionProtocol::kIdVar].is_constant());
+}
+
+TEST(LeaderElectionProtocol, IdSchemes) {
+  const Graph g = path(5);
+  EXPECT_EQ(make_id_assignment(g, "identity", 0),
+            (std::vector<Value>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(make_id_assignment(g, "reverse", 0),
+            (std::vector<Value>{4, 3, 2, 1, 0}));
+  const std::vector<Value> random_ids = make_id_assignment(g, "random", 11);
+  EXPECT_EQ(make_id_assignment(g, "random", 11), random_ids);  // seeded
+  std::vector<Value> sorted = random_ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<Value>{0, 1, 2, 3, 4}));
+  EXPECT_THROW(make_id_assignment(g, "oracle", 0), PreconditionError);
+}
+
+/// Runs one trial to certified silence, checks the predicate, the elected
+/// id, and the read certificate.
+void expect_elects(const Graph& g, const Protocol& protocol, Value min_id,
+                   const std::string& daemon_name, std::uint64_t seed,
+                   int max_reads) {
+  Engine engine(g, protocol, make_daemon(daemon_name), seed);
+  engine.randomize_state();
+  RunOptions options;
+  options.max_steps = 400'000;
+  const RunStats stats = engine.run(options);
+  ASSERT_TRUE(stats.silent)
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
+  EXPECT_TRUE(LeaderElectionProblem().holds(g, engine.config()))
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
+  EXPECT_EQ(extract_agreed_leader(g, engine.config()), min_id);
+  EXPECT_LE(stats.max_reads_per_process_step, max_reads)
+      << protocol.name() << " on " << g.name();
+}
+
+TEST(LeaderElectionProtocol, ElectsTheMinimumIdEverywhere) {
+  for (const auto& named : testing::sweep_graphs()) {
+    const LeaderElectionProtocol protocol(
+        named.graph, make_id_assignment(named.graph, "identity", 0));
+    for (const std::string& daemon_name : daemon_names()) {
+      expect_elects(named.graph, protocol, 0, daemon_name, 137, /*k=*/2);
+    }
+  }
+}
+
+TEST(LeaderElectionProtocol, WinnerTracksTheIdAssignment) {
+  const Graph g = grid(3, 3);
+  const LeaderElectionProtocol reverse(g, make_id_assignment(g, "reverse", 0));
+  expect_elects(g, reverse, 0, "central-rr", 23, 2);
+  const LeaderElectionProtocol shuffled(g, make_id_assignment(g, "random", 5));
+  expect_elects(g, shuffled, 0, "distributed", 29, 2);
+}
+
+TEST(FullReadLeaderElection, ElectsWithDeltaReads) {
+  for (const auto& named : testing::sweep_graphs()) {
+    const FullReadLeaderElection protocol(
+        named.graph, make_id_assignment(named.graph, "identity", 0));
+    for (const std::string& daemon_name : daemon_names()) {
+      expect_elects(named.graph, protocol, 0, daemon_name, 211,
+                    named.graph.max_degree());
+    }
+  }
+}
+
+TEST(LeaderElectionProtocol, RegistryForwardsIdParameters) {
+  const Graph g = path(4);
+  const std::unique_ptr<Protocol> reverse = ProtocolRegistry::instance().make(
+      "leader-election", g, {{"id_scheme", "reverse"}});
+  EXPECT_EQ(dynamic_cast<const LeaderElectionProtocol&>(*reverse).ids(),
+            (std::vector<Value>{3, 2, 1, 0}));
+  EXPECT_THROW(ProtocolRegistry::instance().make(
+                   "leader-election", g, {{"id_scheme", "astrology"}}),
+               PreconditionError);
+  EXPECT_THROW(ProtocolRegistry::instance().make(
+                   "full-read-leader-election", g, {{"ids", 3}}),
+               PreconditionError);
+}
+
+/// Exhaustive discharge on tiny instances. The identifier assignment is
+/// part of the instance: identity and reverse cover both ends winning.
+void expect_exhaustively_correct(const Graph& g, const Protocol& protocol,
+                                 std::uint64_t space_limit) {
+  const LeaderElectionProblem problem;
+  const CheckResult silent =
+      check_silent_implies_legitimate(g, protocol, problem, space_limit);
+  EXPECT_TRUE(silent.ok) << g.name() << ": " << silent.detail << " ("
+                         << silent.violations << " violations)";
+  const CheckResult closure = check_closure(g, protocol, problem, space_limit);
+  EXPECT_TRUE(closure.ok) << g.name() << ": " << closure.detail;
+  const CheckResult reachable =
+      check_legitimacy_reachable(g, protocol, problem, space_limit);
+  EXPECT_TRUE(reachable.ok) << g.name() << ": " << reachable.detail;
+  const CheckResult converges =
+      check_synchronous_convergence(g, protocol, problem, space_limit);
+  EXPECT_TRUE(converges.ok) << g.name() << ": " << converges.detail;
+}
+
+TEST(LeaderElectionProtocol, ExhaustiveChecksOnTinyGraphs) {
+  const std::uint64_t limit = 1u << 18;
+  expect_exhaustively_correct(
+      path(3), LeaderElectionProtocol(path(3), {0, 1, 2}), limit);
+  expect_exhaustively_correct(
+      path(3), LeaderElectionProtocol(path(3), {2, 1, 0}), limit);
+  expect_exhaustively_correct(
+      complete(3), LeaderElectionProtocol(complete(3), {1, 2, 0}), limit);
+}
+
+TEST(FullReadLeaderElection, ExhaustiveChecksOnTinyGraphs) {
+  const std::uint64_t limit = 1u << 18;
+  expect_exhaustively_correct(
+      path(3), FullReadLeaderElection(path(3), {0, 1, 2}), limit);
+  expect_exhaustively_correct(
+      path(3), FullReadLeaderElection(path(3), {2, 1, 0}), limit);
+  expect_exhaustively_correct(
+      complete(3), FullReadLeaderElection(complete(3), {1, 2, 0}), limit);
+}
+
+}  // namespace
+}  // namespace sss

@@ -142,6 +142,77 @@ TEST(Plan, RoundTripMatchesHandBuiltPlan) {
   EXPECT_EQ(a.mean_total_bits, b.mean_total_bits);
 }
 
+TEST(Plan, ExpandsRangeObjectsBesideLists) {
+  // {"from", "to", "step"} range objects expand to inclusive integer
+  // progressions and participate in the cartesian product like lists.
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "ranges",
+    "sweeps": [{
+      "graphs": [
+        {"family": "path", "n": {"from": 4, "to": 10, "step": 3}},
+        {"family": "grid", "rows": {"from": 2, "to": 3}, "cols": [2, 3]}
+      ],
+      "protocols": [{"name": "coloring"}]
+    }]
+  })");
+  const std::vector<std::string> labels = {
+      "COLORING/path(4)",   "COLORING/path(7)",   "COLORING/path(10)",
+      "COLORING/grid(2x2)", "COLORING/grid(2x3)", "COLORING/grid(3x2)",
+      "COLORING/grid(3x3)"};
+  ASSERT_EQ(plan.items.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(plan.items[i].label, labels[i]) << i;
+  }
+}
+
+TEST(Plan, RangeObjectErrorsNameTheirPosition) {
+  const auto expand_error = [](const std::string& text) -> std::string {
+    try {
+      plan_from_manifest_text(text);
+    } catch (const PreconditionError& error) {
+      return error.what();
+    }
+    return {};
+  };
+  // Reversed bounds: the message carries the range's manifest line:col.
+  const std::string reversed = expand_error(
+      "{\"name\": \"x\", \"sweeps\": [{\n"
+      "  \"graphs\": [\n"
+      "    {\"family\": \"path\", \"n\": {\"from\": 9, \"to\": 4}}],\n"
+      "  \"protocols\": [{\"name\": \"coloring\"}]}]}");
+  EXPECT_NE(reversed.find("\"from\" must be <= \"to\""), std::string::npos)
+      << reversed;
+  EXPECT_NE(reversed.find("at 3:29"), std::string::npos) << reversed;
+
+  EXPECT_NE(expand_error(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": {"from": 2, "to": 8, "step": 0}}],
+      "protocols": [{"name": "coloring"}]}]})")
+                .find("\"step\" must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(expand_error(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": {"to": 8}}],
+      "protocols": [{"name": "coloring"}]}]})")
+                .find("needs \"from\" and \"to\""),
+            std::string::npos);
+  EXPECT_NE(expand_error(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": {"from": 2, "to": 8, "by": 2}}],
+      "protocols": [{"name": "coloring"}]}]})")
+                .find("unknown key \"by\""),
+            std::string::npos);
+  // Type errors name the field and its own position too.
+  const std::string fractional = expand_error(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": {"from": 4.5, "to": 8}}],
+      "protocols": [{"name": "coloring"}]}]})");
+  EXPECT_NE(fractional.find("\"from\" must be an integer (at "),
+            std::string::npos)
+      << fractional;
+  EXPECT_NE(expand_error(R"({"name": "x", "sweeps": [{
+      "graphs": [{"family": "path", "n": {"from": "4", "to": 8}}],
+      "protocols": [{"name": "coloring"}]}]})")
+                .find("got string"),
+            std::string::npos);
+}
+
 TEST(Plan, RejectsUnknownAndMalformedInput) {
   const auto expand = [](const std::string& text) {
     return plan_from_manifest_text(text);

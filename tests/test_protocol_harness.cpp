@@ -1,0 +1,207 @@
+/// The harness must be falsifiable, not vacuous: this suite registers
+/// deliberately broken toy protocols (and a trivially-true toy problem)
+/// in this binary's registries and asserts the property harness reports
+/// the exact violation class each one plants.
+///
+/// The centerpiece is DelayedBlinker, a closure violator: its
+/// communication write is separated from the current state by a long
+/// internal countdown, so the exact quiescence check — which only probes
+/// degree(p) + margin solo activations — legitimately certifies a
+/// configuration silent while a communication write is still scheduled.
+/// The harness's post-silence window must catch the write resuming.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "protocol_harness.hpp"
+#include "runtime/protocol.hpp"
+
+namespace sss {
+namespace {
+
+/// Holds in every configuration, so the only reportable violations are
+/// the behavioural ones the toy protocols plant.
+class AlwaysTrueProblem final : public Problem {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "always-true";
+    return kName;
+  }
+  bool holds(const Graph&, const Configuration&) const override {
+    return true;
+  }
+};
+
+/// Ticks an internal countdown and flips its communication bit only when
+/// the countdown expires. With kPeriod far beyond degree + margin, the
+/// solo quiescence probe cannot see the pending flip: silence gets
+/// certified, then a communication write lands — a closure violation.
+class DelayedBlinker final : public Protocol {
+ public:
+  static constexpr Value kPeriod = 60;
+
+  explicit DelayedBlinker(const Graph&) {
+    spec_.comm.emplace_back("B", VarDomain{0, 1});
+    spec_.internal.emplace_back("c", VarDomain{0, kPeriod});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "BROKEN-BLINKER";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 2; }
+  int first_enabled(GuardContext& ctx) const override {
+    return ctx.self_internal(0) == kPeriod ? 0 : 1;
+  }
+  void execute(int action, ActionContext& ctx) const override {
+    if (action == 0) {
+      ctx.set_comm(0, 1 - ctx.self_comm(0));
+      ctx.set_internal(0, 0);
+    } else {
+      ctx.set_internal(0, ctx.self_internal(0) + 1);
+    }
+  }
+
+ private:
+  ProtocolSpec spec_;
+};
+
+/// Always enabled, always writing: never reaches silence.
+class NeverSilent final : public Protocol {
+ public:
+  explicit NeverSilent(const Graph&) {
+    spec_.comm.emplace_back("B", VarDomain{0, 1});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "NEVER-SILENT";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 1; }
+  int first_enabled(GuardContext&) const override { return 0; }
+  void execute(int, ActionContext& ctx) const override {
+    ctx.set_comm(0, 1 - ctx.self_comm(0));
+  }
+
+ private:
+  ProtocolSpec spec_;
+};
+
+/// Never enabled: every configuration is silent — and with a one-value
+/// color domain every pair of neighbors conflicts, so pairing it with the
+/// vertex-coloring predicate plants a deterministic legitimacy violation.
+class InstantlySilent final : public Protocol {
+ public:
+  explicit InstantlySilent(const Graph&) {
+    spec_.comm.emplace_back("C", VarDomain{1, 1});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "INSTANTLY-SILENT";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 1; }
+  int first_enabled(GuardContext&) const override { return kDisabled; }
+  void execute(int, ActionContext&) const override {}
+
+ private:
+  ProtocolSpec spec_;
+};
+
+/// Installs the toy registry entries once per process.
+void register_toys() {
+  ProblemRegistry& problems = ProblemRegistry::instance();
+  if (!problems.contains("always-true")) {
+    problems.register_problem("always-true", {}, [] {
+      return std::make_unique<AlwaysTrueProblem>();
+    });
+  }
+  ProtocolRegistry& protocols = ProtocolRegistry::instance();
+  if (!protocols.contains("broken-blinker")) {
+    protocols.register_protocol(
+        "broken-blinker", {}, "always-true",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<DelayedBlinker>(g);
+        });
+    protocols.register_protocol(
+        "never-silent", {}, "always-true",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<NeverSilent>(g);
+        });
+    protocols.register_protocol(
+        "instantly-silent", {}, "vertex-coloring",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<InstantlySilent>(g);
+        });
+  }
+}
+
+/// Small fast grid for the toys: two processes keep the blinker phases
+/// coarse enough that certification always happens between flips.
+testing::HarnessOptions toy_options() {
+  testing::HarnessOptions options;
+  options.menagerie.push_back(path(2));
+  options.daemons = {"synchronous", "central-rr"};
+  options.seeds_per_daemon = 3;
+  options.max_steps = 20'000;
+  // Both processes flip within one full countdown of every daemon's
+  // schedule: 2 processes x (kPeriod + 1) central-rr selections.
+  options.closure_steps = 2 * (DelayedBlinker::kPeriod + 1) + 8;
+  options.lockstep_steps = 64;
+  return options;
+}
+
+TEST(ProtocolHarnessFalsifiability, FlagsClosureViolation) {
+  register_toys();
+  const testing::HarnessReport report =
+      testing::run_protocol_property_suite("broken-blinker", toy_options());
+  ASSERT_FALSE(report.ok()) << "the harness certified a protocol that "
+                               "resumes writing after silence";
+  ASSERT_FALSE(report.violations.empty());
+  for (const testing::HarnessViolation& violation : report.violations) {
+    // The planted defect is exactly the silence/closure property: a
+    // certified-silent configuration is not closed under further steps.
+    EXPECT_EQ(violation.check, "silence") << report.str();
+  }
+  // Every trial must catch it — the defect is deterministic in phase.
+  EXPECT_EQ(static_cast<int>(report.violations.size()), report.trials);
+}
+
+TEST(ProtocolHarnessFalsifiability, FlagsConvergenceViolation) {
+  register_toys();
+  const testing::HarnessReport report =
+      testing::run_protocol_property_suite("never-silent", toy_options());
+  ASSERT_FALSE(report.ok());
+  for (const testing::HarnessViolation& violation : report.violations) {
+    EXPECT_EQ(violation.check, "convergence") << report.str();
+  }
+}
+
+TEST(ProtocolHarnessFalsifiability, FlagsLegitimacyViolation) {
+  register_toys();
+  // Every configuration of the inert toy is silent and monochrome, so
+  // every trial is certified silent yet fails the coloring predicate.
+  const testing::HarnessReport report =
+      testing::run_protocol_property_suite("instantly-silent", toy_options());
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(static_cast<int>(report.violations.size()), report.trials);
+  for (const testing::HarnessViolation& violation : report.violations) {
+    EXPECT_EQ(violation.check, "legitimacy") << report.str();
+  }
+}
+
+TEST(ProtocolHarnessFalsifiability, RealProtocolsPassTheSameToyGrid) {
+  register_toys();
+  // Sanity: the grid that flags the toys does not flag a real protocol.
+  const testing::HarnessReport report =
+      testing::run_protocol_property_suite("coloring", toy_options());
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+}  // namespace
+}  // namespace sss

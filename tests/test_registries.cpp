@@ -104,8 +104,11 @@ TEST(GraphFamilyRegistry, RejectsBadNamesAndParams) {
 
 TEST(ProtocolRegistry, EveryProtocolIsRegisteredAndConstructs) {
   const std::vector<std::string> expected = {
-      "coloring",     "full-read-coloring", "matching",
-      "full-read-matching", "mis",          "full-read-mis"};
+      "coloring",  "full-read-coloring",        "matching",
+      "full-read-matching",                     "mis",
+      "full-read-mis",                          "bfs-tree",
+      "full-read-bfs-tree",                     "leader-election",
+      "full-read-leader-election"};
   const ProtocolRegistry& registry = ProtocolRegistry::instance();
   EXPECT_EQ(registry.names().size(), expected.size());
   const Graph g = petersen();
@@ -115,6 +118,27 @@ TEST(ProtocolRegistry, EveryProtocolIsRegisteredAndConstructs) {
     ASSERT_NE(protocol, nullptr) << name;
     EXPECT_FALSE(protocol->name().empty()) << name;
   }
+}
+
+TEST(ProtocolRegistry, EveryEntryAdvertisesParamsAndProblem) {
+  // `sss_lab list` and the property harness read the per-entry parameter
+  // schema and problem pairing; spot-check them.
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  EXPECT_EQ(registry.info("coloring").params,
+            (std::vector<std::string>{"palette_size"}));
+  EXPECT_EQ(registry.info("coloring").problem, "vertex-coloring");
+  EXPECT_EQ(registry.info("bfs-tree").params,
+            (std::vector<std::string>{"root"}));
+  EXPECT_EQ(registry.info("bfs-tree").problem, "bfs-spanning-tree");
+  EXPECT_EQ(registry.info("leader-election").params,
+            (std::vector<std::string>{"id_scheme", "id_seed"}));
+  EXPECT_EQ(registry.info("leader-election").problem, "leader-election");
+  for (const std::string& name : registry.names()) {
+    EXPECT_TRUE(
+        ProblemRegistry::instance().contains(registry.info(name).problem))
+        << name;
+  }
+  EXPECT_THROW(registry.info("gossip"), PreconditionError);
 }
 
 TEST(ProtocolRegistry, ForwardsParameters) {
@@ -148,7 +172,8 @@ TEST(ProtocolRegistry, RejectsBadNamesAndParams) {
 TEST(ProblemRegistry, NamesAliasesAndPredicates) {
   const ProblemRegistry& registry = ProblemRegistry::instance();
   const std::vector<std::string> canonical = {
-      "maximal-independent-set", "maximal-matching", "vertex-coloring"};
+      "bfs-spanning-tree", "leader-election", "maximal-independent-set",
+      "maximal-matching", "mutual-pr-matching", "vertex-coloring"};
   EXPECT_EQ(registry.names(), canonical);
   for (const std::string& name : canonical) {
     EXPECT_NE(registry.make(name), nullptr);
@@ -156,6 +181,9 @@ TEST(ProblemRegistry, NamesAliasesAndPredicates) {
   EXPECT_EQ(registry.make("mis")->name(), "maximal-independent-set");
   EXPECT_EQ(registry.make("coloring")->name(), "vertex-coloring");
   EXPECT_EQ(registry.make("matching")->name(), "maximal-matching");
+  EXPECT_EQ(registry.make("bfs-tree")->name(), "bfs-spanning-tree");
+  EXPECT_EQ(registry.make("bfs")->name(), "bfs-spanning-tree");
+  EXPECT_EQ(registry.make("leader")->name(), "leader-election");
   EXPECT_THROW(registry.make("domination"), PreconditionError);
 }
 

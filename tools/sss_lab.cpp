@@ -70,13 +70,36 @@ int int_value(const std::string& flag, const std::string& text) {
 }
 
 void print_list() {
+  // Families and protocols print their accepted parameters (and the
+  // protocol's paired problem / daemon assumption), so a new registry
+  // entry is discoverable from the CLI without reading its header.
+  std::printf("graph families:\n");
+  const GraphFamilyRegistry& families = GraphFamilyRegistry::instance();
+  for (const std::string& name : families.names()) {
+    std::vector<std::string> params;
+    for (const ParamSpec& param : families.family(name).params) {
+      params.push_back(param.required ? param.name : param.name + "?");
+    }
+    std::printf("  %s%s\n", name.c_str(),
+                params.empty() ? "" : ("(" + join(params, ", ") + ")").c_str());
+  }
+  std::printf("protocols:\n");
+  const ProtocolRegistry& protocols = ProtocolRegistry::instance();
+  for (const std::string& name : protocols.names()) {
+    const ProtocolRegistry::Entry& entry = protocols.info(name);
+    std::string line = "  " + name;
+    if (!entry.params.empty()) line += "(" + join(entry.params, ", ") + ")";
+    if (!entry.problem.empty()) line += "  problem: " + entry.problem;
+    if (!entry.daemons.empty()) {
+      line += "  daemons: " + join(entry.daemons, ", ");
+    }
+    std::printf("%s\n", line.c_str());
+  }
   const auto print = [](const char* title,
                         const std::vector<std::string>& names) {
     std::printf("%s:\n", title);
     for (const std::string& name : names) std::printf("  %s\n", name.c_str());
   };
-  print("graph families", GraphFamilyRegistry::instance().names());
-  print("protocols", ProtocolRegistry::instance().names());
   print("problems", ProblemRegistry::instance().names());
   print("daemons", daemon_names());
 }
