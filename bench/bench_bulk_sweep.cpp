@@ -1,0 +1,280 @@
+/// E15 — bulk guard sweep vs scalar probes under the synchronous daemon.
+///
+/// Not a paper claim: measures the engine's two probe-refresh strategies
+/// (runtime/bulk.hpp) — per-process scalar `first_enabled` probes vs the
+/// one-pass `sweep_enabled` CSR kernels — for every registry protocol on
+/// graphs at n ~= 2000 and n ~= 20000. The synchronous daemon is the
+/// workload the bulk path exists for: every step co-fires all enabled
+/// processes, so every active step dirties nearly all n guards and the
+/// refresh dominates the step. Two sections:
+///
+///  * E15  — whole-engine steps/sec, deployed configuration
+///    (SweepMode::kAuto, which sweeps only when >= 3/4 of the network is
+///    stale) vs kForceScalar. Windows interleave `randomize_state()` with
+///    32-step bursts so converging protocols are measured on live
+///    convergence work, not the post-silence no-op regime.
+///  * E15b — refresh-only throughput: guard evaluations/sec of one
+///    all-dirty refresh (the post-perturbation worst case), kForceBulk vs
+///    kForceScalar. This isolates the sweep kernels from action
+///    execution; it is the number the kAuto threshold in
+///    Engine::refresh_enabled is calibrated against. Each measured
+///    iteration pays an identical set_config() to re-stale the probes, so
+///    the printed ratios *understate* the kernels' advantage.
+///
+/// Both strategies are bit-identical by construction (asserted here over
+/// a lockstep prefix, proven at scale by tests/test_bulk_sweep.cpp and
+/// the forced-bulk property grid), so every ratio is a pure
+/// implementation win. The `speedup` fields are gated by the bench-diff
+/// CI job. Pass --quick for a CI-sized run.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/protocol_registry.hpp"
+#include "runtime/engine.hpp"
+#include "support/bench_json.hpp"
+
+namespace {
+
+using namespace sss;
+
+std::vector<Graph> sweep_bench_graphs() {
+  Rng rng(0x2009ULL);
+  std::vector<Graph> graphs;
+  graphs.push_back(cycle(2000));
+  graphs.push_back(random_regular(2000, 4, rng));
+  graphs.push_back(random_regular(20000, 4, rng));
+  return graphs;
+}
+
+/// Steps/second over repeated (randomize, burst-of-steps) rounds.
+double measure_steps_per_sec(Engine& engine, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  constexpr int kBurst = 32;
+  engine.randomize_state();
+  for (int i = 0; i < kBurst; ++i) engine.step();  // warmup
+  std::uint64_t steps = 0;
+  const auto begin = clock::now();
+  double elapsed = 0.0;
+  do {
+    engine.randomize_state();
+    for (int i = 0; i < kBurst; ++i) engine.step();
+    steps += kBurst;
+    elapsed = std::chrono::duration<double>(clock::now() - begin).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(steps) / elapsed;
+}
+
+/// Guard evaluations/second of all-dirty refreshes: set_config stales
+/// every probe, num_enabled drains the refresh in the engine's mode.
+double measure_refreshes_per_sec(Engine& engine, const Configuration& config,
+                                 double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 16; ++i) {  // warmup
+    engine.set_config(config);
+    engine.num_enabled();
+  }
+  std::uint64_t evals = 0;
+  const auto n = static_cast<std::uint64_t>(engine.graph().num_vertices());
+  const auto begin = clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 8; ++i) {
+      engine.set_config(config);
+      engine.num_enabled();
+    }
+    evals += 8 * n;
+    elapsed = std::chrono::duration<double>(clock::now() - begin).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
+/// Both strategies must walk the same computation; a short lockstep
+/// prefix catches a divergent sweep before it pollutes the timings.
+void require_lockstep(const Graph& g, const Protocol& protocol) {
+  Engine bulk(g, protocol, make_synchronous_daemon(), 0xB01D);
+  Engine scalar(g, protocol, make_synchronous_daemon(), 0xB01D);
+  bulk.set_sweep_mode(SweepMode::kForceBulk);
+  scalar.set_sweep_mode(SweepMode::kForceScalar);
+  bulk.randomize_state();
+  scalar.randomize_state();
+  for (int s = 0; s < 48; ++s) {
+    bulk.step();
+    scalar.step();
+  }
+  SSS_REQUIRE(bulk.config() == scalar.config() &&
+                  bulk.read_counter().total_reads() ==
+                      scalar.read_counter().total_reads(),
+              "bulk sweep diverged from scalar probes on " + g.name() +
+                  " under " + protocol.name());
+}
+
+struct Geomean {
+  double log_sum = 0.0;
+  double worst = 1e300;
+  double best = 0.0;
+  int rows = 0;
+  void add(double ratio) {
+    log_sum += std::log(ratio);
+    worst = std::min(worst, ratio);
+    best = std::max(best, ratio);
+    ++rows;
+  }
+  double value() const {
+    return std::exp(log_sum / static_cast<double>(rows));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sss::bench;
+
+  double min_seconds = 0.08;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) min_seconds = 0.015;
+  }
+
+  const std::vector<Graph> graphs = sweep_bench_graphs();
+  BenchJsonWriter json("bulk_sweep");
+
+  print_banner(
+      "E15: engine steps/sec, auto bulk sweep vs scalar probes "
+      "(synchronous daemon)");
+  print_note("kAuto sweeps only when >= 3/4 of the guards are stale, so");
+  print_note("sparse-activity regimes keep the scalar path: ratios track");
+  print_note("the deployed engine, never a forced pessimisation.");
+  TextTable steps_table({"graph", "n", "protocol", "scalar sps", "auto sps",
+                         "speedup"});
+  Geomean steps_geomean;
+  for (const Graph& g : graphs) {
+    for (const std::string& name : ProtocolRegistry::instance().names()) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, g, {});
+      if (!protocol->has_bulk_sweep()) continue;
+      require_lockstep(g, *protocol);
+
+      double scalar_sps = 0.0;
+      double auto_sps = 0.0;
+      {
+        Engine engine(g, *protocol, make_synchronous_daemon(), 7);
+        engine.set_sweep_mode(SweepMode::kForceScalar);
+        scalar_sps = measure_steps_per_sec(engine, min_seconds);
+      }
+      {
+        Engine engine(g, *protocol, make_synchronous_daemon(), 7);
+        auto_sps = measure_steps_per_sec(engine, min_seconds);
+      }
+      const double speedup = auto_sps / scalar_sps;
+      steps_table.row()
+          .add(g.name())
+          .add(g.num_vertices())
+          .add(name)
+          .add(scalar_sps, 0)
+          .add(auto_sps, 0)
+          .add(speedup, 2);
+      json.record()
+          .field("graph", g.name())
+          .field("n", g.num_vertices())
+          .field("protocol", name)
+          .field("daemon", "synchronous")
+          .field("regime", "steps")
+          .field("scalar_steps_per_sec", scalar_sps)
+          .field("bulk_steps_per_sec", auto_sps)
+          .field("speedup", speedup);
+      steps_geomean.add(speedup);
+    }
+  }
+  std::printf("%s\n", steps_table.str().c_str());
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "steps/sec, auto vs scalar: geomean %.2fx, min %.2fx, max "
+                "%.2fx over %d cells",
+                steps_geomean.value(), steps_geomean.worst,
+                steps_geomean.best, steps_geomean.rows);
+  print_note(summary);
+  std::fflush(stdout);
+
+  print_banner("E15b: all-dirty refresh, bulk sweep vs scalar probes "
+               "(guard evals/sec)");
+  print_note("every iteration re-stales all n probes via set_config, then");
+  print_note("drains the refresh; the shared set_config cost understates");
+  print_note("the sweep kernels' advantage.");
+  TextTable refresh_table({"graph", "n", "protocol", "scalar evals/s",
+                           "bulk evals/s", "speedup"});
+  Geomean refresh_geomean;
+  for (const Graph& g : graphs) {
+    for (const std::string& name : ProtocolRegistry::instance().names()) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, g, {});
+      if (!protocol->has_bulk_sweep()) continue;
+      // A mid-convergence configuration, so guards see realistic state.
+      Engine pilot(g, *protocol, make_synchronous_daemon(), 7);
+      pilot.randomize_state();
+      for (int i = 0; i < 40; ++i) pilot.step();
+      const Configuration config = pilot.config();
+
+      double scalar_eps = 0.0;
+      double bulk_eps = 0.0;
+      {
+        Engine engine(g, *protocol, make_synchronous_daemon(), 7);
+        engine.set_sweep_mode(SweepMode::kForceScalar);
+        scalar_eps = measure_refreshes_per_sec(engine, config, min_seconds);
+      }
+      {
+        Engine engine(g, *protocol, make_synchronous_daemon(), 7);
+        engine.set_sweep_mode(SweepMode::kForceBulk);
+        bulk_eps = measure_refreshes_per_sec(engine, config, min_seconds);
+      }
+      const double speedup = bulk_eps / scalar_eps;
+      refresh_table.row()
+          .add(g.name())
+          .add(g.num_vertices())
+          .add(name)
+          .add(scalar_eps, 0)
+          .add(bulk_eps, 0)
+          .add(speedup, 2);
+      json.record()
+          .field("graph", g.name())
+          .field("n", g.num_vertices())
+          .field("protocol", name)
+          .field("daemon", "synchronous")
+          .field("regime", "refresh")
+          .field("scalar_evals_per_sec", scalar_eps)
+          .field("bulk_evals_per_sec", bulk_eps)
+          .field("speedup", speedup);
+      refresh_geomean.add(speedup);
+    }
+  }
+  std::printf("%s\n", refresh_table.str().c_str());
+  std::snprintf(summary, sizeof(summary),
+                "all-dirty refresh, bulk vs scalar: geomean %.2fx, min "
+                "%.2fx, max %.2fx over %d cells",
+                refresh_geomean.value(), refresh_geomean.worst,
+                refresh_geomean.best, refresh_geomean.rows);
+  print_note(summary);
+  std::fflush(stdout);
+
+  json.record()
+      .field("graph", "ALL")
+      .field("n", 0)
+      .field("protocol", "ALL")
+      .field("daemon", "synchronous")
+      .field("regime", "steps-geomean")
+      .field("speedup", steps_geomean.value());
+  json.record()
+      .field("graph", "ALL")
+      .field("n", 0)
+      .field("protocol", "ALL")
+      .field("daemon", "synchronous")
+      .field("regime", "refresh-geomean")
+      .field("speedup", refresh_geomean.value());
+  json.write();
+  return 0;
+}

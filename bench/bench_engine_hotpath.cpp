@@ -14,6 +14,12 @@
 /// tests/test_engine_equivalence.cpp proves both engines compute identical
 /// computations, so every speedup below is a pure implementation win.
 ///
+/// The incremental engine runs in its deployed configuration
+/// (SweepMode::kAuto), so the synchronous and distributed legs route
+/// their guard refreshes through the bulk sweep of runtime/bulk.hpp
+/// whenever >= 3/4 of the network is stale — the co-firing daemons'
+/// steady state. bench_bulk_sweep isolates that path's contribution.
+///
 /// The second section (E14b) measures the same workloads under the sharded
 /// multi-graph batch runner: aggregate steps/sec of a whole-menagerie trial
 /// plan at one worker vs the full pool. The distributed daemon is

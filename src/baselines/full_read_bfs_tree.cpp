@@ -51,6 +51,58 @@ int FullReadBfsTree::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
+void FullReadBfsTree::sweep_enabled(BulkGuardContext& ctx,
+                                    EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value dist = row[kDistVar];
+    const Value parent = row[kParentVar];
+    if (row[kRootVar] == 1) {
+      actions[p] = static_cast<std::int8_t>(
+          (dist != 0 || parent != 0) ? kFixRoot : kDisabled);
+      continue;
+    }
+    const std::int32_t begin = offsets[p];
+    const std::int32_t end = offsets[p + 1];
+    // Branch-free min over the contiguous neighborhood slice; the scalar
+    // guard reads every neighbor unconditionally.
+    Value best = max_distance_;
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      best = std::min(best,
+                      data[static_cast<std::size_t>(q) * stride + kDistVar]);
+    }
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      ctx.log(p, neighbors[static_cast<std::size_t>(slot)], kDistVar);
+    }
+    const Value target = std::min<Value>(best + 1, max_distance_);
+    if (dist != target) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+      continue;
+    }
+    if (parent == 0) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+      continue;
+    }
+    const ProcessId parent_nbr = neighbors[static_cast<std::size_t>(
+        begin + static_cast<std::int32_t>(parent) - 1)];
+    const Value parent_dist =
+        data[static_cast<std::size_t>(parent_nbr) * stride + kDistVar];
+    ctx.log(p, parent_nbr, kDistVar);
+    if (parent_dist != best) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+    }
+  }
+}
+
 void FullReadBfsTree::execute(int action, ActionContext& ctx) const {
   if (action == kFixRoot) {
     ctx.set_comm(kDistVar, 0);

@@ -32,6 +32,9 @@ class FullReadBfsTree final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   ProcessId root() const { return root_; }
   Value max_distance() const { return max_distance_; }
 

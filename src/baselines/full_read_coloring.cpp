@@ -25,6 +25,36 @@ int FullReadColoring::first_enabled(GuardContext& ctx) const {
   return conflict ? 0 : kDisabled;
 }
 
+void FullReadColoring::sweep_enabled(BulkGuardContext& ctx,
+                                     EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value own = data[static_cast<std::size_t>(p) * stride + kColorVar];
+    const std::int32_t begin = offsets[p];
+    const std::int32_t end = offsets[p + 1];
+    // The whole-neighborhood conflict scan of the scalar guard, as a
+    // branch-free OR over the contiguous CSR slice (the guard never
+    // short-circuits, so every read is logged either way).
+    bool conflict = false;
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      conflict |=
+          data[static_cast<std::size_t>(q) * stride + kColorVar] == own;
+    }
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      ctx.log(p, neighbors[static_cast<std::size_t>(slot)], kColorVar);
+    }
+    actions[p] = static_cast<std::int8_t>(conflict ? 0 : kDisabled);
+  }
+}
+
 void FullReadColoring::execute(int action, ActionContext& ctx) const {
   SSS_ASSERT(action == 0, "FULL-READ-COLORING has one action");
   std::vector<bool> used(static_cast<std::size_t>(palette_size_) + 1, false);

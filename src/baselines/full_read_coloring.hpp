@@ -28,6 +28,9 @@ class FullReadColoring final : public Protocol {
   int first_enabled(GuardContext& ctx) const override;
   void execute(int action, ActionContext& ctx) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   int palette_size() const { return palette_size_; }
 
  private:

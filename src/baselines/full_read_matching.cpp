@@ -91,6 +91,91 @@ int FullReadMatching::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
+void FullReadMatching::sweep_enabled(BulkGuardContext& ctx,
+                                     EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const NbrIndex* mirrors = g.csr_mirrors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  std::int8_t* actions = out.actions();
+  // Scalar transcription; the early-exit proposer/candidate scans keep
+  // their exact stopping points so the logged read prefixes match.
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value pr = row[kPrVar];
+    const Value announced = row[kMarriedVar];
+    const Value own_color = row[kColorVar];
+    const std::int32_t begin = offsets[p];
+    const std::int32_t end = offsets[p + 1];
+
+    // married(ctx): one PR read of the pointed-at neighbor when pr != 0.
+    bool is_married = false;
+    if (pr != 0) {
+      const std::size_t slot =
+          static_cast<std::size_t>(begin + static_cast<std::int32_t>(pr) - 1);
+      const ProcessId q = neighbors[slot];
+      const Value nbr_pr = data[static_cast<std::size_t>(q) * stride + kPrVar];
+      ctx.log(p, q, kPrVar);
+      is_married = nbr_pr == static_cast<Value>(mirrors[slot]);
+    }
+    if ((announced == kTrue) != is_married) {
+      actions[p] = static_cast<std::int8_t>(kUpdate);
+      continue;
+    }
+
+    if (pr != 0) {
+      // The scalar guard re-reads PR.(pr) here; the repeat is logged too.
+      const std::size_t slot =
+          static_cast<std::size_t>(begin + static_cast<std::int32_t>(pr) - 1);
+      const ProcessId q = neighbors[slot];
+      const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+      ctx.log(p, q, kPrVar);
+      if (nbr_row[kPrVar] != static_cast<Value>(mirrors[slot])) {
+        ctx.log(p, q, kMarriedVar);
+        if (nbr_row[kMarriedVar] == kTrue) {
+          actions[p] = static_cast<std::int8_t>(kAbandon);
+          continue;
+        }
+        ctx.log(p, q, kColorVar);
+        if (nbr_row[kColorVar] < own_color) {
+          actions[p] = static_cast<std::int8_t>(kAbandon);
+          continue;
+        }
+      }
+      continue;  // pr != 0 and no abandon: disabled
+    }
+
+    // pr == 0: accept the first proposer, else propose to the first
+    // free, unmarried, higher-colored neighbor.
+    bool found = false;
+    for (std::int32_t slot = begin; slot < end && !found; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      ctx.log(p, q, kPrVar);
+      found = data[static_cast<std::size_t>(q) * stride + kPrVar] ==
+              static_cast<Value>(mirrors[static_cast<std::size_t>(slot)]);
+    }
+    if (found) {
+      actions[p] = static_cast<std::int8_t>(kAccept);
+      continue;
+    }
+    for (std::int32_t slot = begin; slot < end && !found; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+      ctx.log(p, q, kPrVar);
+      if (nbr_row[kPrVar] != 0) continue;
+      ctx.log(p, q, kMarriedVar);
+      if (nbr_row[kMarriedVar] != kFalse) continue;
+      ctx.log(p, q, kColorVar);
+      found = own_color < nbr_row[kColorVar];
+    }
+    if (found) actions[p] = static_cast<std::int8_t>(kPropose);
+  }
+}
+
 void FullReadMatching::execute(int action, ActionContext& ctx) const {
   switch (action) {
     case kUpdate:

@@ -41,6 +41,9 @@ class FullReadMatching final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
  private:
   /// married(p): PR.p points at a neighbor whose PR points back.
   bool married(const GuardContext& ctx) const;

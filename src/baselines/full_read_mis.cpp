@@ -44,6 +44,45 @@ int FullReadMis::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
+void FullReadMis::sweep_enabled(BulkGuardContext& ctx,
+                                EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value own_state = row[kStateVar];
+    const Value own_color = row[kColorVar];
+    const std::int32_t begin = offsets[p];
+    const std::int32_t end = offsets[p + 1];
+    // The scalar guard reads (state, color) of every neighbor with no
+    // short-circuit, so the scan is branch-free and the log is the full
+    // interleaved sequence.
+    bool lower_in = false;
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+      lower_in |=
+          nbr_row[kColorVar] < own_color && nbr_row[kStateVar] == kIn;
+    }
+    for (std::int32_t slot = begin; slot < end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      ctx.log(p, q, kStateVar);
+      ctx.log(p, q, kColorVar);
+    }
+    if (own_state == kIn && lower_in) {
+      actions[p] = static_cast<std::int8_t>(kRetreat);
+    } else if (own_state == kOut && !lower_in) {
+      actions[p] = static_cast<std::int8_t>(kJoin);
+    }
+  }
+}
+
 void FullReadMis::execute(int action, ActionContext& ctx) const {
   switch (action) {
     case kRetreat:

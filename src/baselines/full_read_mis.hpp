@@ -36,6 +36,9 @@ class FullReadMis final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
  private:
   std::string name_ = "FULL-READ-MIS";
   Coloring colors_;

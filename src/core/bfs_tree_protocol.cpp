@@ -53,6 +53,54 @@ int BfsTreeProtocol::first_enabled(GuardContext& ctx) const {
   return kScan;
 }
 
+void BfsTreeProtocol::sweep_enabled(BulkGuardContext& ctx,
+                                    EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value dist = row[kDistVar];
+    const Value parent = row[kParentVar];
+    if (row[kRootVar] == 1) {
+      actions[p] = static_cast<std::int8_t>(
+          (dist != 0 || parent != 0) ? kFixRoot : kDisabled);
+      continue;
+    }
+    if (parent == 0) {
+      actions[p] = static_cast<std::int8_t>(kAdopt);
+      continue;
+    }
+    // The parent read settles A2 before the cur neighbor is fetched for
+    // A4 — the k = 2 lazy pattern of the scalar guard.
+    const std::int32_t base = offsets[p];
+    const ProcessId parent_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(parent) - 1)];
+    const Value parent_dist =
+        data[static_cast<std::size_t>(parent_nbr) * stride + kDistVar];
+    ctx.log(p, parent_nbr, kDistVar);
+    const Value via_parent = std::min<Value>(parent_dist + 1, max_distance_);
+    if (dist != via_parent) {
+      actions[p] = static_cast<std::int8_t>(kFollow);
+      continue;
+    }
+    const ProcessId cur_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(row[cur_slot]) - 1)];
+    const Value cur_dist =
+        data[static_cast<std::size_t>(cur_nbr) * stride + kDistVar];
+    ctx.log(p, cur_nbr, kDistVar);
+    actions[p] =
+        static_cast<std::int8_t>(cur_dist + 1 < dist ? kImprove : kScan);
+  }
+}
+
 void BfsTreeProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

@@ -62,6 +62,9 @@ class BfsTreeProtocol final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   ProcessId root() const { return root_; }
   /// The distance cap n-1 (the largest BFS distance a connected network
   /// can realize), which is what flushes fake parent cycles.

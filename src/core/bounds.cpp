@@ -19,6 +19,16 @@ std::int64_t matching_round_bound(int n, int max_degree) {
   return (static_cast<std::int64_t>(max_degree) + 1) * n + 2;
 }
 
+std::int64_t bfs_tree_round_bound(int n, int max_degree) {
+  SSS_REQUIRE(n >= 2 && max_degree >= 1, "invalid parameters");
+  return (static_cast<std::int64_t>(max_degree) + 1) * n + 2;
+}
+
+std::int64_t leader_election_round_bound(int n, int max_degree) {
+  SSS_REQUIRE(n >= 2 && max_degree >= 1, "invalid parameters");
+  return (static_cast<std::int64_t>(max_degree) + 2) * n + 2;
+}
+
 std::int64_t mis_one_stable_lower_bound(int longest_path_len) {
   SSS_REQUIRE(longest_path_len >= 0, "invalid path length");
   return (static_cast<std::int64_t>(longest_path_len) + 1) / 2;

@@ -21,6 +21,23 @@ std::int64_t mis_round_bound(int max_degree, int num_colors);
 /// (Delta + 1) * n + 2 rounds.
 std::int64_t matching_round_bound(int n, int max_degree);
 
+/// BFS-tree revision (arXiv:1509.03815), in the Lemma 9 style: the rooted
+/// 2-efficient BFS protocol reaches a silent configuration within
+/// (Delta + 1) * n + 2 rounds. The distance cap n-1 flushes fake parent
+/// chains within n rounds (their minimum claimed distance rises every
+/// round), and the round-robin cur pointer re-examines a full
+/// neighborhood every Delta rounds, so each of the at most n-1 true BFS
+/// layers settles within Delta rounds. Asserted across the
+/// daemon x menagerie grid in tests/test_bfs_tree_protocol.cpp.
+std::int64_t bfs_tree_round_bound(int n, int max_degree);
+
+/// Same treatment for communication-efficient LEADER-ELECTION
+/// (arXiv:2008.04252): electing the minimum identifier builds the BFS
+/// tree of the winner after a reset wave clears inflated leader claims —
+/// one extra n rounds on top of the tree bound, giving
+/// (Delta + 2) * n + 2. Asserted in tests/test_leader_election_protocol.cpp.
+std::int64_t leader_election_round_bound(int n, int max_degree);
+
 /// Theorem 6: at least floor((Lmax+1)/2) processes become 1-stable under
 /// Protocol MIS, where Lmax is the length of the longest elementary path.
 std::int64_t mis_one_stable_lower_bound(int longest_path_len);

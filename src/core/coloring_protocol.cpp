@@ -28,6 +28,33 @@ int ColoringProtocol::first_enabled(GuardContext& ctx) const {
   return own == checked ? kConflict : kAdvance;
 }
 
+void ColoringProtocol::sweep_enabled(BulkGuardContext& ctx,
+                                     EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  // One gather per process (the cur neighbor's color), one compare: the
+  // whole guard is a select between the two always-enabled actions.
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const auto cur = static_cast<std::int32_t>(row[cur_slot]);
+    const ProcessId q =
+        neighbors[static_cast<std::size_t>(offsets[p] + cur - 1)];
+    const Value checked =
+        data[static_cast<std::size_t>(q) * stride + kColorVar];
+    actions[p] = static_cast<std::int8_t>(
+        row[kColorVar] == checked ? kConflict : kAdvance);
+    ctx.log(p, q, kColorVar);
+  }
+}
+
 void ColoringProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

@@ -41,6 +41,9 @@ class ColoringProtocol final : public Protocol {
   int first_enabled(GuardContext& ctx) const override;
   void execute(int action, ActionContext& ctx) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   int palette_size() const { return palette_size_; }
 
  private:

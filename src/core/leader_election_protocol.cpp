@@ -84,6 +84,94 @@ int LeaderElectionProtocol::first_enabled(GuardContext& ctx) const {
   return kScan;
 }
 
+void LeaderElectionProtocol::sweep_enabled(BulkGuardContext& ctx,
+                                           EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value id = row[kIdVar];
+    const Value leader = row[kLeaderVar];
+    const Value dist = row[kDistVar];
+    const Value parent = row[kParentVar];
+    const std::int32_t base = offsets[p];
+
+    if (leader > id) {
+      actions[p] = static_cast<std::int8_t>(kReset);
+      continue;
+    }
+    if (leader == id) {
+      if (dist != 0 || parent != 0) {
+        actions[p] = static_cast<std::int8_t>(kReset);
+        continue;
+      }
+      const ProcessId cur_nbr = neighbors[static_cast<std::size_t>(
+          base + static_cast<std::int32_t>(row[cur_slot]) - 1)];
+      const Value* cur_row = data + static_cast<std::size_t>(cur_nbr) * stride;
+      // Lazy conjunction: the distance is read only when the leader
+      // comparison leaves A4 undecided.
+      ctx.log(p, cur_nbr, kLeaderVar);
+      if (cur_row[kLeaderVar] < leader) {
+        ctx.log(p, cur_nbr, kDistVar);
+        if (cur_row[kDistVar] + 1 <= max_distance_) {
+          actions[p] = static_cast<std::int8_t>(kAdopt);
+          continue;
+        }
+      }
+      actions[p] = static_cast<std::int8_t>(kScan);
+      continue;
+    }
+
+    // leader < id: the claim must be backed by a parent chain.
+    if (parent == 0 || dist == 0) {
+      actions[p] = static_cast<std::int8_t>(kReset);
+      continue;
+    }
+    const ProcessId parent_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(parent) - 1)];
+    const Value* parent_row =
+        data + static_cast<std::size_t>(parent_nbr) * stride;
+    const Value parent_leader = parent_row[kLeaderVar];
+    ctx.log(p, parent_nbr, kLeaderVar);
+    const Value parent_dist = parent_row[kDistVar];
+    ctx.log(p, parent_nbr, kDistVar);
+    if (parent_leader > leader || parent_dist == max_distance_) {
+      actions[p] = static_cast<std::int8_t>(kReset);
+      continue;
+    }
+    if (parent_leader < leader) {
+      actions[p] = static_cast<std::int8_t>(kInherit);
+      continue;
+    }
+    if (dist != parent_dist + 1) {
+      actions[p] = static_cast<std::int8_t>(kFollow);
+      continue;
+    }
+    const ProcessId cur_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(row[cur_slot]) - 1)];
+    const Value* cur_row = data + static_cast<std::size_t>(cur_nbr) * stride;
+    const Value cur_leader = cur_row[kLeaderVar];
+    ctx.log(p, cur_nbr, kLeaderVar);
+    const Value cur_dist = cur_row[kDistVar];
+    ctx.log(p, cur_nbr, kDistVar);
+    if (cur_leader < leader && cur_dist + 1 <= max_distance_) {
+      actions[p] = static_cast<std::int8_t>(kAdopt);
+    } else if (cur_leader == leader && cur_dist + 1 < dist) {
+      actions[p] = static_cast<std::int8_t>(kImprove);
+    } else {
+      actions[p] = static_cast<std::int8_t>(kScan);
+    }
+  }
+}
+
 void LeaderElectionProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

@@ -72,6 +72,9 @@ class LeaderElectionProtocol final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   const std::vector<Value>& ids() const { return ids_; }
   Value min_id() const { return min_id_; }
   Value max_distance() const { return max_distance_; }

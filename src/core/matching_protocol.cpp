@@ -96,6 +96,79 @@ int MatchingProtocol::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
+void MatchingProtocol::sweep_enabled(BulkGuardContext& ctx,
+                                     EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const NbrIndex* mirrors = g.csr_mirrors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  // The scalar guard transcribed onto the slabs; every lazily-skipped
+  // neighbor read stays skipped so the logged sequence is identical.
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value pr = row[kPrVar];
+    const auto cur = static_cast<std::int32_t>(row[cur_slot]);
+    const auto cur_value = static_cast<Value>(cur);
+
+    if (pr != 0 && pr != cur_value) {  // A1, settled on own state alone
+      actions[p] = static_cast<std::int8_t>(kRepoint);
+      continue;
+    }
+
+    const std::size_t slot = static_cast<std::size_t>(offsets[p] + cur - 1);
+    const ProcessId q = neighbors[slot];
+    const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+    const Value nbr_pr = nbr_row[kPrVar];
+    ctx.log(p, q, kPrVar);
+    const auto back_channel = static_cast<Value>(mirrors[slot]);
+    const bool is_married = pr == cur_value && nbr_pr == back_channel;
+
+    if ((row[kMarriedVar] == kTrue) != is_married) {  // A2
+      actions[p] = static_cast<std::int8_t>(kAnnounce);
+      continue;
+    }
+
+    if (pr == 0) {
+      if (nbr_pr == back_channel) {  // A3
+        actions[p] = static_cast<std::int8_t>(kAccept);
+        continue;
+      }
+      if (nbr_pr != 0) {  // A6 first disjunct
+        actions[p] = static_cast<std::int8_t>(kAdvance);
+        continue;
+      }
+      ctx.log(p, q, kColorVar);
+      if (nbr_row[kColorVar] < row[kColorVar]) {
+        actions[p] = static_cast<std::int8_t>(kAdvance);
+        continue;
+      }
+      ctx.log(p, q, kMarriedVar);
+      actions[p] = static_cast<std::int8_t>(
+          nbr_row[kMarriedVar] == kTrue ? kAdvance : kPropose);
+      continue;
+    }
+
+    if (!is_married) {  // A4: pr == cur and the proposal went nowhere
+      ctx.log(p, q, kMarriedVar);
+      if (nbr_row[kMarriedVar] == kTrue) {
+        actions[p] = static_cast<std::int8_t>(kAbandon);
+        continue;
+      }
+      ctx.log(p, q, kColorVar);
+      if (nbr_row[kColorVar] < row[kColorVar]) {
+        actions[p] = static_cast<std::int8_t>(kAbandon);
+      }
+    }
+  }
+}
+
 void MatchingProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   switch (action) {

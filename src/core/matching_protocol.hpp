@@ -51,6 +51,9 @@ class MatchingProtocol final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   const Coloring& colors() const { return colors_; }
 
   /// PRmarried(p) evaluated against a context (used by the predicate too).

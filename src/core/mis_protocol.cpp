@@ -65,6 +65,48 @@ int MisProtocol::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
+void MisProtocol::sweep_enabled(BulkGuardContext& ctx,
+                                EnabledBitmap& out) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const int n = g.num_vertices();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const auto cur = static_cast<std::int32_t>(row[cur_slot]);
+    const ProcessId q =
+        neighbors[static_cast<std::size_t>(offsets[p] + cur - 1)];
+    const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+    // Same lazy read structure as first_enabled: the state always, the
+    // color only when the state comparison leaves the guard undecided.
+    const Value nbr_state = nbr_row[kStateVar];
+    ctx.log(p, q, kStateVar);
+    if (row[kStateVar] == kDominator) {
+      if (nbr_state == kDominator) {
+        ctx.log(p, q, kColorVar);
+        actions[p] = static_cast<std::int8_t>(
+            nbr_row[kColorVar] < row[kColorVar] ? kDemote : kScan);
+      } else {
+        actions[p] = static_cast<std::int8_t>(kScan);
+      }
+      continue;
+    }
+    if (nbr_state == kDominated) {
+      actions[p] = static_cast<std::int8_t>(kPromote);
+    } else if (promote_on_higher_color_) {
+      ctx.log(p, q, kColorVar);
+      actions[p] = static_cast<std::int8_t>(
+          row[kColorVar] < nbr_row[kColorVar] ? kPromote : kDisabled);
+    }
+  }
+}
+
 void MisProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

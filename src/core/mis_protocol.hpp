@@ -57,6 +57,9 @@ class MisProtocol final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
   void install_constants(const Graph& g, Configuration& config) const override;
 
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+
   const Coloring& colors() const { return colors_; }
   int num_colors() const { return num_colors_; }
   bool promote_on_higher_color() const { return promote_on_higher_color_; }

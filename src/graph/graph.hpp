@@ -89,6 +89,16 @@ class Graph {
   /// precomputed mirror slot (local_index_of would scan the other list).
   NbrIndex mirror_index(ProcessId p, NbrIndex channel) const;
 
+  /// Raw CSR slabs for bulk guard kernels (runtime/bulk.hpp), which walk
+  /// whole neighborhoods in tight loops: `csr_offsets()[p]` is the first
+  /// slot of p's neighbor range, `csr_neighbors()[slot]` the neighbor id
+  /// in channel order, and `csr_mirrors()[slot]` the 1-based channel under
+  /// which that neighbor sees p. Unlike the checked per-call accessors
+  /// above these are plain spans — callers index within bounds.
+  std::span<const std::int32_t> csr_offsets() const { return offsets_; }
+  std::span<const ProcessId> csr_neighbors() const { return neighbors_; }
+  std::span<const NbrIndex> csr_mirrors() const { return mirror_index_; }
+
   bool has_edge(ProcessId p, ProcessId q) const;
 
   /// All edges with first < second, sorted lexicographically.

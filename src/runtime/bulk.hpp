@@ -1,0 +1,105 @@
+#pragma once
+/// \file bulk.hpp
+/// Bulk guard evaluation: the one-pass alternative to n per-process probes.
+///
+/// Under co-firing daemons (synchronous, distributed) almost every probe
+/// cache entry is stale after every step, so the engine's refresh degrades
+/// to n virtual `first_enabled` calls, each paying a GuardContext
+/// construction, range-checked neighbor lookups, and a virtual read-logger
+/// call per neighbor read. A protocol that opts into the bulk path instead
+/// evaluates *all* guards in one `sweep_enabled` pass written directly
+/// against the CSR slabs (`Graph::csr_*`) and the flat configuration rows
+/// (`Configuration::row`) — no virtual dispatch inside the loop, no
+/// per-read bounds checks, and loops the compiler can unroll or vectorize.
+///
+/// The sweep owes the engine exactly what n scalar probes would have
+/// produced, because the engine *replays* this data later:
+///
+///  * the first-enabled action per process (`EnabledBitmap`), which the
+///    engine commits into its probe memo and enabled set; and
+///  * the guard's neighbor-read log per process (`BulkGuardContext::log`),
+///    in the order the scalar guard would have issued the reads — this is
+///    the sequence `Engine::step` replays into the model's read counters
+///    when the process is selected, so any deviation shows up as a read-
+///    metric divergence from `ReferenceEngine`.
+///
+/// Sweeps must therefore mirror the *lazy* read structure of their scalar
+/// guards (a short-circuited conjunct whose left side decides must not
+/// read its right side), not just compute the same action. The lockstep
+/// suites (tests/test_bulk_sweep.cpp, the property harness with
+/// SweepMode::kForceBulk) hold implementations to that contract.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/configuration.hpp"
+
+namespace sss {
+
+/// Per-process outcome of one whole-network guard sweep: the index of the
+/// first enabled action, or kDisabled. The name reflects what the engine
+/// derives from it — membership of the enabled set — but the action index
+/// itself is kept because the engine's guard memo replays it on selection.
+class EnabledBitmap {
+ public:
+  /// Matches Protocol::kDisabled (static_assert'd in protocol.cpp).
+  static constexpr std::int8_t kDisabled = -1;
+
+  /// Sizes the bitmap to ids [0, universe) with every process disabled;
+  /// a sweep only touches the enabled entries it finds. Reuses capacity.
+  void reset(int universe) {
+    actions_.assign(static_cast<std::size_t>(universe), kDisabled);
+  }
+
+  int universe() const { return static_cast<int>(actions_.size()); }
+
+  void set_action(ProcessId p, int action) {
+    actions_[static_cast<std::size_t>(p)] = static_cast<std::int8_t>(action);
+  }
+  int action(ProcessId p) const {
+    return actions_[static_cast<std::size_t>(p)];
+  }
+  bool enabled(ProcessId p) const {
+    return actions_[static_cast<std::size_t>(p)] != kDisabled;
+  }
+
+  /// Raw slab for sweep kernels that fill actions in a tight loop.
+  std::int8_t* actions() { return actions_.data(); }
+  const std::int8_t* actions() const { return actions_.data(); }
+
+ private:
+  std::vector<std::int8_t> actions_;
+};
+
+/// Read-only view a sweep evaluates against, plus the per-process read-log
+/// sink. The logs alias the engine's guard memo (`Engine::probe_reads_`),
+/// cleared by the engine before the sweep, so a sweep appends each
+/// process's reads exactly once and in scalar-guard order.
+class BulkGuardContext {
+ public:
+  /// One process's guard read log: (neighbor id, comm var) per read.
+  using ReadLog = std::vector<std::pair<ProcessId, int>>;
+
+  BulkGuardContext(const Graph& g, const Configuration& config,
+                   std::vector<ReadLog>& logs)
+      : graph_(g), config_(config), logs_(logs) {}
+
+  const Graph& graph() const { return graph_; }
+  const Configuration& config() const { return config_; }
+
+  /// Records that p's guard read communication variable `comm_var` of its
+  /// neighbor `subject` — the bulk counterpart of the probe recorder's
+  /// ReadLogger::on_read.
+  void log(ProcessId p, ProcessId subject, int comm_var) {
+    logs_[static_cast<std::size_t>(p)].push_back({subject, comm_var});
+  }
+
+ private:
+  const Graph& graph_;
+  const Configuration& config_;
+  std::vector<ReadLog>& logs_;
+};
+
+}  // namespace sss

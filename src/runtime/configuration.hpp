@@ -47,6 +47,18 @@ class Configuration {
             static_cast<std::size_t>(num_comm_)};
   }
 
+  /// Row stride of the flat layout: num_comm + num_internal values per
+  /// process. With `row`, the slab view bulk guard sweeps iterate over.
+  int stride() const { return stride_; }
+
+  /// Pointer to p's row in the flat layout: comm variables at [0,
+  /// num_comm), internal variables behind them. Valid until the
+  /// configuration is destroyed or reassigned.
+  const Value* row(ProcessId p) const {
+    return data_.data() +
+           static_cast<std::size_t>(p) * static_cast<std::size_t>(stride_);
+  }
+
   /// Copies all of `other`'s state of process p into this configuration.
   /// Used by the Theorem 1/2 stitching constructions, which transplant
   /// process states between silent configurations.

@@ -15,6 +15,7 @@ Engine::Engine(const Graph& g, const Protocol& protocol,
       config_(g, protocol.spec()),
       enabled_(g.num_vertices()),
       probe_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
+      bulk_supported_(protocol.has_bulk_sweep()),
       active_(g.num_vertices()),
       frozen_(static_cast<std::size_t>(g.num_vertices()), 0),
       probe_action_(static_cast<std::size_t>(g.num_vertices()),
@@ -92,6 +93,25 @@ void Engine::cover(ProcessId p) {
 }
 
 void Engine::refresh_enabled() {
+  if (dirty_queue_.empty()) return;
+  // Bulk dispatch (invariant 5): one sweep when the protocol opts in and
+  // enough of the network is stale. The 3/4 threshold comes from measured
+  // all-dirty refresh ratios (bench_bulk_sweep E15b): the cheapest sweep
+  // is ~1.3x a scalar probe pass, so sweeping all n only beats refreshing
+  // the dirty subset when that subset covers most of the network. Frozen
+  // exclusion classifies self-loops with the per-process machinery, so it
+  // pins the scalar path.
+  if (bulk_supported_ && !exclude_frozen_ &&
+      sweep_mode_ != SweepMode::kForceScalar) {
+    const bool use_bulk =
+        sweep_mode_ == SweepMode::kForceBulk ||
+        dirty_queue_.size() * 4 >=
+            static_cast<std::size_t>(graph_.num_vertices()) * 3;
+    if (use_bulk) {
+      bulk_refresh();
+      return;
+    }
+  }
   while (!dirty_queue_.empty()) {
     const ProcessId p = dirty_queue_.back();
     dirty_queue_.pop_back();
@@ -122,6 +142,32 @@ void Engine::refresh_enabled() {
       if (frozen) cover(p);
     }
   }
+}
+
+void Engine::bulk_refresh() {
+  const int n = graph_.num_vertices();
+  // The sweep rewrites every memo, clean or dirty: clean guards see
+  // unchanged inputs, so the sweep reproduces their action and read log
+  // byte for byte — recomputation, never divergence.
+  for (auto& log : probe_reads_) log.clear();
+  bulk_actions_.reset(n);
+  BulkGuardContext ctx(graph_, config_, probe_reads_);
+  protocol_.sweep_enabled(ctx, bulk_actions_);
+  const std::int8_t* actions = bulk_actions_.actions();
+  for (ProcessId p = 0; p < n; ++p) {
+    const int action = actions[static_cast<std::size_t>(p)];
+    probe_action_[static_cast<std::size_t>(p)] = action;
+    const bool now = action != Protocol::kDisabled;
+    enabled_.assign(p, now);
+    // Same covering rule as the scalar refresh. Re-covering a clean
+    // disabled process is a no-op: the between-steps invariant already
+    // guarantees it is covered.
+    if (!now) cover(p);
+  }
+  for (const ProcessId p : dirty_queue_) {
+    probe_dirty_[static_cast<std::size_t>(p)] = 0;
+  }
+  dirty_queue_.clear();
 }
 
 bool Engine::verified_self_loop(ProcessId p, int action) {

@@ -66,6 +66,19 @@
 ///     the per-selected-process cost; metrics stay bit-identical because
 ///     the replayed on_read sequence is the one a live evaluation would
 ///     emit.
+///
+///  5. Bulk guard sweep. Under co-firing daemons the dirty queue holds
+///     almost all of n after every step, so the refresh is n scalar probes
+///     — n virtual calls with per-read checked lookups. When the protocol
+///     opts in (Protocol::has_bulk_sweep) and the dirty set covers at
+///     least 3/4 of the network (or SweepMode::kForceBulk), the refresh
+///     instead runs one `sweep_enabled` pass over the CSR slabs that
+///     rewrites every memo (action + read log) at once; see
+///     runtime/bulk.hpp. Clean processes are recomputed too — their
+///     inputs are unchanged, so the sweep reproduces their memos exactly
+///     and the dirty-queue invariant is preserved. Frozen-process
+///     exclusion needs the per-process self-loop classifier, so it always
+///     takes the scalar path.
 
 #include <cstdint>
 #include <functional>
@@ -84,6 +97,13 @@
 #include "runtime/trace.hpp"
 
 namespace sss {
+
+/// How the engine refreshes stale guard probes (invariant 5 in the file
+/// comment). kAuto picks the bulk sweep when the protocol opts in and the
+/// dirty set covers at least 3/4 of the network; the force modes exist for
+/// the differential suites and the scalar-vs-bulk benches. Every mode
+/// computes the same computation bit for bit — mode only changes cost.
+enum class SweepMode { kAuto, kForceScalar, kForceBulk };
 
 /// Legitimacy predicate over (graph, configuration); supplied by the caller
 /// because "the problem" is a layer above the runtime.
@@ -194,6 +214,12 @@ class Engine {
   /// while exclusion is off.
   bool is_frozen(ProcessId p);
 
+  /// Probe-refresh strategy (see SweepMode). kForceBulk on a protocol
+  /// without a bulk sweep, or with frozen exclusion on, falls back to the
+  /// scalar path — the mode is a preference, the semantics never change.
+  void set_sweep_mode(SweepMode mode) { sweep_mode_ = mode; }
+  SweepMode sweep_mode() const { return sweep_mode_; }
+
   /// Exact silence check of the current configuration.
   bool quiescent() const;
 
@@ -214,6 +240,10 @@ class Engine {
   void mark_probe_dirty(ProcessId p);
   void mark_solo_dirty(ProcessId p);
   void refresh_enabled();
+  /// One sweep_enabled pass committed into the probe memo, enabled set,
+  /// and round covering — the bulk equivalent of draining the dirty queue
+  /// through scalar probes.
+  void bulk_refresh();
   /// Would firing `action` (p's memoized first enabled action) provably
   /// leave the configuration unchanged? See set_exclude_frozen.
   bool verified_self_loop(ProcessId p, int action);
@@ -237,6 +267,12 @@ class Engine {
   EnabledSet enabled_;
   std::vector<std::uint8_t> probe_dirty_;
   std::vector<ProcessId> dirty_queue_;
+
+  // Bulk sweep (invariant 5). `bulk_supported_` caches the protocol's
+  // opt-in; `bulk_actions_` is the sweep's reusable output arena.
+  bool bulk_supported_ = false;
+  SweepMode sweep_mode_ = SweepMode::kAuto;
+  EnabledBitmap bulk_actions_;
 
   // Frozen-process exclusion (see set_exclude_frozen). `active_` is
   // enabled minus frozen, maintained alongside `enabled_` by the same

@@ -4,7 +4,17 @@
 
 namespace sss {
 
+// EnabledBitmap stores actions as int8; its disabled sentinel must be the
+// value every scalar-path consumer of the memo compares against.
+static_assert(EnabledBitmap::kDisabled == Protocol::kDisabled);
+
 void Protocol::install_constants(const Graph&, Configuration&) const {}
+
+void Protocol::sweep_enabled(BulkGuardContext&, EnabledBitmap&) const {
+  SSS_ASSERT(false,
+             "sweep_enabled called on a protocol without a bulk sweep "
+             "(has_bulk_sweep() gates the call)");
+}
 
 ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
                              const Configuration& pre, ProcessId p, Rng& rng,

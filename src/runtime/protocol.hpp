@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "runtime/bulk.hpp"
 #include "runtime/context.hpp"
 #include "runtime/spec.hpp"
 
@@ -34,6 +35,21 @@ class Protocol {
   virtual void execute(int action, ActionContext& ctx) const = 0;
 
   virtual bool is_probabilistic() const { return false; }
+
+  /// Bulk guard evaluation (see runtime/bulk.hpp): true when the protocol
+  /// implements `sweep_enabled`, letting the engine refresh every guard in
+  /// one pass over the CSR slabs instead of n virtual probes. Protocols
+  /// that stay on the scalar path simply keep the default.
+  virtual bool has_bulk_sweep() const { return false; }
+
+  /// Evaluates every process's guards in one pass: writes the first
+  /// enabled action per process into `out` (pre-reset to all-disabled by
+  /// the caller) and logs each guard's neighbor reads through `ctx`, in
+  /// the exact order the scalar `first_enabled` would log them. Must be
+  /// behaviourally identical to n scalar probes — the engine replays both
+  /// outputs, and the lockstep suites compare against `ReferenceEngine`.
+  /// Only called when `has_bulk_sweep()` is true; the default asserts.
+  virtual void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const;
 
   /// Writes the protocol's communication constants (e.g. colors C.p) into
   /// `config`. Called once after construction and again after any state

@@ -18,9 +18,11 @@ namespace {
 /// first divergence.
 std::string lockstep_mismatch(const Graph& g, const Protocol& protocol,
                               const std::string& daemon_name,
-                              std::uint64_t seed, int steps) {
+                              std::uint64_t seed, int steps,
+                              SweepMode sweep_mode) {
   Engine fast(g, protocol, make_daemon(daemon_name), seed);
   ReferenceEngine oracle(g, protocol, make_daemon(daemon_name), seed);
+  fast.set_sweep_mode(sweep_mode);
   fast.randomize_state();
   oracle.randomize_state();
   if (!(fast.config() == oracle.config())) {
@@ -123,6 +125,7 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
 
         // Convergence: random start -> certified-silent configuration.
         Engine engine(g, *protocol, make_daemon(daemon_name), seed);
+        engine.set_sweep_mode(options.sweep_mode);
         engine.randomize_state();
         RunOptions run;
         run.max_steps = options.max_steps;
@@ -162,8 +165,9 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
         }
 
         // Equivalence: incremental engine vs full-scan oracle, same seed.
-        const std::string mismatch = lockstep_mismatch(
-            g, *protocol, daemon_name, seed, options.lockstep_steps);
+        const std::string mismatch =
+            lockstep_mismatch(g, *protocol, daemon_name, seed,
+                              options.lockstep_steps, options.sweep_mode);
         if (!mismatch.empty()) violate("equivalence", mismatch);
       }
     }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/engine.hpp"
 #include "support/params.hpp"
 
 namespace sss::testing {
@@ -51,6 +52,12 @@ struct HarnessOptions {
   ParamMap params;
   /// Graphs to sweep; empty = harness_menagerie().
   std::vector<Graph> menagerie;
+  /// Probe-refresh strategy applied to every (fast) Engine the grid
+  /// drives — the convergence/closure runner and the lockstep engine
+  /// alike. kForceBulk pins opted-in protocols to the bulk guard sweep,
+  /// so the whole property grid doubles as a sweep-correctness oracle
+  /// against the scalar-path ReferenceEngine.
+  SweepMode sweep_mode = SweepMode::kAuto;
 };
 
 struct HarnessViolation {

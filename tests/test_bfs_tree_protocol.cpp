@@ -11,6 +11,7 @@
 
 #include "baselines/full_read_bfs_tree.hpp"
 #include "core/bfs_tree_protocol.hpp"
+#include "core/bounds.hpp"
 #include "core/protocol_registry.hpp"
 #include "graph/builders.hpp"
 #include "runtime/engine.hpp"
@@ -40,7 +41,8 @@ TEST(BfsTreeProtocol, ConstructionContracts) {
 }
 
 /// Runs one (daemon, seed) trial to certified silence and checks the
-/// result against the predicate and the k = 2 read certificate.
+/// result against the predicate, the k = 2 read certificate, and the
+/// closed-form round bound of src/core/bounds.hpp.
 void expect_converges(const Graph& g, const Protocol& protocol,
                       const std::string& daemon_name, std::uint64_t seed,
                       int max_reads) {
@@ -55,6 +57,9 @@ void expect_converges(const Graph& g, const Protocol& protocol,
       << protocol.name() << " on " << g.name() << " under " << daemon_name;
   EXPECT_LE(stats.max_reads_per_process_step, max_reads)
       << protocol.name() << " on " << g.name();
+  EXPECT_LE(static_cast<std::int64_t>(stats.rounds_to_silence),
+            bfs_tree_round_bound(g.num_vertices(), g.max_degree()))
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
 }
 
 TEST(BfsTreeProtocol, ConvergesAcrossDaemonsAndMenagerie) {

@@ -1,0 +1,228 @@
+/// The bulk guard sweep's contract (runtime/bulk.hpp): for every opted-in
+/// protocol, one `sweep_enabled` pass must reproduce — action for action
+/// and read for read — what n scalar `first_enabled` probes produce, and
+/// an Engine forced onto the bulk path must stay bit-identical to one
+/// forced onto the scalar path. Two layers of checks:
+///
+///  * direct: sweep a randomized configuration and compare per-process
+///    actions and logged read sequences against scalar GuardContext runs
+///    (this is the memo the engine replays into the read counters, so
+///    sequence equality here is metric equality there);
+///  * behavioural: kForceBulk vs kForceScalar engine lockstep over every
+///    registry protocol, daemon, and a graph menagerie — configurations,
+///    StepInfo, rounds, enabled counts, and read metrics all equal.
+///
+/// The registry-wide harness additionally runs the full property grid
+/// with the bulk path forced on (tests/test_protocol_properties.cpp) and
+/// proves falsifiability with a deliberately wrong sweep
+/// (tests/test_protocol_harness.cpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/protocol_registry.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+/// Records every read as (subject, var) — the scalar-side twin of the
+/// BulkGuardContext log.
+class RecordingLogger final : public ReadLogger {
+ public:
+  std::vector<std::pair<ProcessId, int>> reads;
+  void on_read(ProcessId, ProcessId subject, int comm_var) override {
+    reads.push_back({subject, comm_var});
+  }
+};
+
+/// Sweeps one randomized configuration and compares actions + read logs
+/// against per-process scalar probes.
+void expect_sweep_matches_scalar(const Graph& g, const Protocol& protocol,
+                                 std::uint64_t seed) {
+  const int n = g.num_vertices();
+  Configuration config(g, protocol.spec());
+  Rng rng(seed);
+  randomize_configuration(g, protocol.spec(), config, rng);
+  protocol.install_constants(g, config);
+
+  std::vector<BulkGuardContext::ReadLog> logs(static_cast<std::size_t>(n));
+  BulkGuardContext ctx(g, config, logs);
+  EnabledBitmap bitmap;
+  bitmap.reset(n);
+  protocol.sweep_enabled(ctx, bitmap);
+
+  for (ProcessId p = 0; p < n; ++p) {
+    RecordingLogger logger;
+    GuardContext guard(g, config, p, &logger);
+    const int scalar_action = protocol.first_enabled(guard);
+    EXPECT_EQ(bitmap.action(p), scalar_action)
+        << protocol.name() << " on " << g.name() << " seed " << seed
+        << ": action of process " << p;
+    EXPECT_EQ(logs[static_cast<std::size_t>(p)], logger.reads)
+        << protocol.name() << " on " << g.name() << " seed " << seed
+        << ": read log of process " << p;
+  }
+}
+
+TEST(BulkSweep, EveryRegistryProtocolOptsIn) {
+  // The whole registry is covered by the fast path; a new protocol that
+  // stays scalar should be a deliberate choice, visible here.
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const Graph g = path(4);
+    const std::unique_ptr<Protocol> protocol =
+        ProtocolRegistry::instance().make(name, g, {});
+    EXPECT_TRUE(protocol->has_bulk_sweep()) << name;
+  }
+}
+
+TEST(BulkSweep, SweepMatchesScalarProbesAcrossRegistryAndMenagerie) {
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const auto& named : testing::sweep_graphs()) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, named.graph, {});
+      if (!protocol->has_bulk_sweep()) continue;
+      for (std::uint64_t seed : {101u, 102u, 103u, 104u}) {
+        expect_sweep_matches_scalar(named.graph, *protocol, seed);
+      }
+    }
+  }
+}
+
+TEST(BulkSweep, SweepMatchesScalarForNonDefaultParameters) {
+  const Graph g = grid(3, 4);
+  const ParamMap bfs_params = {{"root", 7}};
+  const ParamMap election_params = {{"id_scheme", "random"}, {"id_seed", 5}};
+  for (std::uint64_t seed : {7u, 8u}) {
+    expect_sweep_matches_scalar(
+        g, *ProtocolRegistry::instance().make("bfs-tree", g, bfs_params),
+        seed);
+    expect_sweep_matches_scalar(
+        g,
+        *ProtocolRegistry::instance().make("leader-election", g,
+                                           election_params),
+        seed);
+    expect_sweep_matches_scalar(
+        g,
+        *ProtocolRegistry::instance().make(
+            "mis", g, {{"promote_on_higher_color", false}}),
+        seed);
+  }
+}
+
+/// Forced-bulk vs forced-scalar engines from the same seed must produce
+/// identical computations and metrics: the two refresh strategies are two
+/// implementations of the same semantics.
+void expect_mode_lockstep(const Graph& g, const Protocol& protocol,
+                          const std::string& daemon_name, std::uint64_t seed,
+                          int steps) {
+  Engine bulk(g, protocol, make_daemon(daemon_name), seed);
+  Engine scalar(g, protocol, make_daemon(daemon_name), seed);
+  bulk.set_sweep_mode(SweepMode::kForceBulk);
+  scalar.set_sweep_mode(SweepMode::kForceScalar);
+  bulk.randomize_state();
+  scalar.randomize_state();
+  ASSERT_EQ(bulk.config(), scalar.config());
+  for (int s = 0; s < steps; ++s) {
+    ASSERT_EQ(bulk.num_enabled(), scalar.num_enabled())
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " step " << s;
+    const Engine::StepInfo a = bulk.step();
+    const Engine::StepInfo b = scalar.step();
+    ASSERT_EQ(a.selected, b.selected)
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " step " << s;
+    ASSERT_EQ(a.fired, b.fired);
+    ASSERT_EQ(a.comm_changed, b.comm_changed);
+    ASSERT_EQ(bulk.config(), scalar.config())
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " step " << s;
+    ASSERT_EQ(bulk.rounds(), scalar.rounds());
+    ASSERT_EQ(bulk.read_counter().total_reads(),
+              scalar.read_counter().total_reads());
+    ASSERT_EQ(bulk.read_counter().total_bits(),
+              scalar.read_counter().total_bits());
+    ASSERT_EQ(bulk.read_counter().max_reads_per_process_step(),
+              scalar.read_counter().max_reads_per_process_step());
+  }
+}
+
+TEST(BulkSweep, ForcedBulkEngineLockstepsForcedScalarEngine) {
+  const std::vector<testing::NamedGraph> graphs = testing::sweep_graphs();
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const auto& named : {graphs[0], graphs[4], graphs[6]}) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, named.graph, {});
+      if (!protocol->has_bulk_sweep()) continue;
+      for (const std::string& daemon_name : daemon_names()) {
+        expect_mode_lockstep(named.graph, *protocol, daemon_name, 909, 64);
+      }
+    }
+  }
+}
+
+TEST(BulkSweep, AutoModeStaysOnComputationUnderEveryDaemon) {
+  // kAuto flips between the two paths step by step (central daemons keep
+  // the dirty set tiny, co-firing daemons blow it past the threshold);
+  // the trajectory must not care.
+  const Graph g = grid(3, 4);
+  const std::unique_ptr<Protocol> protocol =
+      ProtocolRegistry::instance().make("matching", g, {});
+  for (const std::string& daemon_name : daemon_names()) {
+    Engine auto_mode(g, *protocol, make_daemon(daemon_name), 4242);
+    Engine scalar(g, *protocol, make_daemon(daemon_name), 4242);
+    scalar.set_sweep_mode(SweepMode::kForceScalar);
+    auto_mode.randomize_state();
+    scalar.randomize_state();
+    for (int s = 0; s < 128; ++s) {
+      auto_mode.step();
+      scalar.step();
+      ASSERT_EQ(auto_mode.config(), scalar.config())
+          << daemon_name << " step " << s;
+    }
+    ASSERT_EQ(auto_mode.read_counter().total_reads(),
+              scalar.read_counter().total_reads());
+  }
+}
+
+TEST(BulkSweep, ForceBulkOnScalarOnlyProtocolFallsBack) {
+  // A protocol without a sweep ignores the preference — no assert, same
+  // behaviour.
+  const Graph g = path(5);
+  const testing::CopyChannelOne protocol(g);
+  ASSERT_FALSE(protocol.has_bulk_sweep());
+  Engine forced(g, protocol, make_synchronous_daemon(), 11);
+  Engine plain(g, protocol, make_synchronous_daemon(), 11);
+  forced.set_sweep_mode(SweepMode::kForceBulk);
+  forced.randomize_state();
+  plain.randomize_state();
+  for (int s = 0; s < 32; ++s) {
+    forced.step();
+    plain.step();
+    ASSERT_EQ(forced.config(), plain.config()) << "step " << s;
+  }
+}
+
+TEST(BulkSweep, EnabledBitmapBasics) {
+  EnabledBitmap bitmap;
+  bitmap.reset(3);
+  EXPECT_EQ(bitmap.universe(), 3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_FALSE(bitmap.enabled(p));
+    EXPECT_EQ(bitmap.action(p), Protocol::kDisabled);
+  }
+  bitmap.set_action(1, 4);
+  EXPECT_TRUE(bitmap.enabled(1));
+  EXPECT_EQ(bitmap.action(1), 4);
+  bitmap.reset(2);
+  EXPECT_EQ(bitmap.universe(), 2);
+  EXPECT_FALSE(bitmap.enabled(1));
+}
+
+}  // namespace
+}  // namespace sss

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "baselines/full_read_leader_election.hpp"
+#include "core/bounds.hpp"
 #include "core/leader_election_protocol.hpp"
 #include "core/protocol_registry.hpp"
 #include "graph/builders.hpp"
@@ -47,7 +48,8 @@ TEST(LeaderElectionProtocol, IdSchemes) {
 }
 
 /// Runs one trial to certified silence, checks the predicate, the elected
-/// id, and the read certificate.
+/// id, the read certificate, and the closed-form round bound of
+/// src/core/bounds.hpp.
 void expect_elects(const Graph& g, const Protocol& protocol, Value min_id,
                    const std::string& daemon_name, std::uint64_t seed,
                    int max_reads) {
@@ -63,6 +65,9 @@ void expect_elects(const Graph& g, const Protocol& protocol, Value min_id,
   EXPECT_EQ(extract_agreed_leader(g, engine.config()), min_id);
   EXPECT_LE(stats.max_reads_per_process_step, max_reads)
       << protocol.name() << " on " << g.name();
+  EXPECT_LE(static_cast<std::int64_t>(stats.rounds_to_silence),
+            leader_election_round_bound(g.num_vertices(), g.max_degree()))
+      << protocol.name() << " on " << g.name() << " under " << daemon_name;
 }
 
 TEST(LeaderElectionProtocol, ElectsTheMinimumIdEverywhere) {

@@ -113,6 +113,40 @@ class InstantlySilent final : public Protocol {
   ProtocolSpec spec_;
 };
 
+/// Scalar guard drives X to 1 and goes quiet; the bulk sweep claims the
+/// other action whenever X != 2 — a planted bulk/scalar divergence. On
+/// the scalar path the protocol is well behaved, so only a grid that
+/// actually exercises the bulk path can flag it: the falsifiability
+/// proof for the SweepMode::kForceBulk harness leg.
+class WrongSweep final : public Protocol {
+ public:
+  explicit WrongSweep(const Graph&) {
+    spec_.comm.emplace_back("X", VarDomain{0, 3});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "WRONG-SWEEP";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 2; }
+  int first_enabled(GuardContext& ctx) const override {
+    return ctx.self_comm(0) != 1 ? 0 : kDisabled;
+  }
+  void execute(int action, ActionContext& ctx) const override {
+    ctx.set_comm(0, action == 0 ? 1 : 2);
+  }
+  bool has_bulk_sweep() const override { return true; }
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override {
+    const Configuration& cfg = ctx.config();
+    for (ProcessId p = 0; p < ctx.graph().num_vertices(); ++p) {
+      if (cfg.comm(p, 0) != 2) out.set_action(p, 1);
+    }
+  }
+
+ private:
+  ProtocolSpec spec_;
+};
+
 /// Installs the toy registry entries once per process.
 void register_toys() {
   ProblemRegistry& problems = ProblemRegistry::instance();
@@ -137,6 +171,11 @@ void register_toys() {
         "instantly-silent", {}, "vertex-coloring",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<InstantlySilent>(g);
+        });
+    protocols.register_protocol(
+        "wrong-sweep", {}, "always-true",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<WrongSweep>(g);
         });
   }
 }
@@ -193,6 +232,31 @@ TEST(ProtocolHarnessFalsifiability, FlagsLegitimacyViolation) {
   for (const testing::HarnessViolation& violation : report.violations) {
     EXPECT_EQ(violation.check, "legitimacy") << report.str();
   }
+}
+
+TEST(ProtocolHarnessFalsifiability, FlagsWrongBulkSweep) {
+  register_toys();
+  // On the scalar path the planted sweep never runs: the toy converges,
+  // closes, and lockstep-matches the oracle.
+  testing::HarnessOptions options = toy_options();
+  options.sweep_mode = SweepMode::kForceScalar;
+  const testing::HarnessReport scalar_report =
+      testing::run_protocol_property_suite("wrong-sweep", options);
+  EXPECT_TRUE(scalar_report.ok()) << scalar_report.str();
+
+  // Forcing the bulk path must surface the divergence in every trial —
+  // the ReferenceEngine lockstep is the sweep's oracle.
+  options.sweep_mode = SweepMode::kForceBulk;
+  const testing::HarnessReport bulk_report =
+      testing::run_protocol_property_suite("wrong-sweep", options);
+  ASSERT_FALSE(bulk_report.ok())
+      << "the harness certified a protocol whose bulk sweep disagrees "
+         "with its scalar guards";
+  bool saw_equivalence = false;
+  for (const testing::HarnessViolation& violation : bulk_report.violations) {
+    if (violation.check == "equivalence") saw_equivalence = true;
+  }
+  EXPECT_TRUE(saw_equivalence) << bulk_report.str();
 }
 
 TEST(ProtocolHarnessFalsifiability, RealProtocolsPassTheSameToyGrid) {

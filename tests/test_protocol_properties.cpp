@@ -56,6 +56,24 @@ TEST(ProtocolPropertySuite, ConvergenceClosureSilenceEquivalenceGrid) {
   EXPECT_EQ(total_trials, 720 - 24);
 }
 
+TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
+  // The same registry-wide grid with every engine pinned to the bulk
+  // guard sweep: convergence/legitimacy/closure prove the sweep drives
+  // real computations correctly, and the per-trial ReferenceEngine
+  // lockstep proves bulk refreshes are bit-identical to scalar probes —
+  // configs, rounds, and read metrics alike. Falsifiability of this leg
+  // is proven by the wrong-sweep toy in tests/test_protocol_harness.cpp.
+  testing::HarnessOptions options;
+  options.sweep_mode = SweepMode::kForceBulk;
+  options.seeds_per_daemon = 1;
+  const std::vector<testing::HarnessReport> reports =
+      testing::run_registry_property_suite(options);
+  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  for (const testing::HarnessReport& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.str();
+  }
+}
+
 TEST(ProtocolPropertySuite, NonDefaultParametersRunTheSameGrid) {
   // The harness forwards registry parameters, so parameterized variants
   // (non-zero root, shuffled identifiers) get the same coverage.

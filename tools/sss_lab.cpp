@@ -7,6 +7,7 @@
 ///                             [--quiet]
 ///   sss_lab validate manifest.json
 ///   sss_lab list
+///   sss_lab diff a.jsonl b.jsonl [--quiet]
 ///
 /// `run` expands the manifest (analysis/plan.hpp), executes it on the
 /// sharded batch runner, prints a per-item summary table, and streams
@@ -16,17 +17,28 @@
 /// diffs. `validate` expands without running; `list` prints every
 /// registered graph family, protocol, problem, and daemon name.
 ///
-/// Exit codes: 0 success; 2 usage, manifest, or I/O error.
+/// `diff` compares two JSONL result streams row by row, keyed by the
+/// (item, trial) coordinates every JsonlSink row carries, so two streams
+/// are comparable regardless of the thread/shard completion order they
+/// were written in. It reports rows only present on one side and rows
+/// whose fields changed (naming each changed field old -> new).
+///
+/// Exit codes: 0 success (diff: streams identical); 1 (diff only):
+/// differences found; 2 usage, manifest, or I/O error.
 
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/plan.hpp"
 #include "analysis/sink.hpp"
+#include "support/json.hpp"
 #include "core/problem_registry.hpp"
 #include "core/protocol_registry.hpp"
 #include "graph/family_registry.hpp"
@@ -51,7 +63,11 @@ int usage() {
       "      --shards <n>      work-stealing shards (0 = one per item)\n"
       "      --quiet           suppress the summary table\n"
       "  validate <manifest.json>        expand only; print the plan shape\n"
-      "  list                            print all registered names\n");
+      "  list                            print all registered names\n"
+      "  diff <a.jsonl> <b.jsonl> [--quiet]\n"
+      "                                  compare two result streams keyed\n"
+      "                                  by (item, trial); exit 1 on any\n"
+      "                                  difference\n");
   return 2;
 }
 
@@ -209,6 +225,165 @@ int run_command(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// One parsed result row: its (item, trial) key and the flat scalar
+/// fields, rendered back to canonical strings for comparison and display.
+struct DiffRow {
+  int line = 0;
+  std::vector<std::pair<std::string, std::string>> fields;  // document order
+};
+
+using DiffKey = std::pair<std::int64_t, std::int64_t>;
+
+/// Renders a scalar JSON value canonically: integers without exponent,
+/// other numbers via ostream, strings quoted, bools/null as literals.
+std::string scalar_to_string(const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case JsonValue::Kind::kNumber: {
+      const double d = value.as_double();
+      // Integers render exactly; the int64 range check must precede the
+      // cast (casting an out-of-range double is undefined behaviour).
+      if (d >= -9.2e18 && d <= 9.2e18 &&
+          d == static_cast<double>(static_cast<std::int64_t>(d))) {
+        return std::to_string(static_cast<std::int64_t>(d));
+      }
+      // Shortest round-trip rendering: two doubles compare equal here
+      // iff they are the same value, so a difference in any digit is a
+      // reported diff.
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+      return buffer;
+    }
+    case JsonValue::Kind::kString:
+      return json_quote(value.as_string());
+    default:
+      throw PreconditionError(
+          "result rows must hold scalar fields only (JsonlSink contract), "
+          "found a nested " +
+          std::string(JsonValue::kind_name(value.kind())) + " at " +
+          value.where());
+  }
+}
+
+/// Parses one JSONL result stream into key -> row. Duplicate keys are an
+/// error: the sink writes each (item, trial) exactly once.
+std::map<DiffKey, DiffRow> load_result_stream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SSS_REQUIRE(in.good(), "cannot open result stream \"" + path + "\"");
+  std::map<DiffKey, DiffRow> rows;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = JsonValue::parse(line);
+    } catch (const std::exception& error) {
+      throw PreconditionError(path + ":" + std::to_string(line_number) +
+                              ": " + error.what());
+    }
+    SSS_REQUIRE(doc.is_object(), path + ":" + std::to_string(line_number) +
+                                     ": result rows must be JSON objects");
+    DiffRow row;
+    row.line = line_number;
+    for (const auto& [name, value] : doc.members()) {
+      row.fields.emplace_back(name, scalar_to_string(value));
+    }
+    const DiffKey key{doc.at("item").as_int(), doc.at("trial").as_int()};
+    SSS_REQUIRE(rows.emplace(key, std::move(row)).second,
+                path + ":" + std::to_string(line_number) +
+                    ": duplicate (item, trial) = (" +
+                    std::to_string(key.first) + ", " +
+                    std::to_string(key.second) + ")");
+  }
+  SSS_REQUIRE(!in.bad(), "read error on \"" + path + "\"");
+  return rows;
+}
+
+std::string key_label(const DiffKey& key) {
+  return "(item " + std::to_string(key.first) + ", trial " +
+         std::to_string(key.second) + ")";
+}
+
+int diff_command(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  bool quiet = false;
+  for (const std::string& arg : args) {
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw PreconditionError("unknown option \"" + arg + "\"");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  SSS_REQUIRE(paths.size() == 2, "diff needs exactly two stream paths");
+
+  const std::map<DiffKey, DiffRow> a = load_result_stream(paths[0]);
+  const std::map<DiffKey, DiffRow> b = load_result_stream(paths[1]);
+
+  int removed = 0;
+  int added = 0;
+  int changed = 0;
+  const auto report = [&](const char* format, auto&&... args_pack) {
+    if (!quiet) std::printf(format, args_pack...);
+  };
+  for (const auto& [key, row_a] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      ++removed;
+      report("- %s only in %s (line %d)\n", key_label(key).c_str(),
+             paths[0].c_str(), row_a.line);
+      continue;
+    }
+    const DiffRow& row_b = it->second;
+    // Field-by-field: compare by name so added/removed columns are
+    // reported alongside changed values.
+    std::map<std::string, std::string> fields_b(row_b.fields.begin(),
+                                                row_b.fields.end());
+    std::vector<std::string> deltas;
+    for (const auto& [name, value_a] : row_a.fields) {
+      const auto field_it = fields_b.find(name);
+      if (field_it == fields_b.end()) {
+        deltas.push_back(name + ": " + value_a + " -> (absent)");
+      } else {
+        if (field_it->second != value_a) {
+          deltas.push_back(name + ": " + value_a + " -> " +
+                           field_it->second);
+        }
+        fields_b.erase(field_it);
+      }
+    }
+    for (const auto& [name, value_b] : fields_b) {
+      deltas.push_back(name + ": (absent) -> " + value_b);
+    }
+    if (!deltas.empty()) {
+      ++changed;
+      report("~ %s changed: %s\n", key_label(key).c_str(),
+             join(deltas, "; ").c_str());
+    }
+  }
+  for (const auto& [key, row_b] : b) {
+    if (a.find(key) == a.end()) {
+      ++added;
+      report("+ %s only in %s (line %d)\n", key_label(key).c_str(),
+             paths[1].c_str(), row_b.line);
+    }
+  }
+
+  if (removed == 0 && added == 0 && changed == 0) {
+    report("identical: %zu rows\n", a.size());
+    return 0;
+  }
+  std::printf("diff: %d removed, %d added, %d changed (of %zu vs %zu rows)\n",
+              removed, added, changed, a.size(), b.size());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +403,7 @@ int main(int argc, char** argv) {
       print_list();
       return 0;
     }
+    if (command == "diff") return diff_command(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sss_lab: %s\n", error.what());
     return 2;
