@@ -89,6 +89,12 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
     SSS_REQUIRE(!item.daemons.empty() && item.seeds_per_daemon >= 1,
                 "batch item needs at least one daemon and one seed");
     SSS_REQUIRE(item.extra_steps >= 0, "extra_steps cannot be negative");
+    if (item.churn_enabled) {
+      SSS_REQUIRE(item.extra_steps == 0,
+                  "extra_steps and churn windows cannot be combined");
+      SSS_REQUIRE(item.churn.topology_weight == 0 || item.protocol_factory,
+                  "topology churn needs a protocol_factory on the item");
+    }
   }
 
   // Per-item effective run options: a problem supplies the legitimacy
@@ -136,6 +142,7 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
   }
 
   std::vector<RunStats> results(static_cast<std::size_t>(total));
+  std::vector<ChurnStats> churn_results(static_cast<std::size_t>(total));
   // The streaming hook may be called from any worker; one mutex serializes
   // the calls so sinks never need their own locking. Rows arrive in
   // completion order — the (item, trial) indices they carry make the
@@ -149,17 +156,46 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
                      static_cast<std::size_t>(item.seeds_per_daemon)];
     const std::uint64_t engine_seed =
         item.base_seed + 1 + static_cast<std::uint64_t>(ref.index_in_item);
-    Engine engine(*item.graph, *item.protocol, make_daemon(daemon_name),
-                  engine_seed);
-    engine.set_exclude_frozen(item.exclude_frozen);
-    engine.randomize_state();
-    RunStats stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
-    if (item.extra_steps > 0) {
-      for (int e = 0; e < item.extra_steps; ++e) engine.step();
-      stats.max_reads_per_process_step =
-          engine.read_counter().max_reads_per_process_step();
-      stats.max_bits_per_process_step =
-          engine.read_counter().max_bits_per_process_step();
+    RunStats stats;
+    if (item.churn_enabled) {
+      // Per-trial churn stream: derived from the item's churn seed and the
+      // trial's engine seed alone, so churn windows inherit the batch
+      // runner's thread/shard invariance.
+      ChurnOptions churn = item.churn;
+      std::uint64_t seed_state =
+          churn.seed ^ (0x9e3779b97f4a7c15ULL * (engine_seed + 1));
+      churn.seed = splitmix64(seed_state);
+      churn.exclude_frozen = item.exclude_frozen;
+      const LegitimacyPredicate& legitimacy =
+          runs[static_cast<std::size_t>(ref.item)].legitimacy;
+      auto drive = [&](auto& runner) {
+        stats = runner.stabilize();
+        runner.run_window();
+        churn_results[static_cast<std::size_t>(global)] = runner.stats();
+      };
+      if (item.protocol_factory) {
+        ChurnRunner<Engine> runner(*item.graph, item.protocol_factory,
+                                   daemon_name, engine_seed, churn,
+                                   legitimacy);
+        drive(runner);
+      } else {
+        ChurnRunner<Engine> runner(*item.graph, *item.protocol, daemon_name,
+                                   engine_seed, churn, legitimacy);
+        drive(runner);
+      }
+    } else {
+      Engine engine(*item.graph, *item.protocol, make_daemon(daemon_name),
+                    engine_seed);
+      engine.set_exclude_frozen(item.exclude_frozen);
+      engine.randomize_state();
+      stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
+      if (item.extra_steps > 0) {
+        for (int e = 0; e < item.extra_steps; ++e) engine.step();
+        stats.max_reads_per_process_step =
+            engine.read_counter().max_reads_per_process_step();
+        stats.max_bits_per_process_step =
+            engine.read_counter().max_bits_per_process_step();
+      }
     }
     results[static_cast<std::size_t>(global)] = stats;
     if (options.on_trial) {
@@ -172,6 +208,10 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
       row.daemon = daemon_name;
       row.engine_seed = engine_seed;
       row.stats = stats;
+      row.churn = item.churn_enabled;
+      if (item.churn_enabled) {
+        row.churn_stats = churn_results[static_cast<std::size_t>(global)];
+      }
       const std::lock_guard<std::mutex> lock(stream_mutex);
       options.on_trial(row);
     }
@@ -218,9 +258,15 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
   BatchResult out;
   out.total_trials = total;
   out.summaries.reserve(items.size());
+  out.churn_summaries.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     out.summaries.push_back(summarize_runs(
         results.data() + item_offset[i], item_offset[i + 1] - item_offset[i]));
+    out.churn_summaries.push_back(
+        items[i].churn_enabled
+            ? summarize_churn(churn_results.data() + item_offset[i],
+                              item_offset[i + 1] - item_offset[i])
+            : ChurnSweepSummary{});
   }
   return out;
 }

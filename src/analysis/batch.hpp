@@ -37,6 +37,7 @@
 
 #include "analysis/experiment.hpp"
 #include "core/problems.hpp"
+#include "runtime/churn.hpp"
 #include "runtime/engine.hpp"
 
 namespace sss {
@@ -61,6 +62,20 @@ struct BatchItem {
   /// Forwarded to Engine::set_exclude_frozen for every trial (opt-in
   /// verified-self-loop exclusion; see engine.hpp).
   bool exclude_frozen = false;
+
+  /// Churn-window mode (runtime/churn.hpp): each trial stabilizes first
+  /// (that phase fills the trial's RunStats), then runs a measured window
+  /// under the item's churn schedule; the resulting ChurnStats ride along
+  /// on the trial rows and reduce into BatchResult::churn_summaries. The
+  /// per-trial churn stream is derived from `churn.seed` and the trial's
+  /// engine seed, so churn results share the batch runner's
+  /// thread/shard-count invariance. `extra_steps` must be 0 in churn mode.
+  bool churn_enabled = false;
+  ChurnOptions churn;
+  /// Topology churn (churn.topology_weight > 0) must rebuild the protocol
+  /// per topology; required then, optional otherwise (when present, churn
+  /// trials always use the owning-mode runner).
+  ProtocolFactory protocol_factory;
 };
 
 /// Converts a `sweep_convergence` call into the equivalent batch item.
@@ -81,7 +96,11 @@ struct BatchTrialRow {
   std::string protocol;  ///< Protocol::name()
   std::string daemon;    ///< daemon name of this trial
   std::uint64_t engine_seed = 0;  ///< exact seed the trial's engine used
+  /// Stabilization-phase stats (churn trials) or the whole run (others).
   RunStats stats;
+  /// Whether this trial ran a churn window (churn_stats is meaningful).
+  bool churn = false;
+  ChurnStats churn_stats;
 };
 
 struct BatchOptions {
@@ -107,6 +126,9 @@ struct BatchOptions {
 struct BatchResult {
   /// One summary per item, in item order.
   std::vector<SweepSummary> summaries;
+  /// One churn summary per item, in item order; all-zero for items that
+  /// did not run churn windows.
+  std::vector<ChurnSweepSummary> churn_summaries;
   int total_trials = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -21,7 +22,7 @@ namespace {
 const std::vector<std::string> kRunKeys = {
     "daemons",    "seeds_per_daemon",    "base_seed",
     "max_steps",  "stop_on_silence",     "quiescence_patience",
-    "extra_steps", "exclude_frozen"};
+    "extra_steps", "exclude_frozen",     "churn"};
 
 void require_known_keys(const JsonValue& object,
                         const std::vector<std::string>& allowed,
@@ -42,7 +43,70 @@ struct RunDefaults {
   RunOptions run;
   int extra_steps = 0;
   bool exclude_frozen = false;
+  bool churn_enabled = false;
+  ChurnOptions churn;
 };
+
+/// Parses a "churn" block (see plan.hpp for the schema). Strict like the
+/// rest of the manifest: unknown keys throw.
+ChurnOptions parse_churn(const JsonValue& object) {
+  require_known_keys(
+      object,
+      {"event_probability", "period", "window_steps", "seed", "max_victims",
+       "corruption_weight", "node_reset_weight", "topology_weight",
+       "stabilize_steps", "recovery_patience"},
+      "\"churn\"");
+  ChurnOptions churn;
+  churn.corruption_weight = 1;
+  if (const JsonValue* p = object.find("event_probability")) {
+    churn.event_probability = p->as_double();
+    SSS_REQUIRE(churn.event_probability > 0.0 && churn.event_probability <= 1.0,
+                "\"event_probability\" must be in (0, 1]");
+  }
+  if (const JsonValue* period = object.find("period")) {
+    SSS_REQUIRE(period->as_int() >= 1, "\"period\" must be >= 1");
+    churn.period = static_cast<std::uint64_t>(period->as_int());
+  }
+  SSS_REQUIRE((churn.event_probability > 0.0) != (churn.period > 0),
+              "\"churn\" needs exactly one of \"event_probability\" and "
+              "\"period\"");
+  if (const JsonValue* window = object.find("window_steps")) {
+    SSS_REQUIRE(window->as_int() >= 1, "\"window_steps\" must be >= 1");
+    churn.window_steps = static_cast<std::uint64_t>(window->as_int());
+  }
+  if (const JsonValue* seed = object.find("seed")) {
+    SSS_REQUIRE(seed->as_int() >= 0, "churn \"seed\" cannot be negative");
+    churn.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  if (const JsonValue* victims = object.find("max_victims")) {
+    SSS_REQUIRE(victims->as_int() >= 1, "\"max_victims\" must be >= 1");
+    churn.max_victims = static_cast<int>(victims->as_int());
+  }
+  const auto weight = [&](const char* key, int fallback) {
+    const JsonValue* value = object.find(key);
+    if (value == nullptr) return fallback;
+    SSS_REQUIRE(value->as_int() >= 0,
+                std::string("\"") + key + "\" cannot be negative");
+    return static_cast<int>(value->as_int());
+  };
+  churn.corruption_weight = weight("corruption_weight", 1);
+  churn.node_reset_weight = weight("node_reset_weight", 0);
+  churn.topology_weight = weight("topology_weight", 0);
+  SSS_REQUIRE(churn.corruption_weight + churn.node_reset_weight +
+                      churn.topology_weight >
+                  0,
+              "\"churn\" needs at least one positive event weight");
+  if (const JsonValue* stabilize = object.find("stabilize_steps")) {
+    SSS_REQUIRE(stabilize->as_int() >= 1, "\"stabilize_steps\" must be >= 1");
+    churn.stabilize_steps = static_cast<std::uint64_t>(stabilize->as_int());
+  }
+  if (const JsonValue* patience = object.find("recovery_patience")) {
+    SSS_REQUIRE(patience->as_int() >= 0,
+                "\"recovery_patience\" cannot be negative");
+    churn.recovery_patience = static_cast<std::uint64_t>(patience->as_int());
+  }
+  return churn;
+}
 
 std::vector<std::string> parse_daemons(const JsonValue& value) {
   std::vector<std::string> daemons;
@@ -96,6 +160,17 @@ RunDefaults apply_run_keys(RunDefaults base, const JsonValue& object) {
   }
   if (const JsonValue* frozen = object.find("exclude_frozen")) {
     base.exclude_frozen = frozen->as_bool();
+  }
+  if (const JsonValue* churn = object.find("churn")) {
+    // A churn block replaces any inherited one wholesale (null disables):
+    // merging schedules field-by-field would make "defaults says Bernoulli,
+    // sweep says periodic" silently ambiguous.
+    if (churn->is_null()) {
+      base.churn_enabled = false;
+    } else {
+      base.churn_enabled = true;
+      base.churn = parse_churn(*churn);
+    }
   }
   return base;
 }
@@ -224,6 +299,22 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
           ProblemRegistry::instance().make(problem_name->as_string()));
     }
   }
+  // Churn availability is "fraction of window steps in a legitimate
+  // configuration", which needs a predicate; a churn sweep without an
+  // explicit "problem" binds each protocol's registered problem instead
+  // (one sweep may mix protocols of different problems).
+  std::map<std::string, const Problem*> default_problems;
+  auto problem_for = [&](const std::string& protocol_name) -> const Problem* {
+    if (problem != nullptr || !defaults.churn_enabled) return problem;
+    const std::string& name =
+        ProtocolRegistry::instance().info(protocol_name).problem;
+    if (name.empty()) return nullptr;
+    auto [it, fresh] = default_problems.try_emplace(name, nullptr);
+    if (fresh) {
+      it->second = &plan.store.add(ProblemRegistry::instance().make(name));
+    }
+    return it->second;
+  };
 
   const JsonValue& graphs = sweep.at("graphs");
   SSS_REQUIRE(!graphs.items().empty(), "\"graphs\" cannot be empty");
@@ -237,21 +328,33 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
       const Graph& graph = plan.store.add(
           GraphFamilyRegistry::instance().build(family, params));
       for (const JsonValue& protocol_spec : protocols.items()) {
+        const std::string& protocol_name =
+            protocol_spec.at("name").as_string();
+        const ParamMap params = protocol_params(protocol_spec);
         const Protocol& protocol = plan.store.add(
-            ProtocolRegistry::instance().make(
-                protocol_spec.at("name").as_string(), graph,
-                protocol_params(protocol_spec)));
+            ProtocolRegistry::instance().make(protocol_name, graph, params));
         BatchItem item;
         item.label = protocol.name() + "/" + graph.name();
         item.graph = &graph;
         item.protocol = &protocol;
-        item.problem = problem;
+        item.problem = problem_for(protocol_name);
         item.daemons = defaults.daemons;
         item.seeds_per_daemon = defaults.seeds_per_daemon;
         item.run = defaults.run;
         item.base_seed = defaults.base_seed;
         item.extra_steps = defaults.extra_steps;
         item.exclude_frozen = defaults.exclude_frozen;
+        if (defaults.churn_enabled) {
+          item.churn_enabled = true;
+          item.churn = defaults.churn;
+          // Registry-backed factory so churn windows can rebuild the
+          // protocol on churned topologies (and so every churn trial runs
+          // the owning-mode runner uniformly).
+          item.protocol_factory = [protocol_name, params](const Graph& g) {
+            return ProtocolRegistry::instance().make(protocol_name, g,
+                                                     params);
+          };
+        }
         sweep_items.push_back(std::move(item));
       }
     }

@@ -37,7 +37,29 @@
 /// daemon names), "seeds_per_daemon", "base_seed", "base_seeds" (per-sweep
 /// only: one base seed per expanded item, for plans that pin historical
 /// seeds), "max_steps", "stop_on_silence", "quiescence_patience",
-/// "extra_steps", "exclude_frozen".
+/// "extra_steps", "exclude_frozen", "churn".
+///
+/// The "churn" key switches a sweep's trials into churn-window mode
+/// (runtime/churn.hpp): every trial stabilizes first, then runs a measured
+/// window under continuous disruption, and the sinks gain availability/
+/// recovery columns. Its value is an object (strict, like everything
+/// else):
+///
+///   "churn": {
+///     "event_probability": 0.002,   // XOR "period": N (exactly one)
+///     "window_steps": 2000,         // optional, default 2000
+///     "seed": 1234,                 // optional churn-stream seed
+///     "max_victims": 2,             // optional, default 2
+///     "corruption_weight": 1,       // optional event-kind weights;
+///     "node_reset_weight": 0,       //   at least one must be positive
+///     "topology_weight": 0,         //   (topology = edge/node churn)
+///     "stabilize_steps": 400000,    // optional phase-0 budget
+///     "recovery_patience": 0        // optional, 0 = max(16, n)
+///   }
+///
+/// A sweep-level "churn" replaces an inherited defaults-level block
+/// wholesale; "churn": null disables churn for that sweep. "extra_steps"
+/// cannot be combined with churn mode.
 ///
 /// Daemon lists are validated against the registered daemon names only —
 /// deliberately NOT against ProtocolRegistry::Entry::daemons, the

@@ -4,10 +4,12 @@
 
 #include "support/json.hpp"
 #include "support/require.hpp"
+#include "support/string_util.hpp"
 
 namespace sss {
 
-void ResultSink::on_item(int, const BatchItem&, const SweepSummary&) {}
+void ResultSink::on_item(int, const BatchItem&, const SweepSummary&,
+                         const ChurnSweepSummary&) {}
 void ResultSink::finish() {}
 
 namespace {
@@ -42,6 +44,30 @@ constexpr TrialField kIntFields[] = {
      [](const BatchTrialRow& r) {
        return static_cast<std::uint64_t>(r.stats.max_bits_per_process_step);
      }},
+    // Churn-window columns: always emitted (all zero for non-churn trials)
+    // so a plan mixing churn and plain sweeps stays column-identical.
+    {"churn_window_steps",
+     [](const BatchTrialRow& r) { return r.churn_stats.window_steps; }},
+    {"churn_legitimate_steps",
+     [](const BatchTrialRow& r) { return r.churn_stats.legitimate_steps; }},
+    {"churn_disruptions",
+     [](const BatchTrialRow& r) { return r.churn_stats.disruptions; }},
+    {"churn_topology_events",
+     [](const BatchTrialRow& r) { return r.churn_stats.topology_events(); }},
+    {"churn_recoveries",
+     [](const BatchTrialRow& r) { return r.churn_stats.recoveries; }},
+    {"churn_recovery_rounds_p50",
+     [](const BatchTrialRow& r) {
+       return r.churn_stats.recovery_rounds_percentile(50.0);
+     }},
+    {"churn_recovery_rounds_p99",
+     [](const BatchTrialRow& r) {
+       return r.churn_stats.recovery_rounds_percentile(99.0);
+     }},
+    {"churn_recovery_reads",
+     [](const BatchTrialRow& r) { return r.churn_stats.recovery_reads; }},
+    {"churn_idle_reads",
+     [](const BatchTrialRow& r) { return r.churn_stats.idle_reads; }},
 };
 
 }  // namespace
@@ -102,7 +128,8 @@ BenchJsonSink::BenchJsonSink(std::string bench_name, std::string directory)
     : writer_(std::move(bench_name)), directory_(std::move(directory)) {}
 
 void BenchJsonSink::on_item(int, const BatchItem& item,
-                            const SweepSummary& summary) {
+                            const SweepSummary& summary,
+                            const ChurnSweepSummary& churn) {
   writer_.record()
       .field("label", item.label)
       .field("graph", item.graph->name())
@@ -118,6 +145,32 @@ void BenchJsonSink::on_item(int, const BatchItem& item,
       .field("bits_measured", summary.bits_measured)
       .field("mean_total_reads", summary.mean_total_reads)
       .field("mean_total_bits", summary.mean_total_bits);
+  if (item.churn_enabled) {
+    // Identity fields (strings key bench_diff records): a churn plan
+    // typically sweeps the same protocol/graph under several daemon and
+    // schedule cells, which must not collide into one record.
+    const std::string schedule =
+        item.churn.period > 0
+            ? "period=" + std::to_string(item.churn.period)
+            : "p=" + std::to_string(item.churn.event_probability);
+    writer_.field("daemons", join(item.daemons, ","))
+        .field("churn_schedule", schedule);
+    // "availability" gates higher-is-better and "recovery_rounds_p*" gate
+    // lower-is-better in tools/bench_diff.py.
+    writer_.field("availability", churn.availability_mean)
+        .field("recovery_rounds_p50", churn.recovery_rounds_p50)
+        .field("recovery_rounds_p90", churn.recovery_rounds_p90)
+        .field("recovery_rounds_p99", churn.recovery_rounds_p99)
+        .field("reads_per_disruption", churn.reads_per_disruption)
+        .field("idle_reads_per_step", churn.idle_reads_per_step)
+        .field("disruptions", static_cast<std::int64_t>(churn.disruptions))
+        .field("recoveries", static_cast<std::int64_t>(churn.recoveries))
+        .field("skipped_events",
+               static_cast<std::int64_t>(churn.skipped_events))
+        .field("topology_events",
+               static_cast<std::int64_t>(churn.topology_events))
+        .field("initial_silent_runs", churn.initial_silent_runs);
+  }
 }
 
 void BenchJsonSink::finish() { writer_.write(directory_); }
@@ -140,7 +193,8 @@ BatchResult run_batch_to_sinks(const std::vector<BatchItem>& items,
   const BatchResult result = run_batch(items, options);
   for (std::size_t i = 0; i < items.size(); ++i) {
     for (ResultSink* sink : sinks) {
-      sink->on_item(static_cast<int>(i), items[i], result.summaries[i]);
+      sink->on_item(static_cast<int>(i), items[i], result.summaries[i],
+                    result.churn_summaries[i]);
     }
   }
   for (ResultSink* sink : sinks) sink->finish();

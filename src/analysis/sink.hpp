@@ -41,8 +41,11 @@ class ResultSink {
   virtual ~ResultSink() = default;
 
   virtual void on_trial(const BatchTrialRow& row) = 0;
+  /// `churn` is the item's churn reduction — all-zero (runs included) for
+  /// items that did not run churn windows (check item.churn_enabled).
   virtual void on_item(int item_index, const BatchItem& item,
-                       const SweepSummary& summary);
+                       const SweepSummary& summary,
+                       const ChurnSweepSummary& churn);
   virtual void finish();
 };
 
@@ -83,7 +86,8 @@ class BenchJsonSink final : public ResultSink {
 
   void on_trial(const BatchTrialRow& row) override {}
   void on_item(int item_index, const BatchItem& item,
-               const SweepSummary& summary) override;
+               const SweepSummary& summary,
+               const ChurnSweepSummary& churn) override;
   void finish() override;
 
   const BenchJsonWriter& writer() const { return writer_; }

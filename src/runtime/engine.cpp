@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/fault.hpp"
 #include "support/require.hpp"
 
 namespace sss {
@@ -57,6 +58,38 @@ void Engine::randomize_state() {
   invalidate_all_probes();
   std::fill(covered_.begin(), covered_.end(), 0);
   covered_count_ = 0;
+  steps_at_round_start_ = steps_;
+}
+
+void Engine::apply_external_corruption(const std::vector<ProcessId>& victims,
+                                       Rng& rng) {
+  corrupt_processes(graph_, protocol_.spec(), config_, victims, rng);
+  // Local cache repair: a victim's own state changed (its guard and solo
+  // answers are stale) and its communication state may have changed (its
+  // neighbors' answers are stale) — exactly the fired-process treatment
+  // in step(), applied without a firing.
+  for (const ProcessId p : victims) {
+    mark_probe_dirty(p);
+    mark_solo_dirty(p);
+    note_comm_changed(p);
+  }
+  // Round covering restarts, like set_config: the pre-fault covering
+  // history does not survive an external perturbation. Refresh first so
+  // the walk re-establishes the between-steps invariant (cached-disabled
+  // => covered) for the restarted round; unlike reset_round, no round is
+  // credited as completed. ReferenceEngine resets covering to all-zero and
+  // relies on its per-step disabled walk — both engines enter the next
+  // step with the same covered set.
+  refresh_enabled();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  covered_count_ = 0;
+  for (ProcessId p = 0; p < graph_.num_vertices(); ++p) {
+    if (!enabled_.test(p) ||
+        (exclude_frozen_ && frozen_[static_cast<std::size_t>(p)])) {
+      covered_[static_cast<std::size_t>(p)] = 1;
+      ++covered_count_;
+    }
+  }
   steps_at_round_start_ = steps_;
 }
 

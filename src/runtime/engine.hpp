@@ -161,6 +161,21 @@ class Engine {
   /// in its domain, constants re-installed.
   void randomize_state();
 
+  /// Injects a transient fault mid-run: redraws every non-constant variable
+  /// of every victim uniformly from its domain (the `corrupt_processes`
+  /// draw sequence, consumed from `rng`) and repairs the incremental caches
+  /// *locally* — the victims and their neighborhoods are re-dirtied in the
+  /// enabledness and solo-quiescence queues (the corruption touched only
+  /// their guard inputs, by the locality fact in the file comment), the
+  /// guard memos of that set are rebuilt on the next refresh, and round
+  /// covering restarts exactly as `set_config` restarts it. Unlike
+  /// `set_config` this is O(victims * Delta), not O(n), so a churn driver
+  /// can inject thousands of disruptions without full invalidation sweeps.
+  /// ReferenceEngine has the same hook with full invalidation; the churn
+  /// lockstep suites prove both repairs are step-for-step identical.
+  void apply_external_corruption(const std::vector<ProcessId>& victims,
+                                 Rng& rng);
+
   /// Executes one scheduler step. Returns whether any process fired and
   /// whether any communication variable changed.
   struct StepInfo {

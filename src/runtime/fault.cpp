@@ -26,19 +26,23 @@ void corrupt_processes(const Graph& g, const ProtocolSpec& spec,
   }
 }
 
-std::vector<ProcessId> inject_random_faults(const Graph& g,
-                                            const ProtocolSpec& spec,
-                                            Configuration& config, int count,
-                                            Rng& rng) {
-  SSS_REQUIRE(count >= 0 && count <= g.num_vertices(),
-              "fault count out of range");
-  std::vector<ProcessId> all(static_cast<std::size_t>(g.num_vertices()));
-  for (int i = 0; i < g.num_vertices(); ++i) {
+std::vector<ProcessId> choose_victims(int n, int count, Rng& rng) {
+  SSS_REQUIRE(count >= 0 && count <= n, "fault count out of range");
+  std::vector<ProcessId> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
     all[static_cast<std::size_t>(i)] = i;
   }
   shuffle(all, rng);
   std::vector<ProcessId> victims(all.begin(), all.begin() + count);
   std::sort(victims.begin(), victims.end());
+  return victims;
+}
+
+std::vector<ProcessId> inject_random_faults(const Graph& g,
+                                            const ProtocolSpec& spec,
+                                            Configuration& config, int count,
+                                            Rng& rng) {
+  std::vector<ProcessId> victims = choose_victims(g.num_vertices(), count, rng);
   corrupt_processes(g, spec, config, victims, rng);
   return victims;
 }

@@ -21,6 +21,14 @@ void corrupt_processes(const Graph& g, const ProtocolSpec& spec,
                        Configuration& config,
                        const std::vector<ProcessId>& victims, Rng& rng);
 
+/// Picks `count` distinct victims uniformly from [0, n) and returns them
+/// sorted, without corrupting anything. The selection half of
+/// `inject_random_faults`, split out so callers injecting through
+/// `Engine::apply_external_corruption` (which needs the victim list to
+/// re-dirty the affected guards) share the exact draw sequence.
+/// Requires 0 <= count <= n.
+std::vector<ProcessId> choose_victims(int n, int count, Rng& rng);
+
 /// Picks `count` distinct victims uniformly and corrupts them.
 /// Returns the victims (sorted). Requires 0 <= count <= n.
 std::vector<ProcessId> inject_random_faults(const Graph& g,

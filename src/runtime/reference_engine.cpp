@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/fault.hpp"
 #include "runtime/quiescence.hpp"
 #include "support/require.hpp"
 
@@ -45,6 +46,15 @@ void ReferenceEngine::set_config(const Configuration& config) {
 void ReferenceEngine::randomize_state() {
   randomize_configuration(graph_, protocol_.spec(), config_, rng_);
   protocol_.install_constants(graph_, config_);
+  invalidate_all_probes();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  covered_count_ = 0;
+  steps_at_round_start_ = steps_;
+}
+
+void ReferenceEngine::apply_external_corruption(
+    const std::vector<ProcessId>& victims, Rng& rng) {
+  corrupt_processes(graph_, protocol_.spec(), config_, victims, rng);
   invalidate_all_probes();
   std::fill(covered_.begin(), covered_.end(), 0);
   covered_count_ = 0;

@@ -41,10 +41,20 @@ class ReferenceEngine {
   ReferenceEngine(const Graph& g, const Protocol& protocol,
                   std::unique_ptr<Daemon> daemon, std::uint64_t seed);
 
+  const Graph& graph() const { return graph_; }
   const Configuration& config() const { return config_; }
 
   void set_config(const Configuration& config);
   void randomize_state();
+
+  /// Mid-run transient fault, mirroring Engine::apply_external_corruption:
+  /// identical `corrupt_processes` draws from `rng`, followed by the
+  /// reference repair — full probe invalidation and a covering restart
+  /// (this engine re-walks disabled processes every step anyway). The
+  /// churn lockstep suites drive both hooks with the same schedule and
+  /// assert step-for-step identity.
+  void apply_external_corruption(const std::vector<ProcessId>& victims,
+                                 Rng& rng);
 
   Engine::StepInfo step();
   RunStats run(const RunOptions& options);

@@ -7,6 +7,7 @@
 #include "core/protocol_registry.hpp"
 #include "graph/builders.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/reference_engine.hpp"
 
 namespace sss::testing {
@@ -180,6 +181,84 @@ std::vector<HarnessReport> run_registry_property_suite(
   std::vector<HarnessReport> reports;
   for (const std::string& name : ProtocolRegistry::instance().names()) {
     reports.push_back(run_protocol_property_suite(name, options));
+  }
+  return reports;
+}
+
+HarnessReport run_protocol_fault_closure_suite(
+    const std::string& protocol_name, const HarnessOptions& options) {
+  const ProtocolRegistry::Entry& entry =
+      ProtocolRegistry::instance().info(protocol_name);
+  HarnessReport report;
+  report.protocol = protocol_name;
+  report.problem = entry.problem;
+  const std::unique_ptr<Problem> problem =
+      ProblemRegistry::instance().make(entry.problem);
+
+  std::vector<std::string> daemons =
+      options.daemons.empty() ? daemon_names() : options.daemons;
+  if (!entry.daemons.empty()) {
+    std::erase_if(daemons, [&](const std::string& name) {
+      return std::find(entry.daemons.begin(), entry.daemons.end(), name) ==
+             entry.daemons.end();
+    });
+  }
+  const std::vector<Graph> graphs =
+      options.menagerie.empty() ? harness_menagerie() : options.menagerie;
+
+  std::uint64_t trial_index = 0;
+  for (const Graph& g : graphs) {
+    const std::unique_ptr<Protocol> protocol =
+        ProtocolRegistry::instance().make(protocol_name, g, options.params);
+    for (const std::string& daemon_name : daemons) {
+      for (int s = 0; s < options.seeds_per_daemon; ++s) {
+        const std::uint64_t seed = options.base_seed + trial_index++;
+        ++report.trials;
+        const auto violate = [&](std::string check, std::string detail) {
+          report.violations.push_back(HarnessViolation{
+              protocol_name, g.name(), daemon_name, seed, std::move(check),
+              std::move(detail)});
+        };
+
+        Engine engine(g, *protocol, make_daemon(daemon_name), seed);
+        engine.set_sweep_mode(options.sweep_mode);
+        engine.randomize_state();
+        RunOptions run;
+        run.max_steps = options.max_steps;
+        run.stop_on_silence = true;
+        if (!engine.run(run).silent) continue;  // vacuous cell (see header)
+
+        // The fault stream is independent of the engine's own rng so the
+        // corruption is an *external* event, like the churn runtime's.
+        Rng fault_rng(seed ^ 0xfa17c0deULL);
+        const int count =
+            std::min(options.fault_victims, g.num_vertices());
+        const std::vector<ProcessId> victims =
+            choose_victims(g.num_vertices(), count, fault_rng);
+        engine.apply_external_corruption(victims, fault_rng);
+
+        if (!engine.run(run).silent) {
+          violate("fault-convergence",
+                  "no certified-silent configuration within " +
+                      std::to_string(options.max_steps) +
+                      " steps after corrupting " + std::to_string(count) +
+                      " process(es)");
+        } else if (!problem->holds(g, engine.config())) {
+          violate("fault-legitimacy",
+                  "post-recovery silent configuration violates " +
+                      entry.problem);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<HarnessReport> run_registry_fault_closure_suite(
+    const HarnessOptions& options) {
+  std::vector<HarnessReport> reports;
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    reports.push_back(run_protocol_fault_closure_suite(name, options));
   }
   return reports;
 }

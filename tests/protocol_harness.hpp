@@ -58,6 +58,9 @@ struct HarnessOptions {
   /// so the whole property grid doubles as a sweep-correctness oracle
   /// against the scalar-path ReferenceEngine.
   SweepMode sweep_mode = SweepMode::kAuto;
+  /// Victim-set size of the fault-closure suite (clamped to the graph's
+  /// process count per cell).
+  int fault_victims = 2;
 };
 
 struct HarnessViolation {
@@ -92,6 +95,22 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
 
 /// Runs the grid for every name in the ProtocolRegistry, in sorted order.
 std::vector<HarnessReport> run_registry_property_suite(
+    const HarnessOptions& options = {});
+
+/// Fault-closure grid for one registry protocol: every (graph, daemon,
+/// seed) cell stabilizes from a random configuration, then suffers an
+/// in-place corruption of `options.fault_victims` random processes
+/// (Engine::apply_external_corruption — the churn runtime's primitive)
+/// and must re-converge to a certified-silent ("fault-convergence") and
+/// legitimate ("fault-legitimacy") configuration. Cells that never
+/// stabilize in the first place are vacuous here — the plain property
+/// suite owns that failure — so they are skipped without a violation.
+HarnessReport run_protocol_fault_closure_suite(
+    const std::string& protocol_name, const HarnessOptions& options = {});
+
+/// Runs the fault-closure grid for every registered protocol, in sorted
+/// order.
+std::vector<HarnessReport> run_registry_fault_closure_suite(
     const HarnessOptions& options = {});
 
 }  // namespace sss::testing

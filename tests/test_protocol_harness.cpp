@@ -147,6 +147,46 @@ class WrongSweep final : public Protocol {
   ProtocolSpec spec_;
 };
 
+/// A latch with a poison region: values in [1, kPoison) self-repair to 0
+/// and 0 is silent, but values >= kPoison ping-pong forever. From a
+/// benign configuration the protocol stabilizes and stays silent; a
+/// corruption that redraws a variable into the poison region can never
+/// re-converge. The fault-closure suite must flag exactly those cells —
+/// its falsifiability device. (Corruption redraws from the same domain
+/// randomize_state uses, so a poison *initial* configuration is equally
+/// possible; the pinned toy grid below checks both suites' verdicts on
+/// their own deterministic seed sets.)
+class PoisonLatch final : public Protocol {
+ public:
+  static constexpr Value kMax = 15;
+  static constexpr Value kPoison = 14;
+
+  explicit PoisonLatch(const Graph&) {
+    spec_.comm.emplace_back("X", VarDomain{0, kMax});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "POISON-LATCH";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 2; }
+  int first_enabled(GuardContext& ctx) const override {
+    const Value x = ctx.self_comm(0);
+    if (x >= kPoison) return 0;  // ping-pong forever
+    return x > 0 ? 1 : kDisabled;
+  }
+  void execute(int action, ActionContext& ctx) const override {
+    if (action == 0) {
+      ctx.set_comm(0, ctx.self_comm(0) == kMax ? kPoison : kMax);
+    } else {
+      ctx.set_comm(0, 0);
+    }
+  }
+
+ private:
+  ProtocolSpec spec_;
+};
+
 /// Installs the toy registry entries once per process.
 void register_toys() {
   ProblemRegistry& problems = ProblemRegistry::instance();
@@ -176,6 +216,11 @@ void register_toys() {
         "wrong-sweep", {}, "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<WrongSweep>(g);
+        });
+    protocols.register_protocol(
+        "poison-latch", {}, "always-true",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<PoisonLatch>(g);
         });
   }
 }
@@ -257,6 +302,48 @@ TEST(ProtocolHarnessFalsifiability, FlagsWrongBulkSweep) {
     if (violation.check == "equivalence") saw_equivalence = true;
   }
   EXPECT_TRUE(saw_equivalence) << bulk_report.str();
+}
+
+/// Pinned grid for the poison-latch: enough seeds that at least one
+/// cell's corruption deterministically redraws a victim into the poison
+/// region (verified by the assertions below — the seeds are fixed, so the
+/// outcome is a constant of the repository).
+testing::HarnessOptions poison_options() {
+  testing::HarnessOptions options;
+  options.menagerie.push_back(path(2));
+  options.menagerie.push_back(path(3));
+  options.daemons = {"synchronous", "central-rr"};
+  options.seeds_per_daemon = 6;
+  options.max_steps = 20'000;
+  options.closure_steps = 16;
+  options.lockstep_steps = 32;
+  return options;
+}
+
+TEST(ProtocolHarnessFalsifiability, FaultSuiteFlagsThePoisonLatch) {
+  register_toys();
+  const testing::HarnessReport report =
+      testing::run_protocol_fault_closure_suite("poison-latch",
+                                                poison_options());
+  ASSERT_FALSE(report.ok())
+      << "the fault-closure suite certified a protocol that cannot "
+         "re-converge from a corrupted configuration";
+  for (const testing::HarnessViolation& violation : report.violations) {
+    // The latch's defect is exactly non-re-convergence: a poisoned victim
+    // ping-pongs forever, so no later configuration is ever certified
+    // silent (and the fault-legitimacy check is never reached).
+    EXPECT_EQ(violation.check, "fault-convergence") << report.str();
+  }
+}
+
+TEST(ProtocolHarnessFalsifiability, FaultSuitePassesRealProtocols) {
+  register_toys();
+  // Sanity: the grid that flags the latch does not flag a real protocol —
+  // re-convergence after corruption is the self-stabilization property.
+  const testing::HarnessReport coloring =
+      testing::run_protocol_fault_closure_suite("coloring", poison_options());
+  EXPECT_TRUE(coloring.ok()) << coloring.str();
+  EXPECT_GT(coloring.trials, 0);
 }
 
 TEST(ProtocolHarnessFalsifiability, RealProtocolsPassTheSameToyGrid) {

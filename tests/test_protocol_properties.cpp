@@ -74,6 +74,26 @@ TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
   }
 }
 
+TEST(ProtocolPropertySuite, ClosureUnderFaultsAcrossTheRegistryGrid) {
+  // Fault closure (the churn suite's per-cell core): stabilize, corrupt a
+  // random victim set through Engine::apply_external_corruption, and
+  // re-converge to a certified-silent legitimate configuration — for
+  // every protocol x daemon x menagerie cell. Falsifiability of this leg
+  // is proven by the poison-latch toy in tests/test_protocol_harness.cpp.
+  testing::HarnessOptions options;
+  options.seeds_per_daemon = 1;
+  const std::vector<testing::HarnessReport> reports =
+      testing::run_registry_fault_closure_suite(options);
+  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  int total_trials = 0;
+  for (const testing::HarnessReport& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.str();
+    total_trials += report.trials;
+  }
+  // Same grid shape as the property suite at one seed per daemon.
+  EXPECT_EQ(total_trials, 360 - 12);
+}
+
 TEST(ProtocolPropertySuite, NonDefaultParametersRunTheSameGrid) {
   // The harness forwards registry parameters, so parameterized variants
   // (non-zero root, shuffled identifiers) get the same coverage.

@@ -13,10 +13,12 @@ tuple of string/bool fields — so reordering records or adding new ones
 never produces false deltas.
 
 Metric direction is inferred from the name:
-  * gated (higher is better): contains "speedup" — same-run ratios
-    (incremental vs reference engine, pooled vs serial batch), which
-    compare two measurements taken on the same machine in the same
-    process and therefore survive runner-hardware changes;
+  * gated, higher is better: contains "speedup" — same-run ratios
+    (incremental vs reference engine, pooled vs serial batch) — or
+    "availability" — the churn-SLO legitimate-step fraction. Both are
+    deterministic in the seeds, so they survive runner-hardware changes;
+  * gated, lower is better: contains "recovery_rounds_p" — the churn-SLO
+    recovery-round percentiles (p50/p90/p99), also seed-deterministic;
   * informational: absolute wall-clock numbers ("per_sec", "throughput")
     and convergence statistics (rounds, steps, bits). The former swing
     with the runner the sample landed on, the latter describe the
@@ -45,11 +47,34 @@ import math
 import sys
 from pathlib import Path
 
-GATED_HINTS = ("speedup",)
+GATED_HIGHER = ("speedup", "availability")
+GATED_LOWER = ("recovery_rounds_p",)
+GATED_HINTS = GATED_HIGHER + GATED_LOWER
+
+
+def gated_direction(metric: str) -> str | None:
+    """'higher' / 'lower' when the metric is gated, None otherwise."""
+    if any(hint in metric for hint in GATED_HIGHER):
+        return "higher"
+    if any(hint in metric for hint in GATED_LOWER):
+        return "lower"
+    return None
 
 
 def is_gated(metric: str) -> bool:
-    return any(hint in metric for hint in GATED_HINTS)
+    return gated_direction(metric) is not None
+
+
+def regresses(metric: str, base: float, cur: float, threshold: float) -> bool:
+    """Whether cur regresses past threshold in the metric's direction."""
+    direction = gated_direction(metric)
+    if direction == "higher":
+        return base > 0 and cur < base * (1.0 - threshold)
+    if direction == "lower":
+        # base == 0 gates too: 0 * (1+threshold) = 0, so any growth from a
+        # zero baseline (e.g. recovery percentiles appearing) is flagged.
+        return cur > base * (1.0 + threshold)
+    return False
 
 
 def load_benches(directory: Path) -> dict[str, list[dict]]:
@@ -160,11 +185,8 @@ def compare(baseline: dict, current: dict,
                 base_value = base_metrics[metric]
                 cur_value = cur_metrics[metric]
                 gated = is_gated(metric)
-                regressed = (
-                    gated
-                    and base_value > 0
-                    and cur_value < base_value * (1.0 - threshold)
-                )
+                regressed = regresses(metric, base_value, cur_value,
+                                      threshold)
                 rows.append(Row(bench, key, metric, base_value, cur_value,
                                 gated, regressed))
     return rows, vanished

@@ -60,6 +60,51 @@ class CompareLogic(unittest.TestCase):
         self.assertIn("case=y", vanished[0])
         self.assertFalse(any(r.regressed for r in rows))
 
+    def test_direction_inference(self):
+        self.assertEqual(bench_diff.gated_direction("engine_speedup"),
+                         "higher")
+        self.assertEqual(bench_diff.gated_direction("availability"), "higher")
+        for pct in ("p50", "p90", "p99"):
+            self.assertEqual(
+                bench_diff.gated_direction(f"recovery_rounds_{pct}"), "lower")
+        self.assertIsNone(bench_diff.gated_direction("steps_per_sec"))
+        self.assertIsNone(bench_diff.gated_direction("rounds_to_silence_max"))
+
+    def test_availability_drop_is_flagged_and_rise_is_not(self):
+        baseline = {"b": [{"case": "x", "availability": 0.99}]}
+        dropped = {"b": [{"case": "x", "availability": 0.50}]}
+        rows, vanished = bench_diff.compare(baseline, dropped, 0.25)
+        self.assertEqual(vanished, [])
+        self.assertTrue(all(r.gated for r in rows))
+        self.assertTrue(any(r.regressed for r in rows))
+
+        risen = {"b": [{"case": "x", "availability": 1.0}]}
+        rows, _ = bench_diff.compare(baseline, risen, 0.25)
+        self.assertFalse(any(r.regressed for r in rows))
+
+    def test_recovery_percentile_rise_is_flagged_and_drop_is_not(self):
+        baseline = {"b": [{"case": "x", "recovery_rounds_p99": 8.0}]}
+        slower = {"b": [{"case": "x", "recovery_rounds_p99": 20.0}]}
+        rows, vanished = bench_diff.compare(baseline, slower, 0.25)
+        self.assertEqual(vanished, [])
+        self.assertTrue(all(r.gated for r in rows))
+        self.assertTrue(any(r.regressed for r in rows))
+
+        faster = {"b": [{"case": "x", "recovery_rounds_p99": 1.0}]}
+        rows, _ = bench_diff.compare(baseline, faster, 0.25)
+        self.assertFalse(any(r.regressed for r in rows))
+
+        # A lower-is-better metric growing from a zero baseline gates too.
+        zero = {"b": [{"case": "x", "recovery_rounds_p99": 0.0}]}
+        rows, _ = bench_diff.compare(zero, slower, 0.25)
+        self.assertTrue(any(r.regressed for r in rows))
+
+    def test_vanished_gated_churn_record_fails(self):
+        baseline = {"b": [{"case": "x", "availability": 0.99}]}
+        rows, vanished = bench_diff.compare(baseline, {"b": []}, 0.25)
+        self.assertEqual(len(vanished), 1)
+        self.assertIn("case=x", vanished[0])
+
     def test_informational_metrics_never_gate(self):
         baseline = {"b": [{"case": "x", "steps_per_sec": 100.0}]}
         current = {"b": [{"case": "x", "steps_per_sec": 1.0}]}
