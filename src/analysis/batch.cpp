@@ -89,9 +89,14 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
     SSS_REQUIRE(!item.daemons.empty() && item.seeds_per_daemon >= 1,
                 "batch item needs at least one daemon and one seed");
     SSS_REQUIRE(item.extra_steps >= 0, "extra_steps cannot be negative");
+    SSS_REQUIRE(item.parallel_threads >= 1,
+                "parallel_threads must be >= 1");
     if (item.churn_enabled) {
       SSS_REQUIRE(item.extra_steps == 0,
                   "extra_steps and churn windows cannot be combined");
+      SSS_REQUIRE(item.parallel_threads == 1,
+                  "churn mode runs single-threaded engines; "
+                  "parallel_threads must be 1");
       SSS_REQUIRE(item.churn.topology_weight == 0 || item.protocol_factory,
                   "topology churn needs a protocol_factory on the item");
     }
@@ -187,6 +192,7 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
       Engine engine(*item.graph, *item.protocol, make_daemon(daemon_name),
                     engine_seed);
       engine.set_exclude_frozen(item.exclude_frozen);
+      engine.set_parallel_threads(item.parallel_threads);
       engine.randomize_state();
       stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
       if (item.extra_steps > 0) {

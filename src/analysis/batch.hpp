@@ -62,6 +62,11 @@ struct BatchItem {
   /// Forwarded to Engine::set_exclude_frozen for every trial (opt-in
   /// verified-self-loop exclusion; see engine.hpp).
   bool exclude_frozen = false;
+  /// Forwarded to Engine::set_parallel_threads for every trial: intra-trial
+  /// worker threads (engine invariant 6 — bit-identical to single-threaded
+  /// at any count, so trajectories and metrics never depend on it). Churn
+  /// mode requires 1; ChurnRunner owns its engines and is not plumbed.
+  int parallel_threads = 1;
 
   /// Churn-window mode (runtime/churn.hpp): each trial stabilizes first
   /// (that phase fills the trial's RunStats), then runs a measured window

@@ -22,7 +22,8 @@ namespace {
 const std::vector<std::string> kRunKeys = {
     "daemons",    "seeds_per_daemon",    "base_seed",
     "max_steps",  "stop_on_silence",     "quiescence_patience",
-    "extra_steps", "exclude_frozen",     "churn"};
+    "extra_steps", "exclude_frozen",     "churn",
+    "parallel_threads"};
 
 void require_known_keys(const JsonValue& object,
                         const std::vector<std::string>& allowed,
@@ -43,6 +44,7 @@ struct RunDefaults {
   RunOptions run;
   int extra_steps = 0;
   bool exclude_frozen = false;
+  int parallel_threads = 1;
   bool churn_enabled = false;
   ChurnOptions churn;
 };
@@ -160,6 +162,12 @@ RunDefaults apply_run_keys(RunDefaults base, const JsonValue& object) {
   }
   if (const JsonValue* frozen = object.find("exclude_frozen")) {
     base.exclude_frozen = frozen->as_bool();
+  }
+  if (const JsonValue* threads = object.find("parallel_threads")) {
+    const std::int64_t count = threads->as_int();
+    SSS_REQUIRE(count >= 1 && count <= 1024,
+                "\"parallel_threads\" must be in [1, 1024]");
+    base.parallel_threads = static_cast<int>(count);
   }
   if (const JsonValue* churn = object.find("churn")) {
     // A churn block replaces any inherited one wholesale (null disables):
@@ -344,6 +352,7 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
         item.base_seed = defaults.base_seed;
         item.extra_steps = defaults.extra_steps;
         item.exclude_frozen = defaults.exclude_frozen;
+        item.parallel_threads = defaults.parallel_threads;
         if (defaults.churn_enabled) {
           item.churn_enabled = true;
           item.churn = defaults.churn;

@@ -37,7 +37,10 @@
 /// daemon names), "seeds_per_daemon", "base_seed", "base_seeds" (per-sweep
 /// only: one base seed per expanded item, for plans that pin historical
 /// seeds), "max_steps", "stop_on_silence", "quiescence_patience",
-/// "extra_steps", "exclude_frozen", "churn".
+/// "extra_steps", "exclude_frozen", "churn", "parallel_threads" (engine
+/// worker threads per trial, default 1; the intra-trial parallel step is
+/// bit-identical to single-threaded, so this key changes wall-clock only —
+/// it is deliberately NOT a sink column. Churn sweeps require 1).
 ///
 /// The "churn" key switches a sweep's trials into churn-window mode
 /// (runtime/churn.hpp): every trial stabilizes first, then runs a measured

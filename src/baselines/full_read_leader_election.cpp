@@ -101,17 +101,17 @@ int FullReadLeaderElection::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
-void FullReadLeaderElection::sweep_enabled(BulkGuardContext& ctx,
-                                           EnabledBitmap& out) const {
+void FullReadLeaderElection::sweep_enabled_range(BulkGuardContext& ctx,
+                                                 EnabledBitmap& out, ProcessId begin,
+                                                 ProcessId end) const {
   const Graph& g = ctx.graph();
   const Configuration& cfg = ctx.config();
-  const int n = g.num_vertices();
   const std::int32_t* offsets = g.csr_offsets().data();
   const ProcessId* neighbors = g.csr_neighbors().data();
   const Value* data = cfg.row(0);
   const auto stride = static_cast<std::size_t>(cfg.stride());
   std::int8_t* actions = out.actions();
-  for (ProcessId p = 0; p < n; ++p) {
+  for (ProcessId p = begin; p < end; ++p) {
     const Value* row = data + static_cast<std::size_t>(p) * stride;
     const Value id = row[kIdVar];
     const Value leader = row[kLeaderVar];

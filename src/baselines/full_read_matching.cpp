@@ -91,11 +91,11 @@ int FullReadMatching::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
-void FullReadMatching::sweep_enabled(BulkGuardContext& ctx,
-                                     EnabledBitmap& out) const {
+void FullReadMatching::sweep_enabled_range(BulkGuardContext& ctx,
+                                           EnabledBitmap& out, ProcessId begin,
+                                           ProcessId end) const {
   const Graph& g = ctx.graph();
   const Configuration& cfg = ctx.config();
-  const int n = g.num_vertices();
   const std::int32_t* offsets = g.csr_offsets().data();
   const ProcessId* neighbors = g.csr_neighbors().data();
   const NbrIndex* mirrors = g.csr_mirrors().data();
@@ -104,7 +104,7 @@ void FullReadMatching::sweep_enabled(BulkGuardContext& ctx,
   std::int8_t* actions = out.actions();
   // Scalar transcription; the early-exit proposer/candidate scans keep
   // their exact stopping points so the logged read prefixes match.
-  for (ProcessId p = 0; p < n; ++p) {
+  for (ProcessId p = begin; p < end; ++p) {
     const Value* row = data + static_cast<std::size_t>(p) * stride;
     const Value pr = row[kPrVar];
     const Value announced = row[kMarriedVar];

@@ -42,7 +42,8 @@ class FullReadMatching final : public Protocol {
   void install_constants(const Graph& g, Configuration& config) const override;
 
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override;
 
  private:
   /// married(p): PR.p points at a neighbor whose PR points back.

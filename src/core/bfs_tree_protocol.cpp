@@ -53,11 +53,11 @@ int BfsTreeProtocol::first_enabled(GuardContext& ctx) const {
   return kScan;
 }
 
-void BfsTreeProtocol::sweep_enabled(BulkGuardContext& ctx,
-                                    EnabledBitmap& out) const {
+void BfsTreeProtocol::sweep_enabled_range(BulkGuardContext& ctx,
+                                          EnabledBitmap& out, ProcessId begin,
+                                          ProcessId end) const {
   const Graph& g = ctx.graph();
   const Configuration& cfg = ctx.config();
-  const int n = g.num_vertices();
   const std::int32_t* offsets = g.csr_offsets().data();
   const ProcessId* neighbors = g.csr_neighbors().data();
   const Value* data = cfg.row(0);
@@ -65,7 +65,7 @@ void BfsTreeProtocol::sweep_enabled(BulkGuardContext& ctx,
   const auto cur_slot =
       static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
   std::int8_t* actions = out.actions();
-  for (ProcessId p = 0; p < n; ++p) {
+  for (ProcessId p = begin; p < end; ++p) {
     const Value* row = data + static_cast<std::size_t>(p) * stride;
     const Value dist = row[kDistVar];
     const Value parent = row[kParentVar];

@@ -63,7 +63,8 @@ class BfsTreeProtocol final : public Protocol {
   void install_constants(const Graph& g, Configuration& config) const override;
 
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override;
 
   ProcessId root() const { return root_; }
   /// The distance cap n-1 (the largest BFS distance a connected network

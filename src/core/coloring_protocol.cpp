@@ -28,11 +28,11 @@ int ColoringProtocol::first_enabled(GuardContext& ctx) const {
   return own == checked ? kConflict : kAdvance;
 }
 
-void ColoringProtocol::sweep_enabled(BulkGuardContext& ctx,
-                                     EnabledBitmap& out) const {
+void ColoringProtocol::sweep_enabled_range(BulkGuardContext& ctx,
+                                           EnabledBitmap& out, ProcessId begin,
+                                           ProcessId end) const {
   const Graph& g = ctx.graph();
   const Configuration& cfg = ctx.config();
-  const int n = g.num_vertices();
   const std::int32_t* offsets = g.csr_offsets().data();
   const ProcessId* neighbors = g.csr_neighbors().data();
   const Value* data = cfg.row(0);
@@ -42,7 +42,7 @@ void ColoringProtocol::sweep_enabled(BulkGuardContext& ctx,
   std::int8_t* actions = out.actions();
   // One gather per process (the cur neighbor's color), one compare: the
   // whole guard is a select between the two always-enabled actions.
-  for (ProcessId p = 0; p < n; ++p) {
+  for (ProcessId p = begin; p < end; ++p) {
     const Value* row = data + static_cast<std::size_t>(p) * stride;
     const auto cur = static_cast<std::int32_t>(row[cur_slot]);
     const ProcessId q =

@@ -42,7 +42,8 @@ class ColoringProtocol final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
 
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override;
 
   int palette_size() const { return palette_size_; }
 

@@ -73,7 +73,8 @@ class LeaderElectionProtocol final : public Protocol {
   void install_constants(const Graph& g, Configuration& config) const override;
 
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override;
 
   const std::vector<Value>& ids() const { return ids_; }
   Value min_id() const { return min_id_; }

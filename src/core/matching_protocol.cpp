@@ -96,11 +96,11 @@ int MatchingProtocol::first_enabled(GuardContext& ctx) const {
   return kDisabled;
 }
 
-void MatchingProtocol::sweep_enabled(BulkGuardContext& ctx,
-                                     EnabledBitmap& out) const {
+void MatchingProtocol::sweep_enabled_range(BulkGuardContext& ctx,
+                                           EnabledBitmap& out, ProcessId begin,
+                                           ProcessId end) const {
   const Graph& g = ctx.graph();
   const Configuration& cfg = ctx.config();
-  const int n = g.num_vertices();
   const std::int32_t* offsets = g.csr_offsets().data();
   const ProcessId* neighbors = g.csr_neighbors().data();
   const NbrIndex* mirrors = g.csr_mirrors().data();
@@ -111,7 +111,7 @@ void MatchingProtocol::sweep_enabled(BulkGuardContext& ctx,
   std::int8_t* actions = out.actions();
   // The scalar guard transcribed onto the slabs; every lazily-skipped
   // neighbor read stays skipped so the logged sequence is identical.
-  for (ProcessId p = 0; p < n; ++p) {
+  for (ProcessId p = begin; p < end; ++p) {
     const Value* row = data + static_cast<std::size_t>(p) * stride;
     const Value pr = row[kPrVar];
     const auto cur = static_cast<std::int32_t>(row[cur_slot]);

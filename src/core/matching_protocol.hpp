@@ -52,7 +52,8 @@ class MatchingProtocol final : public Protocol {
   void install_constants(const Graph& g, Configuration& config) const override;
 
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override;
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override;
 
   const Coloring& colors() const { return colors_; }
 

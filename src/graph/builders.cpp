@@ -306,6 +306,175 @@ Graph random_regular(int n, int d, Rng& rng) {
       "random_regular: no simple connected graph found in 200 attempts");
 }
 
+Graph preferential_attachment(int n, int m, Rng& rng) {
+  SSS_REQUIRE(m >= 1, "preferential_attachment requires m >= 1");
+  SSS_REQUIRE(n >= m + 1,
+              "preferential_attachment requires n >= m + 1 vertices");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m) * (m + 1) / 2 +
+                static_cast<std::size_t>(n - m - 1) *
+                    static_cast<std::size_t>(m));
+  // Seed core: an (m+1)-clique, so every arriving vertex can find m
+  // distinct targets from the very first attachment.
+  for (int i = 0; i <= m; ++i) {
+    for (int j = i + 1; j <= m; ++j) edges.emplace_back(i, j);
+  }
+  // Degree-proportional sampling via the classic endpoint list: each edge
+  // contributes both endpoints, so a uniform draw from the list lands on a
+  // vertex with probability degree / (2 * |edges|). Duplicate targets are
+  // redrawn, which keeps the graph simple (and connected by construction).
+  std::vector<int> endpoints;
+  endpoints.reserve(edges.capacity() * 2);
+  for (const auto& [a, b] : edges) {
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  }
+  std::vector<int> targets;
+  for (int v = m + 1; v < n; ++v) {
+    targets.clear();
+    while (static_cast<int>(targets.size()) < m) {
+      const int t = endpoints[static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(endpoints.size())))];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const int t : targets) {
+      edges.emplace_back(t, v);
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return named(Graph::from_edges(n, edges),
+               "pa(" + std::to_string(n) + "," + std::to_string(m) + ")");
+}
+
+Graph random_geometric(int n, double radius, Rng& rng) {
+  SSS_REQUIRE(n >= 1, "random_geometric requires n >= 1");
+  SSS_REQUIRE(radius > 0.0 && radius <= 1.5,
+              "connection radius must be in (0, 1.5]");
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  std::vector<double> ys(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    xs[static_cast<std::size_t>(v)] = rng.uniform01();
+    ys[static_cast<std::size_t>(v)] = rng.uniform01();
+  }
+  // Cell grid with cell side >= radius: all neighbors of a point live in
+  // its own or the eight adjacent cells, so the pair scan is O(n * local
+  // density) instead of the O(n^2) all-pairs test — the difference between
+  // feasible and not at the bench tiers.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<int>> grid_cells(
+      static_cast<std::size_t>(cells) * static_cast<std::size_t>(cells));
+  const auto cell_of = [&](double coord) {
+    return std::min(cells - 1, static_cast<int>(coord / cell_size));
+  };
+  for (int v = 0; v < n; ++v) {
+    grid_cells[static_cast<std::size_t>(cell_of(ys[static_cast<std::size_t>(
+                   v)])) *
+                   static_cast<std::size_t>(cells) +
+               static_cast<std::size_t>(
+                   cell_of(xs[static_cast<std::size_t>(v)]))]
+        .push_back(v);
+  }
+  std::vector<Edge> edges;
+  DisjointSets components(n);
+  int num_components = n;
+  const double r2 = radius * radius;
+  const auto near = [&](int a, int b) {
+    const double dx = xs[static_cast<std::size_t>(a)] -
+                      xs[static_cast<std::size_t>(b)];
+    const double dy = ys[static_cast<std::size_t>(a)] -
+                      ys[static_cast<std::size_t>(b)];
+    return dx * dx + dy * dy <= r2;
+  };
+  for (int cy = 0; cy < cells; ++cy) {
+    for (int cx = 0; cx < cells; ++cx) {
+      const auto& home =
+          grid_cells[static_cast<std::size_t>(cy) *
+                         static_cast<std::size_t>(cells) +
+                     static_cast<std::size_t>(cx)];
+      // Within the home cell, and against the four lexicographically
+      // later neighbor cells — each unordered cell pair is visited once.
+      for (std::size_t i = 0; i < home.size(); ++i) {
+        for (std::size_t j = i + 1; j < home.size(); ++j) {
+          if (near(home[i], home[j])) {
+            edges.emplace_back(std::min(home[i], home[j]),
+                               std::max(home[i], home[j]));
+            if (components.unite(home[i], home[j])) --num_components;
+          }
+        }
+      }
+      constexpr int kAhead[4][2] = {{1, 0}, {-1, 1}, {0, 1}, {1, 1}};
+      for (const auto& d : kAhead) {
+        const int nx = cx + d[0];
+        const int ny = cy + d[1];
+        if (nx < 0 || nx >= cells || ny >= cells) continue;
+        const auto& other =
+            grid_cells[static_cast<std::size_t>(ny) *
+                           static_cast<std::size_t>(cells) +
+                       static_cast<std::size_t>(nx)];
+        for (const int a : home) {
+          for (const int b : other) {
+            if (near(a, b)) {
+              edges.emplace_back(std::min(a, b), std::max(a, b));
+              if (components.unite(a, b)) --num_components;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Same documented substitution as erdos_renyi_connected: a subcritical
+  // radius leaves islands, which uniformly drawn cross edges join.
+  std::set<Edge> present(edges.begin(), edges.end());
+  while (num_components > 1) {
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (a == b || components.find(a) == components.find(b)) continue;
+    const Edge e{std::min(a, b), std::max(a, b)};
+    if (present.count(e)) continue;
+    present.insert(e);
+    edges.push_back(e);
+    components.unite(a, b);
+    --num_components;
+  }
+  return named(Graph::from_edges(n, edges),
+               "geometric(" + std::to_string(n) + ")");
+}
+
+Graph grid_of_clusters(int rows, int cols, int cluster) {
+  SSS_REQUIRE(rows >= 1 && cols >= 1 && cluster >= 1,
+              "grid_of_clusters requires rows, cols, cluster >= 1");
+  std::vector<Edge> edges;
+  const auto base = [&](int r, int c) { return (r * cols + c) * cluster; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int b = base(r, c);
+      // Dense locality: each cluster is a clique.
+      for (int i = 0; i < cluster; ++i) {
+        for (int j = i + 1; j < cluster; ++j) {
+          edges.emplace_back(b + i, b + j);
+        }
+      }
+      // Sparse global structure: one bridge to the right and one down,
+      // from this cluster's last vertex to the neighbor's first — the
+      // datacenter-ish shape (fat local fanout, thin inter-rack links).
+      if (c + 1 < cols) {
+        edges.emplace_back(b + cluster - 1, base(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(b + cluster - 1, base(r + 1, c));
+      }
+    }
+  }
+  return named(Graph::from_edges(rows * cols * cluster, edges),
+               "clusters(" + std::to_string(rows) + "x" +
+                   std::to_string(cols) + "," + std::to_string(cluster) +
+                   ")");
+}
+
 Graph theorem1_spider(int delta) {
   SSS_REQUIRE(delta >= 2, "theorem1_spider requires delta >= 2");
   // Vertex 0 is the center (the role of p3 in the Delta = 2 chain).

@@ -53,6 +53,25 @@ Graph erdos_renyi_connected(int n, double p, Rng& rng);
 /// rejection. Requires n*d even, 0 < d < n; throws if 200 attempts fail.
 Graph random_regular(int n, int d, Rng& rng);
 
+/// Barabási–Albert preferential attachment: an (m+1)-clique core plus
+/// arriving vertices that each attach m edges to existing vertices drawn
+/// degree-proportionally (power-law degree tail — the "hub and spoke" shape
+/// of real overlay networks). Connected by construction. Requires m >= 1,
+/// n >= m + 1.
+Graph preferential_attachment(int n, int m, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs at Euclidean distance <= radius (sensor-network shape:
+/// high clustering, large diameter). Subcritical radii leave islands which
+/// are joined with uniform cross edges, as in erdos_renyi_connected.
+/// Requires n >= 1, 0 < radius <= 1.5.
+Graph random_geometric(int n, double radius, Rng& rng);
+
+/// Deterministic rows x cols grid of K_cluster cliques, adjacent clusters
+/// joined by a single bridge edge (datacenter shape: dense local fanout,
+/// thin inter-rack links). Requires rows, cols, cluster >= 1.
+Graph grid_of_clusters(int rows, int cols, int cluster);
+
 /// Theorem 1 generalization graph (Figure 2): Delta^2 + 1 vertices.
 /// Requires delta >= 2.
 Graph theorem1_spider(int delta);

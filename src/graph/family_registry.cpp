@@ -98,6 +98,27 @@ GraphFamilyRegistry& GraphFamilyRegistry::instance() {
                              return random_regular(size(p, "n"), size(p, "d"),
                                                    rng);
                            });
+    fresh->register_family("preferential-attachment",
+                           {{"n"}, {"m"}, {"seed", false, 1}},
+                           [=](const ParamMap& p) {
+                             Rng rng = seeded_rng(p);
+                             return preferential_attachment(size(p, "n"),
+                                                            size(p, "m"), rng);
+                           });
+    fresh->register_family(
+        "random-geometric", {{"n"}, {"radius"}, {"seed", false, 1}},
+        [=](const ParamMap& p) {
+          Rng rng = seeded_rng(p);
+          return random_geometric(size(p, "n"),
+                                  param_double(p, "radius", 0.0), rng);
+        });
+    fresh->register_family("grid-of-clusters",
+                           {{"rows"}, {"cols"}, {"cluster"}},
+                           [=](const ParamMap& p) {
+                             return grid_of_clusters(size(p, "rows"),
+                                                     size(p, "cols"),
+                                                     size(p, "cluster"));
+                           });
     fresh->register_family("theorem1-spider", {{"delta"}},
                            [=](const ParamMap& p) {
                              return theorem1_spider(size(p, "delta"));

@@ -29,6 +29,7 @@
 /// suites (tests/test_bulk_sweep.cpp, the property harness with
 /// SweepMode::kForceBulk) hold implementations to that contract.
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -51,6 +52,15 @@ class EnabledBitmap {
   /// a sweep only touches the enabled entries it finds. Reuses capacity.
   void reset(int universe) {
     actions_.assign(static_cast<std::size_t>(universe), kDisabled);
+  }
+
+  /// Range variant for partitioned sweeps: disables ids [begin, end) only,
+  /// leaving the rest of the slab untouched. The engine's parallel bulk
+  /// refresh has each worker reset exactly the range it is about to sweep,
+  /// so the whole-slab fill of `reset` is not serialized. The bitmap must
+  /// already be sized (reset(universe) once beforehand).
+  void reset_range(ProcessId begin, ProcessId end) {
+    std::fill(actions_.begin() + begin, actions_.begin() + end, kDisabled);
   }
 
   int universe() const { return static_cast<int>(actions_.size()); }

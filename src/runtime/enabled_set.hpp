@@ -66,6 +66,31 @@ class EnabledSet {
     }
   }
 
+  /// Deferred-count variant of `assign` for partitioned writers: updates
+  /// the membership bit but NOT count(), returning the count delta
+  /// (+1/-1/0) for the caller to accumulate and apply later through
+  /// `add_count`. The engine's parallel refresh hands each worker a
+  /// 64-aligned process range — disjoint words, so concurrent
+  /// assign_deferred calls from different ranges never touch the same
+  /// memory — and folds the deltas in on the serial side of the barrier.
+  int assign_deferred(ProcessId p, bool member) {
+    std::uint64_t& word = words_[word_of(p)];
+    const std::uint64_t bit = 1ULL << bit_of(p);
+    int delta;
+    if (member) {
+      delta = static_cast<int>(~word >> bit_of(p) & 1u);
+      word |= bit;
+    } else {
+      delta = -static_cast<int>(word >> bit_of(p) & 1u);
+      word &= ~bit;
+    }
+    return delta;
+  }
+
+  /// Applies accumulated assign_deferred deltas; count() is exact again
+  /// once every outstanding delta has been added.
+  void add_count(int delta) { count_ += delta; }
+
   /// The k-th smallest member (0-based). Requires 0 <= k < count().
   ProcessId kth(int k) const {
     SSS_ASSERT(k >= 0 && k < count_, "rank out of range");

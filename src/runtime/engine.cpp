@@ -127,13 +127,14 @@ void Engine::cover(ProcessId p) {
 
 void Engine::refresh_enabled() {
   if (dirty_queue_.empty()) return;
+  // Frozen exclusion classifies self-loops with the per-process machinery,
+  // so it pins the scalar serial path (invariants 5 and 6).
+  const bool can_parallel = pool_ != nullptr && !exclude_frozen_;
   // Bulk dispatch (invariant 5): one sweep when the protocol opts in and
   // enough of the network is stale. The 3/4 threshold comes from measured
   // all-dirty refresh ratios (bench_bulk_sweep E15b): the cheapest sweep
   // is ~1.3x a scalar probe pass, so sweeping all n only beats refreshing
-  // the dirty subset when that subset covers most of the network. Frozen
-  // exclusion classifies self-loops with the per-process machinery, so it
-  // pins the scalar path.
+  // the dirty subset when that subset covers most of the network.
   if (bulk_supported_ && !exclude_frozen_ &&
       sweep_mode_ != SweepMode::kForceScalar) {
     const bool use_bulk =
@@ -141,9 +142,23 @@ void Engine::refresh_enabled() {
         dirty_queue_.size() * 4 >=
             static_cast<std::size_t>(graph_.num_vertices()) * 3;
     if (use_bulk) {
-      bulk_refresh();
+      if (can_parallel) {
+        parallel_bulk_refresh();
+      } else {
+        bulk_refresh();
+      }
       return;
     }
+  }
+  // Parallel scalar refresh (invariant 6) wants the dirty set large enough
+  // to amortize the barrier: at least a quarter of the network. Central
+  // daemons dirty O(Delta) processes per step and stay on the cheap serial
+  // drain below. Cost gate only — both paths compute identical state.
+  if (can_parallel && dirty_queue_.size() >= 2 &&
+      dirty_queue_.size() * 4 >=
+          static_cast<std::size_t>(graph_.num_vertices())) {
+    parallel_scalar_refresh();
+    return;
   }
   while (!dirty_queue_.empty()) {
     const ProcessId p = dirty_queue_.back();
@@ -201,6 +216,192 @@ void Engine::bulk_refresh() {
     probe_dirty_[static_cast<std::size_t>(p)] = 0;
   }
   dirty_queue_.clear();
+}
+
+std::pair<ProcessId, ProcessId> Engine::worker_range(int worker) const {
+  const int n = graph_.num_vertices();
+  const int threads = pool_->threads();
+  // Rounding the chunk up to a multiple of 64 keeps every worker's range
+  // inside its own EnabledSet words (and its own covered_/probe_dirty_
+  // cache lines); trailing workers may get an empty range on small graphs.
+  const int chunk = (((n + threads - 1) / threads) + 63) & ~63;
+  const ProcessId begin = static_cast<ProcessId>(
+      std::min<long long>(n, static_cast<long long>(worker) * chunk));
+  const ProcessId end =
+      static_cast<ProcessId>(std::min<long long>(n, begin + chunk));
+  return {begin, end};
+}
+
+void Engine::parallel_scalar_refresh() {
+  // Every worker scans the shared dirty queue and probes the ids in its
+  // own range — ranges partition the id space, so each entry is probed
+  // exactly once and all writes (memo slot, dirty flag, covered byte,
+  // EnabledSet word) stay inside the worker's partition. Probe results
+  // are order-independent (the configuration is fixed for the whole
+  // refresh), so this produces exactly the serial drain's state.
+  pool_->run([&](int w) {
+    const auto [begin, end] = worker_range(w);
+    WorkerState& ws = worker_states_[static_cast<std::size_t>(w)];
+    ws.enabled_delta = 0;
+    ws.covered_delta = 0;
+    if (begin >= end) return;
+    ProbeRecorder recorder;
+    for (const ProcessId p : dirty_queue_) {
+      if (p < begin || p >= end) continue;
+      probe_dirty_[static_cast<std::size_t>(p)] = 0;
+      auto& reads = probe_reads_[static_cast<std::size_t>(p)];
+      reads.clear();
+      recorder.target = &reads;
+      GuardContext guard(graph_, config_, p, &recorder);
+      const int action = protocol_.first_enabled(guard);
+      probe_action_[static_cast<std::size_t>(p)] = action;
+      const bool now = action != Protocol::kDisabled;
+      ws.enabled_delta += enabled_.assign_deferred(p, now);
+      // Same covering rule as the serial drain (cover() inlined against
+      // the worker-local counter).
+      if (!now && !covered_[static_cast<std::size_t>(p)]) {
+        covered_[static_cast<std::size_t>(p)] = 1;
+        ++ws.covered_delta;
+      }
+    }
+  });
+  for (const WorkerState& ws : worker_states_) {
+    enabled_.add_count(ws.enabled_delta);
+    covered_count_ += ws.covered_delta;
+  }
+  dirty_queue_.clear();
+}
+
+void Engine::parallel_bulk_refresh() {
+  const int n = graph_.num_vertices();
+  if (bulk_actions_.universe() != n) bulk_actions_.reset(n);
+  BulkGuardContext ctx(graph_, config_, probe_reads_);
+  // Like bulk_refresh, the sweep rewrites every memo, clean or dirty —
+  // but each worker clears, resets, sweeps, and commits only its own
+  // range, so the whole O(n) pass parallelizes.
+  pool_->run([&](int w) {
+    const auto [begin, end] = worker_range(w);
+    WorkerState& ws = worker_states_[static_cast<std::size_t>(w)];
+    ws.enabled_delta = 0;
+    ws.covered_delta = 0;
+    if (begin >= end) return;
+    for (ProcessId p = begin; p < end; ++p) {
+      probe_reads_[static_cast<std::size_t>(p)].clear();
+    }
+    bulk_actions_.reset_range(begin, end);
+    protocol_.sweep_enabled_range(ctx, bulk_actions_, begin, end);
+    const std::int8_t* actions = bulk_actions_.actions();
+    for (ProcessId p = begin; p < end; ++p) {
+      const int action = actions[static_cast<std::size_t>(p)];
+      probe_action_[static_cast<std::size_t>(p)] = action;
+      const bool now = action != Protocol::kDisabled;
+      ws.enabled_delta += enabled_.assign_deferred(p, now);
+      if (!now && !covered_[static_cast<std::size_t>(p)]) {
+        covered_[static_cast<std::size_t>(p)] = 1;
+        ++ws.covered_delta;
+      }
+      probe_dirty_[static_cast<std::size_t>(p)] = 0;
+    }
+  });
+  for (const WorkerState& ws : worker_states_) {
+    enabled_.add_count(ws.enabled_delta);
+    covered_count_ += ws.covered_delta;
+  }
+  dirty_queue_.clear();
+}
+
+void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
+  static const std::vector<Value> kNoScript;
+  const int threads = pool_->threads();
+  const std::size_t chunk =
+      (selected + static_cast<std::size_t>(threads) - 1) /
+      static_cast<std::size_t>(threads);
+  const auto slice = [&](int w) {
+    const std::size_t begin =
+        std::min(selected, static_cast<std::size_t>(w) * chunk);
+    return std::pair<std::size_t, std::size_t>{
+        begin, std::min(selected, begin + chunk)};
+  };
+
+  // Phase 1 over contiguous selection slices, all against the shared
+  // gamma_i snapshot; the barrier below keeps any commit from being
+  // visible to a still-evaluating worker. Actions run against a per-worker
+  // scratch rng with the empty random script installed: a protocol that
+  // declared is_probabilistic() == false and draws anyway is caught by the
+  // assert instead of silently diverging from the serial rng stream.
+  pool_->run([&](int w) {
+    const auto [begin, end] = slice(w);
+    WorkerState& ws = worker_states_[static_cast<std::size_t>(w)];
+    ws.tally.begin_step();
+    ws.commits.clear();
+    Rng scratch_rng(0x9a7a11e1ULL);
+    for (std::size_t i = begin; i < end; ++i) {
+      const ProcessId p = selection_[i];
+      ProcessStep& staged = staged_[i];
+      staged.writes.clear();
+      staged.comm_write_attempted = false;
+      for (const auto& [subject, var] :
+           probe_reads_[static_cast<std::size_t>(p)]) {
+        ws.tally.on_read(p, subject, var);
+      }
+      staged.action = probe_action_[static_cast<std::size_t>(p)];
+      if (staged.action == Protocol::kDisabled) continue;
+      ActionContext action(graph_, config_, p, scratch_rng, &ws.tally,
+                           &staged.writes);
+      action.set_random_script(&kNoScript);
+      protocol_.execute(staged.action, action);
+      SSS_ASSERT(action.random_draws().empty(),
+                 "a protocol declaring is_probabilistic() == false drew "
+                 "randomness inside the parallel execution path");
+      staged.comm_write_attempted = action.comm_write_attempted();
+    }
+  });
+
+  // Phase 2a: commit each slice's rows in parallel. A process's writes
+  // touch only its own configuration row, and the slices partition the
+  // (strictly ascending, distinct) selection, so the rows are disjoint.
+  pool_->run([&](int w) {
+    const auto [begin, end] = slice(w);
+    WorkerState& ws = worker_states_[static_cast<std::size_t>(w)];
+    for (std::size_t i = begin; i < end; ++i) {
+      const ProcessStep& staged = staged_[i];
+      if (staged.action == Protocol::kDisabled) continue;
+      const ProcessId p = selection_[i];
+      ws.commits.push_back({p, commit_writes(config_, p, staged.writes)});
+    }
+  });
+
+  // Phase 2b: serial merge in worker order = ascending selection order,
+  // so every dirty-queue push lands in exactly the order the serial
+  // engine's commit loop would produce it.
+  for (const WorkerState& ws : worker_states_) {
+    read_counter_.absorb(ws.tally.total_reads(), ws.tally.total_bits(),
+                         ws.tally.max_reads(), ws.tally.max_bits());
+    for (const auto& [p, changed] : ws.commits) {
+      ++info.fired;
+      mark_probe_dirty(p);
+      mark_solo_dirty(p);
+      if (changed) {
+        info.comm_changed = true;
+        note_comm_changed(p);
+      }
+    }
+  }
+}
+
+void Engine::set_parallel_threads(int threads) {
+  SSS_REQUIRE(threads >= 1, "parallel thread count must be at least 1");
+  if (threads == parallel_threads_) return;
+  parallel_threads_ = threads;
+  pool_.reset();
+  worker_states_.clear();
+  if (threads > 1) {
+    pool_ = std::make_unique<StepPool>(threads);
+    worker_states_.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      worker_states_.emplace_back(read_counter_);
+    }
+  }
 }
 
 bool Engine::verified_self_loop(ProcessId p, int action) {
@@ -283,10 +484,14 @@ bool Engine::comm_quiescent_cached() {
 
 void Engine::attach_read_logger(ReadLogger* logger) {
   logger_mux_.add(logger);
+  // An external observer sees reads through the order-sensitive mux, so
+  // its presence pins the serial execution path (invariant 6).
+  ++external_loggers_;
 }
 
 void Engine::detach_read_logger(ReadLogger* logger) {
   logger_mux_.remove(logger);
+  if (external_loggers_ > 0) --external_loggers_;
 }
 
 std::uint64_t Engine::rounds_inclusive() const {
@@ -336,46 +541,57 @@ Engine::StepInfo Engine::step() {
 
   read_counter_.begin_step();
 
-  // Phase 1: every selected process evaluates against the gamma_i snapshot.
-  // The guard half is replayed from the memo (invariant 4): the refresh
-  // above drained the dirty queue, so each memo holds exactly the action
-  // and read log a live first_enabled run would produce now. staged_ grows
-  // monotonically and its write buffers keep their capacity, so this loop
-  // allocates nothing in steady state.
   const std::size_t selected = selection_.size();
   if (staged_.size() < selected) staged_.resize(selected);
-  for (std::size_t i = 0; i < selected; ++i) {
-    const ProcessId p = selection_[i];
-    ProcessStep& staged = staged_[i];
-    staged.writes.clear();
-    staged.comm_write_attempted = false;
-    for (const auto& [subject, var] : probe_reads_[static_cast<std::size_t>(p)]) {
-      logger_mux_.on_read(p, subject, var);
-    }
-    staged.action = probe_action_[static_cast<std::size_t>(p)];
-    if (staged.action == Protocol::kDisabled) continue;
-    ActionContext action(graph_, config_, p, rng_, &logger_mux_,
-                         &staged.writes);
-    protocol_.execute(staged.action, action);
-    staged.comm_write_attempted = action.comm_write_attempted();
-  }
-
-  // Phase 2: simultaneous commit forms gamma_{i+1}.
   StepInfo info;
   info.selected = static_cast<int>(selected);
-  for (std::size_t i = 0; i < selected; ++i) {
-    const ProcessId p = selection_[i];
-    const ProcessStep& staged = staged_[i];
-    if (staged.action == Protocol::kDisabled) continue;
-    ++info.fired;
-    const bool changed = commit_writes(config_, p, staged.writes);
-    // Any fired action may change the process's own state, so its cached
-    // enabledness and solo-quiescence answers are stale either way.
-    mark_probe_dirty(p);
-    mark_solo_dirty(p);
-    if (changed) {
-      info.comm_changed = true;
-      note_comm_changed(p);
+
+  // Parallel dispatch (invariant 6): probabilistic protocols must consume
+  // rng_ in ascending selection order, and external read loggers observe
+  // reads through the order-sensitive mux — both pin the serial path.
+  // Cost gate aside, both paths produce bit-identical state.
+  if (pool_ != nullptr && selected >= 2 && !protocol_.is_probabilistic() &&
+      external_loggers_ == 0) {
+    parallel_phases(selected, info);
+  } else {
+    // Phase 1: every selected process evaluates against the gamma_i
+    // snapshot. The guard half is replayed from the memo (invariant 4):
+    // the refresh above drained the dirty queue, so each memo holds
+    // exactly the action and read log a live first_enabled run would
+    // produce now. staged_ grows monotonically and its write buffers keep
+    // their capacity, so this loop allocates nothing in steady state.
+    for (std::size_t i = 0; i < selected; ++i) {
+      const ProcessId p = selection_[i];
+      ProcessStep& staged = staged_[i];
+      staged.writes.clear();
+      staged.comm_write_attempted = false;
+      for (const auto& [subject, var] :
+           probe_reads_[static_cast<std::size_t>(p)]) {
+        logger_mux_.on_read(p, subject, var);
+      }
+      staged.action = probe_action_[static_cast<std::size_t>(p)];
+      if (staged.action == Protocol::kDisabled) continue;
+      ActionContext action(graph_, config_, p, rng_, &logger_mux_,
+                           &staged.writes);
+      protocol_.execute(staged.action, action);
+      staged.comm_write_attempted = action.comm_write_attempted();
+    }
+
+    // Phase 2: simultaneous commit forms gamma_{i+1}.
+    for (std::size_t i = 0; i < selected; ++i) {
+      const ProcessId p = selection_[i];
+      const ProcessStep& staged = staged_[i];
+      if (staged.action == Protocol::kDisabled) continue;
+      ++info.fired;
+      const bool changed = commit_writes(config_, p, staged.writes);
+      // Any fired action may change the process's own state, so its cached
+      // enabledness and solo-quiescence answers are stale either way.
+      mark_probe_dirty(p);
+      mark_solo_dirty(p);
+      if (changed) {
+        info.comm_changed = true;
+        note_comm_changed(p);
+      }
     }
   }
 

@@ -79,6 +79,28 @@
 ///     and the dirty-queue invariant is preserved. Frozen-process
 ///     exclusion needs the per-process self-loop classifier, so it always
 ///     takes the scalar path.
+///
+///  6. Intra-trial parallelism (opt-in via set_parallel_threads). The
+///     network is partitioned into contiguous 64-aligned process ranges —
+///     one per StepPool worker — so each range owns disjoint EnabledSet
+///     words, probe memo slots, and covered_/probe_dirty_ bytes. Guard
+///     refreshes (scalar probes and bulk sweeps alike; guards never draw
+///     randomness) and the selected set's phase-1 evaluation + phase-2
+///     row commits fan out over the ranges; everything order-sensitive —
+///     daemon selection (it consumes rng_), EnabledSet count deltas,
+///     dirty-queue pushes, read-metric absorption — is merged serially in
+///     ascending process order after the barrier. The determinism
+///     contract: every configuration trajectory, round count, and
+///     read/bit metric is bit-identical to the single-threaded engine at
+///     any thread count. Three gates keep the contract airtight rather
+///     than probabilistic: probabilistic protocols fall back to serial
+///     execution (Rng::below consumes a variable number of words, so
+///     parallel actions cannot preserve the stream; an empty random
+///     script + assert catches a protocol that lies about
+///     is_probabilistic), attached external read loggers force the
+///     serial path (ReadLoggerMux fan-out is order-sensitive and not
+///     thread-safe), and frozen-process exclusion pins the scalar serial
+///     refresh exactly as it pins the scalar sweep.
 
 #include <cstdint>
 #include <functional>
@@ -92,6 +114,7 @@
 #include "runtime/daemon.hpp"
 #include "runtime/enabled_set.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/protocol.hpp"
 #include "runtime/quiescence.hpp"
 #include "runtime/trace.hpp"
@@ -235,6 +258,14 @@ class Engine {
   void set_sweep_mode(SweepMode mode) { sweep_mode_ = mode; }
   SweepMode sweep_mode() const { return sweep_mode_; }
 
+  /// Intra-trial parallelism (invariant 6 in the file comment): evaluate
+  /// guard refreshes and the selected set on `threads` pool workers with a
+  /// deterministic merge. 1 (the default) runs fully serial with no pool.
+  /// Any value produces the bit-identical computation — thread count only
+  /// changes wall-clock — so callers may pick it from the hardware freely.
+  void set_parallel_threads(int threads);
+  int parallel_threads() const { return parallel_threads_; }
+
   /// Exact silence check of the current configuration.
   bool quiescent() const;
 
@@ -259,6 +290,20 @@ class Engine {
   /// and round covering — the bulk equivalent of draining the dirty queue
   /// through scalar probes.
   void bulk_refresh();
+  /// Partitioned counterparts of the two refresh paths (invariant 6):
+  /// every worker drains the dirty ids (scalar) or sweeps (bulk) its own
+  /// 64-aligned range, deferring EnabledSet count and covered_count_
+  /// deltas to the serial merge after the barrier.
+  void parallel_scalar_refresh();
+  void parallel_bulk_refresh();
+  /// Phase 1 + 2 of step() over the pool: evaluate the selection in
+  /// contiguous index slices, barrier, commit rows in parallel, barrier,
+  /// then merge dirty marks and read metrics serially in ascending
+  /// selection order. Only called under the invariant-6 gates.
+  void parallel_phases(std::size_t selected, StepInfo& info);
+  /// Worker w's process range [begin, end): contiguous, 64-aligned, so
+  /// partitioned writers never share an EnabledSet word.
+  std::pair<ProcessId, ProcessId> worker_range(int worker) const;
   /// Would firing `action` (p's memoized first enabled action) provably
   /// leave the configuration unchanged? See set_exclude_frozen.
   bool verified_self_loop(ProcessId p, int action);
@@ -335,6 +380,22 @@ class Engine {
   std::vector<ProcessStep> staged_;
   std::vector<Value> solo_saved_row_;
   ProcessStep solo_scratch_;
+
+  // Intra-trial parallelism (invariant 6). worker_states_ holds one slot
+  // per pool worker, reused across steps; external_loggers_ counts
+  // attach_read_logger clients, whose presence forces the serial path.
+  struct WorkerState {
+    explicit WorkerState(const StepReadCounter& counter) : tally(counter) {}
+    WorkerReadTally tally;
+    /// (process, comm changed) per committed row, in slice order.
+    std::vector<std::pair<ProcessId, bool>> commits;
+    int enabled_delta = 0;
+    int covered_delta = 0;
+  };
+  int parallel_threads_ = 1;
+  std::unique_ptr<StepPool> pool_;
+  std::vector<WorkerState> worker_states_;
+  int external_loggers_ = 0;
 
   ReadLoggerMux logger_mux_;
   StepReadCounter read_counter_;

@@ -76,6 +76,53 @@ int StepReadCounter::step_reads_of(ProcessId reader) const {
       readers_[static_cast<std::size_t>(reader)].subjects.size());
 }
 
+void StepReadCounter::absorb(std::uint64_t reads, std::uint64_t bits,
+                             int max_reads, int max_bits) {
+  total_reads_ += reads;
+  total_bits_ += bits;
+  max_reads_ = std::max(max_reads_, max_reads);
+  max_bits_ = std::max(max_bits_, max_bits);
+}
+
+void WorkerReadTally::begin_step() {
+  current_reader_ = -1;
+  seen.clear();
+  subjects.clear();
+  bits_ = 0;
+  total_reads_ = 0;
+  total_bits_ = 0;
+  max_reads_ = 0;
+  max_bits_ = 0;
+}
+
+void WorkerReadTally::on_read(ProcessId reader, ProcessId subject,
+                              int comm_var) {
+  if (reader != current_reader_) {
+    // Selections are strictly ascending and a reader's reads are
+    // contiguous, so a reader change means the previous one is finished
+    // for this step and its scratch can be recycled.
+    current_reader_ = reader;
+    seen.clear();
+    subjects.clear();
+    bits_ = 0;
+  }
+  const std::pair<ProcessId, int> key{subject, comm_var};
+  if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+    return;  // the same variable re-read within one atomic step is free
+  }
+  seen.push_back(key);
+  if (std::find(subjects.begin(), subjects.end(), subject) ==
+      subjects.end()) {
+    subjects.push_back(subject);
+    ++total_reads_;
+    max_reads_ = std::max(max_reads_, static_cast<int>(subjects.size()));
+  }
+  const int bits = source_.bits_of(subject, comm_var);
+  bits_ += bits;
+  total_bits_ += static_cast<std::uint64_t>(bits);
+  max_bits_ = std::max(max_bits_, bits_);
+}
+
 StabilityTracker::StabilityTracker(const Graph& g)
     : read_sets_(static_cast<std::size_t>(g.num_vertices())) {}
 

@@ -13,6 +13,7 @@
 /// off ♦-(x,k)-stability: x = count_at_most(k).
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -52,6 +53,20 @@ class StepReadCounter final : public ReadLogger {
   std::uint64_t total_reads() const { return total_reads_; }
   std::uint64_t total_bits() const { return total_bits_; }
 
+  /// Bit width of `comm_var` of `subject` — the per-read cost the counter
+  /// charges. Exposed so a WorkerReadTally can charge identically.
+  int bits_of(ProcessId subject, int comm_var) const {
+    return var_bits_[static_cast<std::size_t>(subject)]
+                    [static_cast<std::size_t>(comm_var)];
+  }
+
+  /// Merges a worker tally's step contribution (parallel execution path):
+  /// totals sum, per-process-step maxima max. Exact because the maxima are
+  /// per (reader, step) and each selected reader's reads all land in one
+  /// worker's tally; note step_reads_of is not maintained by this path.
+  void absorb(std::uint64_t reads, std::uint64_t bits, int max_reads,
+              int max_bits);
+
  private:
   struct PerReader {
     /// (subject, var) pairs seen this step; tiny (<= Delta * vars).
@@ -68,6 +83,46 @@ class StepReadCounter final : public ReadLogger {
   int max_bits_ = 0;
   std::uint64_t total_reads_ = 0;
   std::uint64_t total_bits_ = 0;
+};
+
+/// Per-worker read accounting for the engine's parallel execution path.
+///
+/// A StepReadCounter per worker would be exact but carries O(n) PerReader
+/// state per instance — prohibitive at n = 10^6 x 8 workers. The tally
+/// exploits the parallel path's access pattern instead: each worker
+/// processes its slice of the selection one reader at a time, and all of a
+/// reader's reads for the step (memo replay + action-time nbr_comm) are
+/// contiguous in that worker. So one scratch dedup set, recycled per
+/// reader, reproduces StepReadCounter's per-(reader,subject,var)
+/// deduplication exactly, and only the four aggregates survive:
+/// totals (summed into the main counter) and per-process-step maxima
+/// (maxed in). `StepReadCounter::absorb` is the merge.
+class WorkerReadTally final : public ReadLogger {
+ public:
+  explicit WorkerReadTally(const StepReadCounter& source) : source_(source) {}
+
+  /// Clears the step accumulators; call once per step before the slice.
+  void begin_step();
+
+  void on_read(ProcessId reader, ProcessId subject, int comm_var) override;
+
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+  int max_reads() const { return max_reads_; }
+  int max_bits() const { return max_bits_; }
+
+ private:
+  const StepReadCounter& source_;  ///< for bits_of only
+  /// Scratch state of the reader currently being processed.
+  ProcessId current_reader_ = -1;
+  std::vector<std::pair<ProcessId, int>> seen;
+  std::vector<ProcessId> subjects;
+  int bits_ = 0;
+  /// Step aggregates absorbed into the main counter after the barrier.
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_bits_ = 0;
+  int max_reads_ = 0;
+  int max_bits_ = 0;
 };
 
 /// Accumulates distinct-neighbor read sets per process since last reset.

@@ -1,0 +1,80 @@
+#include "runtime/parallel.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+StepPool::StepPool(int threads) : threads_(threads) {
+  SSS_REQUIRE(threads >= 1, "a step pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+StepPool::~StepPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void StepPool::run(const std::function<void(int)>& task) {
+  if (threads_ == 1) {
+    task(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    remaining_ = threads_ - 1;
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_.notify_all();
+  // The caller is worker 0; its exception must still wait for the barrier
+  // (workers may hold references into caller-owned state).
+  std::exception_ptr own_error;
+  try {
+    task(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+  std::exception_ptr error = own_error ? own_error : error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void StepPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(worker);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --remaining_;
+    }
+    done_.notify_one();
+  }
+}
+
+}  // namespace sss

@@ -1,0 +1,68 @@
+#pragma once
+/// \file parallel.hpp
+/// Persistent barrier pool for intra-trial parallelism.
+///
+/// The batch runner (analysis/batch.hpp) parallelizes *across* trials;
+/// `StepPool` is the complementary primitive for parallelism *inside* one
+/// trial. An `Engine` with a pool partitions the network into contiguous
+/// process ranges and fans guard refreshes and selected-set execution out
+/// to the workers, merging the results deterministically (engine.hpp,
+/// invariant 6) — so the pool only has to provide one operation:
+///
+///   run(task) — every worker w in [0, threads) executes task(w) once,
+///   and run() returns after all of them finished (a full barrier).
+///
+/// The calling thread participates as worker 0, so `threads == 1` still
+/// works (degenerating to a plain call) and `threads == T` spawns T-1
+/// OS threads. Workers are spawned once at construction and parked on a
+/// condition variable between runs: a synchronous step issues several
+/// fan-outs per step, and at that rate thread creation would dominate.
+///
+/// Exceptions thrown by a task are captured (first one wins) and
+/// rethrown from run() on the calling thread after the barrier, matching
+/// the batch runner's error contract. Synchronization is mutex +
+/// condition variables only — no hand-rolled atomics — which keeps every
+/// happens-before edge visible to ThreadSanitizer.
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sss {
+
+class StepPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is worker 0).
+  /// Requires threads >= 1.
+  explicit StepPool(int threads);
+  ~StepPool();
+
+  StepPool(const StepPool&) = delete;
+  StepPool& operator=(const StepPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs task(w) once for every worker id w in [0, threads()); returns
+  /// after every call finished. Not reentrant: a task must not call
+  /// run() on its own pool.
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void worker_loop(int worker);
+
+  const int threads_;
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(int)>* task_ = nullptr;  // valid while a run is live
+  std::uint64_t generation_ = 0;  ///< bumped once per run(); wakes workers
+  int remaining_ = 0;             ///< spawned workers still inside the run
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sss

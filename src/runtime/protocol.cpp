@@ -10,9 +10,15 @@ static_assert(EnabledBitmap::kDisabled == Protocol::kDisabled);
 
 void Protocol::install_constants(const Graph&, Configuration&) const {}
 
-void Protocol::sweep_enabled(BulkGuardContext&, EnabledBitmap&) const {
+void Protocol::sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const {
+  sweep_enabled_range(ctx, out, 0,
+                      static_cast<ProcessId>(ctx.graph().num_vertices()));
+}
+
+void Protocol::sweep_enabled_range(BulkGuardContext&, EnabledBitmap&,
+                                   ProcessId, ProcessId) const {
   SSS_ASSERT(false,
-             "sweep_enabled called on a protocol without a bulk sweep "
+             "sweep_enabled_range called on a protocol without a bulk sweep "
              "(has_bulk_sweep() gates the call)");
 }
 

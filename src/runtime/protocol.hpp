@@ -48,8 +48,21 @@ class Protocol {
   /// the exact order the scalar `first_enabled` would log them. Must be
   /// behaviourally identical to n scalar probes — the engine replays both
   /// outputs, and the lockstep suites compare against `ReferenceEngine`.
-  /// Only called when `has_bulk_sweep()` is true; the default asserts.
-  virtual void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const;
+  /// Only called when `has_bulk_sweep()` is true. Implemented as the
+  /// whole-network case of `sweep_enabled_range`.
+  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const;
+
+  /// The sweep restricted to processes [begin, end): kernels must touch
+  /// only `out` entries and `ctx` logs of that range (reading any process's
+  /// configuration is fine — guards read neighbors). This is the partition
+  /// primitive of the engine's intra-trial parallel refresh: disjoint
+  /// ranges sweep concurrently, each reproducing exactly the actions and
+  /// read logs the whole-network sweep would produce for its slice.
+  /// Because a kernel body is a loop over p anyway, opting in means
+  /// implementing this and inheriting `sweep_enabled` for free. Only
+  /// called when `has_bulk_sweep()` is true; the default asserts.
+  virtual void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                                   ProcessId begin, ProcessId end) const;
 
   /// Writes the protocol's communication constants (e.g. colors C.p) into
   /// `config`. Called once after construction and again after any state

@@ -20,10 +20,11 @@ namespace {
 std::string lockstep_mismatch(const Graph& g, const Protocol& protocol,
                               const std::string& daemon_name,
                               std::uint64_t seed, int steps,
-                              SweepMode sweep_mode) {
+                              SweepMode sweep_mode, int parallel_threads) {
   Engine fast(g, protocol, make_daemon(daemon_name), seed);
   ReferenceEngine oracle(g, protocol, make_daemon(daemon_name), seed);
   fast.set_sweep_mode(sweep_mode);
+  fast.set_parallel_threads(parallel_threads);
   fast.randomize_state();
   oracle.randomize_state();
   if (!(fast.config() == oracle.config())) {
@@ -84,6 +85,9 @@ std::vector<Graph> harness_menagerie() {
   graphs.push_back(grid(3, 3));
   graphs.push_back(balanced_binary_tree(9));
   graphs.push_back(petersen());
+  // One production-shaped family: dense cliques behind thin bridges, the
+  // degree profile none of the classical members above has.
+  graphs.push_back(grid_of_clusters(2, 2, 4));
   return graphs;
 }
 
@@ -127,6 +131,7 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
         // Convergence: random start -> certified-silent configuration.
         Engine engine(g, *protocol, make_daemon(daemon_name), seed);
         engine.set_sweep_mode(options.sweep_mode);
+        engine.set_parallel_threads(options.parallel_threads);
         engine.randomize_state();
         RunOptions run;
         run.max_steps = options.max_steps;
@@ -166,9 +171,9 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
         }
 
         // Equivalence: incremental engine vs full-scan oracle, same seed.
-        const std::string mismatch =
-            lockstep_mismatch(g, *protocol, daemon_name, seed,
-                              options.lockstep_steps, options.sweep_mode);
+        const std::string mismatch = lockstep_mismatch(
+            g, *protocol, daemon_name, seed, options.lockstep_steps,
+            options.sweep_mode, options.parallel_threads);
         if (!mismatch.empty()) violate("equivalence", mismatch);
       }
     }
@@ -222,6 +227,7 @@ HarnessReport run_protocol_fault_closure_suite(
 
         Engine engine(g, *protocol, make_daemon(daemon_name), seed);
         engine.set_sweep_mode(options.sweep_mode);
+        engine.set_parallel_threads(options.parallel_threads);
         engine.randomize_state();
         RunOptions run;
         run.max_steps = options.max_steps;

@@ -191,6 +191,77 @@ TEST(Builders, RandomRegular) {
   EXPECT_THROW(random_regular(5, 3, rng), PreconditionError);  // odd n*d
 }
 
+TEST(Builders, PreferentialAttachmentShape) {
+  Rng rng(4);
+  for (const auto [n, m] : {std::pair{10, 1}, {40, 2}, {120, 3}}) {
+    const Graph g = preferential_attachment(n, m, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    // (m+1)-clique core plus m edges per arriving vertex, all simple.
+    EXPECT_EQ(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+    EXPECT_GE(g.min_degree(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+  // The power-law signature: some early vertex accumulates degree well
+  // above m (a G(n, p) of equal density a.s. would not at this size).
+  Rng hub_rng(5);
+  const Graph g = preferential_attachment(200, 2, hub_rng);
+  EXPECT_GE(g.max_degree(), 12);
+  EXPECT_THROW(preferential_attachment(3, 3, rng), PreconditionError);
+  EXPECT_THROW(preferential_attachment(5, 0, rng), PreconditionError);
+}
+
+TEST(Builders, RandomGeometricConnectedAndLocal) {
+  for (double radius : {0.08, 0.2, 0.6}) {
+    Rng rng(6);
+    const Graph g = random_geometric(60, radius, rng);
+    EXPECT_EQ(g.num_vertices(), 60);
+    EXPECT_TRUE(is_connected(g));
+  }
+  // A generous radius on few points approaches the complete graph — the
+  // cell grid must not lose any in-range pair across cell boundaries.
+  Rng rng(7);
+  const Graph dense = random_geometric(12, 1.5, rng);
+  EXPECT_EQ(dense.num_edges(), 12 * 11 / 2);
+  EXPECT_THROW(random_geometric(5, 0.0, rng), PreconditionError);
+  EXPECT_THROW(random_geometric(0, 0.2, rng), PreconditionError);
+}
+
+TEST(Builders, GridOfClustersShape) {
+  const Graph g = grid_of_clusters(2, 3, 4);
+  EXPECT_EQ(g.num_vertices(), 2 * 3 * 4);
+  // Six K_4 cliques plus one bridge per adjacent cluster pair (7 pairs
+  // in a 2x3 grid).
+  EXPECT_EQ(g.num_edges(), 6 * 6 + 7);
+  EXPECT_TRUE(is_connected(g));
+  // Deterministic: no seed, so two builds are the same graph.
+  EXPECT_EQ(g.edges(), grid_of_clusters(2, 3, 4).edges());
+  // Degenerate corners still build: one cluster, and singleton clusters
+  // (which reduce to the plain grid).
+  EXPECT_EQ(grid_of_clusters(1, 1, 5).num_edges(), 10);
+  const Graph thin = grid_of_clusters(3, 3, 1);
+  EXPECT_EQ(thin.num_vertices(), 9);
+  EXPECT_TRUE(is_connected(thin));
+  EXPECT_THROW(grid_of_clusters(0, 3, 4), PreconditionError);
+}
+
+TEST(Builders, RandomFamiliesAreSeedReproducible) {
+  // Same seed -> identical edge lists; different seed -> (at these sizes)
+  // a different graph. This is what lets manifests name a topology by
+  // (family, params, seed) and get the same experiment everywhere.
+  const auto build_pa = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return preferential_attachment(50, 2, rng);
+  };
+  EXPECT_EQ(build_pa(11).edges(), build_pa(11).edges());
+  EXPECT_NE(build_pa(11).edges(), build_pa(12).edges());
+  const auto build_geo = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return random_geometric(50, 0.25, rng);
+  };
+  EXPECT_EQ(build_geo(11).edges(), build_geo(11).edges());
+  EXPECT_NE(build_geo(11).edges(), build_geo(12).edges());
+}
+
 TEST(Builders, Theorem1SpiderShape) {
   for (int delta : {2, 3, 4}) {
     const Graph g = theorem1_spider(delta);

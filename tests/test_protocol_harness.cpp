@@ -136,9 +136,10 @@ class WrongSweep final : public Protocol {
     ctx.set_comm(0, action == 0 ? 1 : 2);
   }
   bool has_bulk_sweep() const override { return true; }
-  void sweep_enabled(BulkGuardContext& ctx, EnabledBitmap& out) const override {
+  void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
+                           ProcessId begin, ProcessId end) const override {
     const Configuration& cfg = ctx.config();
-    for (ProcessId p = 0; p < ctx.graph().num_vertices(); ++p) {
+    for (ProcessId p = begin; p < end; ++p) {
       if (cfg.comm(p, 0) != 2) out.set_action(p, 1);
     }
   }

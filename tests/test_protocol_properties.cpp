@@ -50,10 +50,10 @@ TEST(ProtocolPropertySuite, ConvergenceClosureSilenceEquivalenceGrid) {
     EXPECT_TRUE(report.ok()) << report.str();
     total_trials += report.trials;
   }
-  // 10 protocols x 6 graphs x 6 daemons x 2 seeds, minus the grid cells
-  // outside full-read-coloring's daemon assumption (6 graphs x 2 excluded
+  // 10 protocols x 7 graphs x 6 daemons x 2 seeds, minus the grid cells
+  // outside full-read-coloring's daemon assumption (7 graphs x 2 excluded
   // daemons x 2 seeds).
-  EXPECT_EQ(total_trials, 720 - 24);
+  EXPECT_EQ(total_trials, 840 - 28);
 }
 
 TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
@@ -65,6 +65,24 @@ TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
   // is proven by the wrong-sweep toy in tests/test_protocol_harness.cpp.
   testing::HarnessOptions options;
   options.sweep_mode = SweepMode::kForceBulk;
+  options.seeds_per_daemon = 1;
+  const std::vector<testing::HarnessReport> reports =
+      testing::run_registry_property_suite(options);
+  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  for (const testing::HarnessReport& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.str();
+  }
+}
+
+TEST(ProtocolPropertySuite, ParallelSteppingForcedGridStaysInLockstep) {
+  // The registry-wide grid again, with every fast engine running the
+  // intra-trial parallel step (3 workers — odd, so 64-aligned range
+  // boundaries and the selection-slice boundaries disagree, the shape
+  // most likely to expose a merge-order bug). Engine invariant 6 says
+  // this changes nothing: convergence/legitimacy/closure must hold and
+  // every trial's ReferenceEngine lockstep must stay bit-identical.
+  testing::HarnessOptions options;
+  options.parallel_threads = 3;
   options.seeds_per_daemon = 1;
   const std::vector<testing::HarnessReport> reports =
       testing::run_registry_property_suite(options);
@@ -91,7 +109,7 @@ TEST(ProtocolPropertySuite, ClosureUnderFaultsAcrossTheRegistryGrid) {
     total_trials += report.trials;
   }
   // Same grid shape as the property suite at one seed per daemon.
-  EXPECT_EQ(total_trials, 360 - 12);
+  EXPECT_EQ(total_trials, 420 - 14);
 }
 
 TEST(ProtocolPropertySuite, NonDefaultParametersRunTheSameGrid) {

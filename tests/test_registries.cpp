@@ -30,6 +30,8 @@ TEST(GraphFamilyRegistry, EveryBuilderFamilyIsRegistered) {
       "balanced-binary-tree",          "caterpillar",
       "lollipop",       "barbell",     "petersen",
       "random-tree",    "erdos-renyi", "random-regular",
+      "preferential-attachment",       "random-geometric",
+      "grid-of-clusters",
       "theorem1-spider", "theorem2-gadget",
       "fig9-path",      "fig11-tight-matching"};
   const GraphFamilyRegistry& registry = GraphFamilyRegistry::instance();
@@ -59,6 +61,9 @@ TEST(GraphFamilyRegistry, BuildsEveryFamily) {
       {"random-tree", {{"n", 8}, {"seed", 7}}},
       {"erdos-renyi", {{"n", 10}, {"p", 0.3}, {"seed", 7}}},
       {"random-regular", {{"n", 8}, {"d", 3}, {"seed", 7}}},
+      {"preferential-attachment", {{"n", 20}, {"m", 2}, {"seed", 7}}},
+      {"random-geometric", {{"n", 20}, {"radius", 0.3}, {"seed", 7}}},
+      {"grid-of-clusters", {{"rows", 2}, {"cols", 2}, {"cluster", 3}}},
       {"theorem1-spider", {{"delta", 3}}},
       {"theorem2-gadget", {{"delta", 2}}},
       {"fig9-path", {{"n", 6}}},
@@ -85,6 +90,23 @@ TEST(GraphFamilyRegistry, MatchesDirectConstruction) {
   const Graph r2 = registry.build("random-regular",
                                   {{"n", 12}, {"d", 3}, {"seed", 9}});
   EXPECT_EQ(r1.edges(), r2.edges());
+
+  // The production-shaped families round-trip the same way: registry
+  // build == direct construction from the same (params, seed).
+  const Graph pa_registry = registry.build(
+      "preferential-attachment", {{"n", 30}, {"m", 2}, {"seed", 9}});
+  Rng pa_rng(9);
+  EXPECT_EQ(pa_registry.edges(),
+            preferential_attachment(30, 2, pa_rng).edges());
+  const Graph geo_registry = registry.build(
+      "random-geometric", {{"n", 30}, {"radius", 0.25}, {"seed", 9}});
+  Rng geo_rng(9);
+  EXPECT_EQ(geo_registry.edges(),
+            random_geometric(30, 0.25, geo_rng).edges());
+  const Graph clusters_registry = registry.build(
+      "grid-of-clusters", {{"rows", 2}, {"cols", 3}, {"cluster", 4}});
+  EXPECT_EQ(clusters_registry.edges(), grid_of_clusters(2, 3, 4).edges());
+  EXPECT_EQ(clusters_registry.name(), grid_of_clusters(2, 3, 4).name());
 }
 
 TEST(GraphFamilyRegistry, RejectsBadNamesAndParams) {

@@ -80,6 +80,7 @@ def regresses(metric: str, base: float, cur: float, threshold: float) -> bool:
 def load_benches(directory: Path) -> dict[str, list[dict]]:
     """Maps bench name -> records for every BENCH_*.json in directory."""
     benches: dict[str, list[dict]] = {}
+    skipped: list[str] = []
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             doc = json.loads(path.read_text())
@@ -91,11 +92,14 @@ def load_benches(directory: Path) -> dict[str, list[dict]]:
             if "context" in doc and "benchmarks" in doc:
                 # google-benchmark native output (bench_engine_throughput):
                 # absolute timings only, which are never gated anyway.
-                print(f"notice: {path.name} is google-benchmark format; "
-                      "skipped (absolute timings are not gated)")
+                skipped.append(path.name)
                 continue
             raise SystemExit(f"error: {path} is not a bench record document")
         benches[name] = records
+    if skipped:
+        print(f"notice: skipped {len(skipped)} google-benchmark file(s) in "
+              f"{directory} (absolute timings are not gated): "
+              f"{', '.join(skipped)}")
     return benches
 
 

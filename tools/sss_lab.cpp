@@ -4,7 +4,7 @@
 ///
 ///   sss_lab run manifest.json [--sink out.jsonl] [--sink out.csv]
 ///                             [--bench NAME] [--threads N] [--shards N]
-///                             [--quiet]
+///                             [--parallel-threads N] [--quiet]
 ///   sss_lab validate manifest.json
 ///   sss_lab list
 ///   sss_lab diff a.jsonl b.jsonl [--quiet]
@@ -61,6 +61,9 @@ int usage() {
       "      --bench <name>    write per-item summaries to BENCH_<name>.json\n"
       "      --threads <n>     worker threads (0 = hardware, 1 = inline)\n"
       "      --shards <n>      work-stealing shards (0 = one per item)\n"
+      "      --parallel-threads <n>\n"
+      "                        intra-trial engine threads for every item\n"
+      "                        (bit-identical output at any value)\n"
       "      --quiet           suppress the summary table\n"
       "  validate <manifest.json>        expand only; print the plan shape\n"
       "  list                            print all registered names\n"
@@ -156,6 +159,7 @@ int run_command(const std::vector<std::string>& args) {
   std::string bench_name;
   BatchOptions options;
   bool quiet = false;
+  int parallel_threads = 0;  // 0 = leave the manifest's values alone
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -171,6 +175,10 @@ int run_command(const std::vector<std::string>& args) {
       options.threads = int_value(arg, value(arg));
     } else if (arg == "--shards") {
       options.shards = int_value(arg, value(arg));
+    } else if (arg == "--parallel-threads") {
+      parallel_threads = int_value(arg, value(arg));
+      SSS_REQUIRE(parallel_threads >= 1,
+                  "--parallel-threads must be >= 1");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -183,7 +191,18 @@ int run_command(const std::vector<std::string>& args) {
   }
   SSS_REQUIRE(!manifest_path.empty(), "run needs a manifest path");
 
-  const ExperimentPlan plan = plan_from_manifest_file(manifest_path);
+  ExperimentPlan plan = plan_from_manifest_file(manifest_path);
+  if (parallel_threads != 0) {
+    // Post-expansion override: since the intra-trial parallel step is
+    // bit-identical to single-threaded (engine invariant 6), re-running a
+    // manifest at a different thread count must reproduce its output
+    // byte-for-byte — that is exactly what CI's determinism smoke checks.
+    for (BatchItem& item : plan.items) {
+      SSS_REQUIRE(!item.churn_enabled || parallel_threads == 1,
+                  "--parallel-threads > 1 cannot be applied to churn sweeps");
+      item.parallel_threads = parallel_threads;
+    }
+  }
 
   std::vector<std::unique_ptr<std::ofstream>> files;
   std::vector<std::unique_ptr<ResultSink>> owned;

@@ -12,6 +12,8 @@ Run locally:  python3 tools/test_bench_diff.py
 
 from __future__ import annotations
 
+import contextlib
+import io
 import json
 import subprocess
 import sys
@@ -112,6 +114,38 @@ class CompareLogic(unittest.TestCase):
         self.assertEqual(vanished, [])
         self.assertFalse(any(r.regressed for r in rows))
         self.assertFalse(any(r.gated for r in rows))
+
+
+class LoadBenches(unittest.TestCase):
+    def test_google_benchmark_skips_print_one_summary_line(self):
+        # Several google-benchmark files in one directory must produce a
+        # single notice naming them all, not one line per file.
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp)
+            for name in ("BENCH_gb_one.json", "BENCH_gb_two.json",
+                         "BENCH_gb_three.json"):
+                (directory / name).write_text(json.dumps(
+                    {"context": {"date": "now"}, "benchmarks": []}))
+            (directory / "BENCH_real.json").write_text(json.dumps(
+                {"bench": "real",
+                 "records": [{"case": "x", "speedup": 2.0}]}))
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                benches = bench_diff.load_benches(directory)
+        self.assertEqual(list(benches), ["real"])
+        notices = [line for line in out.getvalue().splitlines() if line]
+        self.assertEqual(len(notices), 1)
+        self.assertIn("3 google-benchmark file(s)", notices[0])
+        for name in ("BENCH_gb_one.json", "BENCH_gb_two.json",
+                     "BENCH_gb_three.json"):
+            self.assertIn(name, notices[0])
+
+    def test_no_notice_without_google_benchmark_files(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            benches = bench_diff.load_benches(FIXTURES / "baseline")
+        self.assertTrue(benches)
+        self.assertEqual(out.getvalue(), "")
 
 
 class JsonOutput(unittest.TestCase):
