@@ -5,7 +5,7 @@
 /// per step. This bench drives the synchronous-daemon MIS protocol over
 /// the production-shaped families (preferential attachment, random
 /// geometric, grid-of-clusters) and times every configuration twice: once
-/// single-threaded and once with 8 intra-trial workers. Engine invariant 6
+/// single-threaded and once with 8 intra-trial workers. Engine invariant 7
 /// makes the two runs the *same experiment* — every RunStats field and the
 /// final configuration hash are asserted equal — so the speedup ratio is a
 /// pure implementation measurement, not a semantics change.

@@ -171,6 +171,7 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
           churn.seed ^ (0x9e3779b97f4a7c15ULL * (engine_seed + 1));
       churn.seed = splitmix64(seed_state);
       churn.exclude_frozen = item.exclude_frozen;
+      churn.sweep_mode = item.sweep_mode;
       const LegitimacyPredicate& legitimacy =
           runs[static_cast<std::size_t>(ref.item)].legitimacy;
       auto drive = [&](auto& runner) {
@@ -193,6 +194,7 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
                     engine_seed);
       engine.set_exclude_frozen(item.exclude_frozen);
       engine.set_parallel_threads(item.parallel_threads);
+      engine.set_sweep_mode(item.sweep_mode);
       engine.randomize_state();
       stats = engine.run(runs[static_cast<std::size_t>(ref.item)]);
       if (item.extra_steps > 0) {

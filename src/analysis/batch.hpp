@@ -63,10 +63,15 @@ struct BatchItem {
   /// verified-self-loop exclusion; see engine.hpp).
   bool exclude_frozen = false;
   /// Forwarded to Engine::set_parallel_threads for every trial: intra-trial
-  /// worker threads (engine invariant 6 — bit-identical to single-threaded
+  /// worker threads (engine invariant 7 — bit-identical to single-threaded
   /// at any count, so trajectories and metrics never depend on it). Churn
   /// mode requires 1; ChurnRunner owns its engines and is not plumbed.
   int parallel_threads = 1;
+  /// Forwarded to Engine::set_sweep_mode for every trial (and to
+  /// ChurnOptions::sweep_mode in churn mode): auto / force_scalar /
+  /// force_bulk for the bulk sweep and bulk execute halves (engine
+  /// invariants 5 and 6). Mode changes cost only, never results.
+  SweepMode sweep_mode = SweepMode::kAuto;
 
   /// Churn-window mode (runtime/churn.hpp): each trial stabilizes first
   /// (that phase fills the trial's RunStats), then runs a measured window

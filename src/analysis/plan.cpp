@@ -23,7 +23,7 @@ const std::vector<std::string> kRunKeys = {
     "daemons",    "seeds_per_daemon",    "base_seed",
     "max_steps",  "stop_on_silence",     "quiescence_patience",
     "extra_steps", "exclude_frozen",     "churn",
-    "parallel_threads"};
+    "parallel_threads", "sweep_mode"};
 
 void require_known_keys(const JsonValue& object,
                         const std::vector<std::string>& allowed,
@@ -45,6 +45,7 @@ struct RunDefaults {
   int extra_steps = 0;
   bool exclude_frozen = false;
   int parallel_threads = 1;
+  SweepMode sweep_mode = SweepMode::kAuto;
   bool churn_enabled = false;
   ChurnOptions churn;
 };
@@ -168,6 +169,9 @@ RunDefaults apply_run_keys(RunDefaults base, const JsonValue& object) {
     SSS_REQUIRE(count >= 1 && count <= 1024,
                 "\"parallel_threads\" must be in [1, 1024]");
     base.parallel_threads = static_cast<int>(count);
+  }
+  if (const JsonValue* mode = object.find("sweep_mode")) {
+    base.sweep_mode = parse_sweep_mode(mode->as_string());
   }
   if (const JsonValue* churn = object.find("churn")) {
     // A churn block replaces any inherited one wholesale (null disables):
@@ -353,6 +357,7 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
         item.extra_steps = defaults.extra_steps;
         item.exclude_frozen = defaults.exclude_frozen;
         item.parallel_threads = defaults.parallel_threads;
+        item.sweep_mode = defaults.sweep_mode;
         if (defaults.churn_enabled) {
           item.churn_enabled = true;
           item.churn = defaults.churn;

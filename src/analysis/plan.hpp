@@ -40,7 +40,10 @@
 /// "extra_steps", "exclude_frozen", "churn", "parallel_threads" (engine
 /// worker threads per trial, default 1; the intra-trial parallel step is
 /// bit-identical to single-threaded, so this key changes wall-clock only —
-/// it is deliberately NOT a sink column. Churn sweeps require 1).
+/// it is deliberately NOT a sink column. Churn sweeps require 1), and
+/// "sweep_mode" ("auto" | "force_scalar" | "force_bulk", default "auto":
+/// the engine's bulk sweep/execute dispatch. Like "parallel_threads" it
+/// changes cost, never results, and is NOT a sink column).
 ///
 /// The "churn" key switches a sweep's trials into churn-window mode
 /// (runtime/churn.hpp): every trial stabilizes first, then runs a measured

@@ -103,6 +103,49 @@ void FullReadBfsTree::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void FullReadBfsTree::execute_selected(BulkExecContext& ctx,
+                                       const EnabledBitmap& enabled,
+                                       std::span<const ProcessId> selection,
+                                       std::size_t begin,
+                                       std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    Value* out = ctx.stage(i, p);
+    if (action == kFixRoot) {
+      out[kDistVar] = 0;
+      out[kParentVar] = 0;
+      continue;
+    }
+    // kRecompute re-reads the whole neighborhood at execute time (every
+    // read logged, channel order), keeping the first channel achieving
+    // the minimum — the scalar strict-< update rule.
+    const std::int32_t nbr_begin = offsets[p];
+    const std::int32_t nbr_end = offsets[p + 1];
+    Value best = max_distance_;
+    Value best_channel = 1;
+    for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+      ctx.log(p, q, kDistVar);
+      if (d < best) {
+        best = d;
+        best_channel = static_cast<Value>(slot - nbr_begin + 1);
+      }
+    }
+    out[kDistVar] = std::min<Value>(best + 1, max_distance_);
+    out[kParentVar] = best_channel;
+  }
+}
+
 void FullReadBfsTree::execute(int action, ActionContext& ctx) const {
   if (action == kFixRoot) {
     ctx.set_comm(kDistVar, 0);

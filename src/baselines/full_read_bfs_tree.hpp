@@ -36,6 +36,11 @@ class FullReadBfsTree final : public Protocol {
   void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                            ProcessId begin, ProcessId end) const override;
 
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection, std::size_t begin,
+                        std::size_t end) const override;
+
   ProcessId root() const { return root_; }
   Value max_distance() const { return max_distance_; }
 

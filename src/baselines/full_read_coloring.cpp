@@ -1,5 +1,6 @@
 #include "baselines/full_read_coloring.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "support/require.hpp"
@@ -52,6 +53,48 @@ void FullReadColoring::sweep_enabled_range(BulkGuardContext& ctx,
       ctx.log(p, neighbors[static_cast<std::size_t>(slot)], kColorVar);
     }
     actions[p] = static_cast<std::int8_t>(conflict ? 0 : kDisabled);
+  }
+}
+
+void FullReadColoring::execute_selected(BulkExecContext& ctx,
+                                        const EnabledBitmap& enabled,
+                                        std::span<const ProcessId> selection,
+                                        std::size_t begin,
+                                        std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  // Scratch hoisted out of the loop (the scalar action allocates both per
+  // call); refilled per process, so the free-color order — and with it
+  // the picked index — matches the scalar action exactly.
+  std::vector<bool> used(static_cast<std::size_t>(palette_size_) + 1, false);
+  std::vector<Value> free_colors;
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    if (enabled.action(p) == kDisabled) continue;
+    const std::int32_t nbr_begin = offsets[p];
+    const std::int32_t nbr_end = offsets[p + 1];
+    std::fill(used.begin(), used.end(), false);
+    for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value c = data[static_cast<std::size_t>(q) * stride + kColorVar];
+      used[static_cast<std::size_t>(c)] = true;
+      ctx.log(p, q, kColorVar);
+    }
+    free_colors.clear();
+    for (Value c = 1; c <= static_cast<Value>(palette_size_); ++c) {
+      if (!used[static_cast<std::size_t>(c)]) free_colors.push_back(c);
+    }
+    SSS_ASSERT(!free_colors.empty(),
+               "a Delta+1 palette always leaves a free color");
+    const auto pick = static_cast<std::size_t>(ctx.random_range(
+        0, static_cast<Value>(free_colors.size()) - 1));
+    Value* out = ctx.stage(i, p);
+    out[kColorVar] = free_colors[pick];
   }
 }
 

@@ -199,6 +199,58 @@ void FullReadLeaderElection::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void FullReadLeaderElection::execute_selected(
+    BulkExecContext& ctx, const EnabledBitmap& enabled,
+    std::span<const ProcessId> selection, std::size_t begin,
+    std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    Value* out = ctx.stage(i, p);
+    if (action == kReset) {
+      out[kLeaderVar] = row[kIdVar];
+      out[kDistVar] = 0;
+      out[kParentVar] = 0;
+      continue;
+    }
+    // kElect re-runs best_offer at execute time: (leader, depth) of every
+    // neighbor, both always read and logged in that order.
+    const std::int32_t nbr_begin = offsets[p];
+    const std::int32_t nbr_end = offsets[p + 1];
+    Value best_leader = 0;
+    Value best_depth = 0;
+    Value best_channel = 0;
+    for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+      const Value nbr_leader = nbr_row[kLeaderVar];
+      ctx.log(p, q, kLeaderVar);
+      const Value nbr_depth = nbr_row[kDistVar];
+      ctx.log(p, q, kDistVar);
+      if (nbr_depth + 1 > max_distance_) continue;
+      if (best_channel == 0 || nbr_leader < best_leader ||
+          (nbr_leader == best_leader && nbr_depth < best_depth)) {
+        best_leader = nbr_leader;
+        best_depth = nbr_depth;
+        best_channel = static_cast<Value>(slot - nbr_begin + 1);
+      }
+    }
+    SSS_ASSERT(best_channel != 0, "elect fired without a candidate offer");
+    out[kLeaderVar] = best_leader;
+    out[kDistVar] = best_depth + 1;
+    out[kParentVar] = best_channel;
+  }
+}
+
 void FullReadLeaderElection::execute(int action, ActionContext& ctx) const {
   if (action == kReset) {
     ctx.set_comm(kLeaderVar, ctx.self_comm(kIdVar));

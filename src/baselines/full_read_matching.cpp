@@ -176,6 +176,88 @@ void FullReadMatching::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void FullReadMatching::execute_selected(BulkExecContext& ctx,
+                                        const EnabledBitmap& enabled,
+                                        std::span<const ProcessId> selection,
+                                        std::size_t begin,
+                                        std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const NbrIndex* mirrors = g.csr_mirrors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  // The execute-time helpers (married / first_proposer / first_candidate)
+  // re-read neighbors with the scalar actions' exact stopping points, so
+  // the logged prefixes match.
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const std::int32_t nbr_begin = offsets[p];
+    const std::int32_t nbr_end = offsets[p + 1];
+    Value* out = ctx.stage(i, p);
+    switch (action) {
+      case kUpdate: {
+        const Value pr = row[kPrVar];
+        bool is_married = false;
+        if (pr != 0) {
+          const std::size_t slot = static_cast<std::size_t>(
+              nbr_begin + static_cast<std::int32_t>(pr) - 1);
+          const ProcessId q = neighbors[slot];
+          const Value nbr_pr =
+              data[static_cast<std::size_t>(q) * stride + kPrVar];
+          ctx.log(p, q, kPrVar);
+          is_married = nbr_pr == static_cast<Value>(mirrors[slot]);
+        }
+        out[kMarriedVar] = is_married ? kTrue : kFalse;
+        break;
+      }
+      case kAbandon:
+        out[kPrVar] = 0;
+        break;
+      case kAccept: {
+        Value proposer = 0;
+        for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+          const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+          const Value nbr_pr =
+              data[static_cast<std::size_t>(q) * stride + kPrVar];
+          ctx.log(p, q, kPrVar);
+          if (nbr_pr ==
+              static_cast<Value>(mirrors[static_cast<std::size_t>(slot)])) {
+            proposer = static_cast<Value>(slot - nbr_begin + 1);
+            break;
+          }
+        }
+        out[kPrVar] = proposer;
+        break;
+      }
+      default: {  // kPropose
+        const Value own_color = row[kColorVar];
+        Value candidate = 0;
+        for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+          const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+          const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+          ctx.log(p, q, kPrVar);
+          if (nbr_row[kPrVar] != 0) continue;
+          ctx.log(p, q, kMarriedVar);
+          if (nbr_row[kMarriedVar] != kFalse) continue;
+          ctx.log(p, q, kColorVar);
+          if (own_color < nbr_row[kColorVar]) {
+            candidate = static_cast<Value>(slot - nbr_begin + 1);
+            break;
+          }
+        }
+        out[kPrVar] = candidate;
+        break;
+      }
+    }
+  }
+}
+
 void FullReadMatching::execute(int action, ActionContext& ctx) const {
   switch (action) {
     case kUpdate:

@@ -83,6 +83,22 @@ void FullReadMis::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void FullReadMis::execute_selected(BulkExecContext& ctx,
+                                   const EnabledBitmap& enabled,
+                                   std::span<const ProcessId> selection,
+                                   std::size_t begin, std::size_t end) const {
+  // Both actions write only the own state bit — the kernel is pure memo
+  // replay plus a one-slot overwrite.
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    Value* out = ctx.stage(i, p);
+    out[kStateVar] = action == kRetreat ? kOut : kIn;
+  }
+}
+
 void FullReadMis::execute(int action, ActionContext& ctx) const {
   switch (action) {
     case kRetreat:

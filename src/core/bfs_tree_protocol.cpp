@@ -101,6 +101,65 @@ void BfsTreeProtocol::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void BfsTreeProtocol::execute_selected(BulkExecContext& ctx,
+                                       const EnabledBitmap& enabled,
+                                       std::span<const ProcessId> selection,
+                                       std::size_t begin,
+                                       std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot = static_cast<std::size_t>(cfg.num_comm() + kCurVar);
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const std::int32_t base = offsets[p];
+    const Value cur = row[cur_slot];
+    const auto degree = static_cast<Value>(offsets[p + 1] - base);
+    const Value next = (cur % degree) + 1;
+    Value* out = ctx.stage(i, p);
+    switch (action) {
+      case kFixRoot:
+        out[kDistVar] = 0;
+        out[kParentVar] = 0;
+        break;
+      case kFollow: {
+        // Re-reads the parent's distance at execute time, like the scalar
+        // nbr_comm (logged).
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(row[kParentVar]) - 1)];
+        const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+        ctx.log(p, q, kDistVar);
+        out[kDistVar] = std::min<Value>(d + 1, max_distance_);
+        break;
+      }
+      case kAdopt:
+      case kImprove: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(cur) - 1)];
+        const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+        ctx.log(p, q, kDistVar);
+        out[kParentVar] = cur;
+        // A3 clamps the adopted distance; A4 fires only when the improved
+        // value is already in range, so the scalar action leaves it raw.
+        out[kDistVar] =
+            action == kAdopt ? std::min<Value>(d + 1, max_distance_) : d + 1;
+        out[cur_slot] = next;
+        break;
+      }
+      default:  // kScan
+        out[cur_slot] = next;
+        break;
+    }
+  }
+}
+
 void BfsTreeProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

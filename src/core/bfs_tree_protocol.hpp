@@ -66,6 +66,11 @@ class BfsTreeProtocol final : public Protocol {
   void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                            ProcessId begin, ProcessId end) const override;
 
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection, std::size_t begin,
+                        std::size_t end) const override;
+
   ProcessId root() const { return root_; }
   /// The distance cap n-1 (the largest BFS distance a connected network
   /// can realize), which is what flushes fake parent cycles.

@@ -45,6 +45,11 @@ class ColoringProtocol final : public Protocol {
   void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                            ProcessId begin, ProcessId end) const override;
 
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection, std::size_t begin,
+                        std::size_t end) const override;
+
   int palette_size() const { return palette_size_; }
 
  private:

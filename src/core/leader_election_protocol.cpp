@@ -172,6 +172,82 @@ void LeaderElectionProtocol::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void LeaderElectionProtocol::execute_selected(
+    BulkExecContext& ctx, const EnabledBitmap& enabled,
+    std::span<const ProcessId> selection, std::size_t begin,
+    std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot = static_cast<std::size_t>(cfg.num_comm() + kCurVar);
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const std::int32_t base = offsets[p];
+    const Value cur = row[cur_slot];
+    const auto degree = static_cast<Value>(offsets[p + 1] - base);
+    const Value next = (cur % degree) + 1;
+    Value* out = ctx.stage(i, p);
+    // Execute-time neighbor reads (logged): the parent for A2/A3, the cur
+    // neighbor for A4/A5 — leader before distance, the scalar argument
+    // evaluation order.
+    switch (action) {
+      case kReset:
+        out[kLeaderVar] = row[kIdVar];
+        out[kDistVar] = 0;
+        out[kParentVar] = 0;
+        break;
+      case kInherit: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(row[kParentVar]) - 1)];
+        const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+        out[kLeaderVar] = nbr_row[kLeaderVar];
+        ctx.log(p, q, kLeaderVar);
+        out[kDistVar] = nbr_row[kDistVar] + 1;
+        ctx.log(p, q, kDistVar);
+        break;
+      }
+      case kFollow: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(row[kParentVar]) - 1)];
+        out[kDistVar] = data[static_cast<std::size_t>(q) * stride + kDistVar] + 1;
+        ctx.log(p, q, kDistVar);
+        break;
+      }
+      case kAdopt: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(cur) - 1)];
+        const Value* nbr_row = data + static_cast<std::size_t>(q) * stride;
+        out[kLeaderVar] = nbr_row[kLeaderVar];
+        ctx.log(p, q, kLeaderVar);
+        out[kDistVar] = nbr_row[kDistVar] + 1;
+        ctx.log(p, q, kDistVar);
+        out[kParentVar] = cur;
+        out[cur_slot] = next;
+        break;
+      }
+      case kImprove: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(cur) - 1)];
+        out[kDistVar] = data[static_cast<std::size_t>(q) * stride + kDistVar] + 1;
+        ctx.log(p, q, kDistVar);
+        out[kParentVar] = cur;
+        out[cur_slot] = next;
+        break;
+      }
+      default:  // kScan
+        out[cur_slot] = next;
+        break;
+    }
+  }
+}
+
 void LeaderElectionProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

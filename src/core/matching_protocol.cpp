@@ -169,6 +169,63 @@ void MatchingProtocol::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void MatchingProtocol::execute_selected(BulkExecContext& ctx,
+                                        const EnabledBitmap& enabled,
+                                        std::span<const ProcessId> selection,
+                                        std::size_t begin,
+                                        std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const NbrIndex* mirrors = g.csr_mirrors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot = static_cast<std::size_t>(cfg.num_comm() + kCurVar);
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const auto cur = static_cast<std::int32_t>(row[cur_slot]);
+    const auto cur_value = static_cast<Value>(cur);
+    Value* out = ctx.stage(i, p);
+    switch (action) {
+      case kRepoint:
+      case kAccept:
+      case kPropose:
+        out[kPrVar] = cur_value;
+        break;
+      case kAnnounce: {
+        // pr_married re-reads PR.(cur.p) at execute time — logged, like
+        // the scalar nbr_comm — but only when the own pointer matches cur
+        // (the short-circuit settles the predicate on own state alone).
+        bool married = false;
+        if (row[kPrVar] == cur_value) {
+          const std::size_t slot =
+              static_cast<std::size_t>(offsets[p] + cur - 1);
+          const ProcessId q = neighbors[slot];
+          const Value nbr_pr =
+              data[static_cast<std::size_t>(q) * stride + kPrVar];
+          ctx.log(p, q, kPrVar);
+          married = nbr_pr == static_cast<Value>(mirrors[slot]);
+        }
+        out[kMarriedVar] = married ? kTrue : kFalse;
+        break;
+      }
+      case kAbandon:
+        out[kPrVar] = 0;
+        break;
+      default: {  // kAdvance
+        const auto degree = static_cast<Value>(offsets[p + 1] - offsets[p]);
+        out[cur_slot] = (cur_value % degree) + 1;
+        break;
+      }
+    }
+  }
+}
+
 void MatchingProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   switch (action) {

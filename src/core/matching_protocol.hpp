@@ -55,6 +55,11 @@ class MatchingProtocol final : public Protocol {
   void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                            ProcessId begin, ProcessId end) const override;
 
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection, std::size_t begin,
+                        std::size_t end) const override;
+
   const Coloring& colors() const { return colors_; }
 
   /// PRmarried(p) evaluated against a context (used by the predicate too).

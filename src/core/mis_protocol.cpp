@@ -107,6 +107,42 @@ void MisProtocol::sweep_enabled_range(BulkGuardContext& ctx,
   }
 }
 
+void MisProtocol::execute_selected(BulkExecContext& ctx,
+                                   const EnabledBitmap& enabled,
+                                   std::span<const ProcessId> selection,
+                                   std::size_t begin, std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot = static_cast<std::size_t>(cfg.num_comm() + kCurVar);
+  // No action-phase neighbor reads: every action writes only own state
+  // and/or advances cur (kDemote deliberately keeps cur on the winner).
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const auto degree = static_cast<Value>(offsets[p + 1] - offsets[p]);
+    const Value next = (row[cur_slot] % degree) + 1;
+    Value* out = ctx.stage(i, p);
+    switch (action) {
+      case kDemote:
+        out[kStateVar] = kDominated;
+        break;
+      case kPromote:
+        out[kStateVar] = kDominator;
+        out[cur_slot] = next;
+        break;
+      default:  // kScan
+        out[cur_slot] = next;
+        break;
+    }
+  }
+}
+
 void MisProtocol::execute(int action, ActionContext& ctx) const {
   const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
   const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;

@@ -61,6 +61,11 @@ class MisProtocol final : public Protocol {
   void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                            ProcessId begin, ProcessId end) const override;
 
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection, std::size_t begin,
+                        std::size_t end) const override;
+
   const Coloring& colors() const { return colors_; }
   int num_colors() const { return num_colors_; }
   bool promote_on_higher_color() const { return promote_on_higher_color_; }

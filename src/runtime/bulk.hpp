@@ -28,6 +28,19 @@
 /// read its right side), not just compute the same action. The lockstep
 /// suites (tests/test_bulk_sweep.cpp, the property harness with
 /// SweepMode::kForceBulk) hold implementations to that contract.
+///
+/// Bulk *execution* (`BulkExecContext`, `Protocol::execute_selected`) is
+/// the same idea applied to the other half of a deployed synchronous step:
+/// phase-1 memo replay plus action execution for a whole selection in one
+/// pass over the slabs, instead of one ActionContext + virtual `execute`
+/// per selected process. The kernel stages each fired process's
+/// post-state as a full configuration row; the engine commits the rows
+/// under the exact dirty-queue/covering/solo-cache treatment of the
+/// scalar commit loop, so trajectories and metrics stay bit-identical by
+/// construction. The per-process read discipline is load-bearing: a
+/// kernel must interleave reads per process (replay p's guard memo, then
+/// log p's action reads, then move to the next process) because the
+/// parallel path's WorkerReadTally dedups per contiguous reader run.
 
 #include <algorithm>
 #include <cstdint>
@@ -36,6 +49,8 @@
 
 #include "graph/graph.hpp"
 #include "runtime/configuration.hpp"
+#include "runtime/context.hpp"
+#include "support/require.hpp"
 
 namespace sss {
 
@@ -110,6 +125,96 @@ class BulkGuardContext {
   const Graph& graph_;
   const Configuration& config_;
   std::vector<ReadLog>& logs_;
+};
+
+/// View a bulk-execute kernel runs against: the pre-step snapshot, the
+/// guard memo to replay, a read sink, and the staging slab the kernel
+/// writes post-state rows into. One context serves one selection slice
+/// (the whole selection serially, or a worker's contiguous slice on the
+/// parallel path — the read sink is the engine's step counter in the
+/// first case and the worker's tally in the second).
+///
+/// The kernel contract, per selection index i with process p:
+///  1. `replay_guard_reads(p)` — always, enabled or not: the scalar phase
+///     1 replays the memo for every *selected* process, because its guard
+///     really ran.
+///  2. If the action is kDisabled, move on (nothing is staged).
+///  3. Otherwise `stage(i, p)` and overwrite exactly the slots the scalar
+///     action writes, logging every action-time neighbor read through
+///     `log` in the scalar order. Values are read from the snapshot
+///     (`config()`), never from staged rows — all selected processes see
+///     gamma_i.
+class BulkExecContext {
+ public:
+  using ReadLog = BulkGuardContext::ReadLog;
+
+  /// `stride` values per staged row; `rng` is the model stream on the
+  /// serial path for probabilistic protocols and nullptr everywhere else
+  /// (see random_range).
+  BulkExecContext(const Graph& g, const Configuration& config,
+                  const std::vector<ReadLog>& guard_logs, ReadLogger& logger,
+                  Value* staged_rows, std::size_t stride, Rng* rng)
+      : graph_(g),
+        config_(config),
+        guard_logs_(guard_logs),
+        logger_(logger),
+        staged_rows_(staged_rows),
+        stride_(stride),
+        rng_(rng) {}
+
+  const Graph& graph() const { return graph_; }
+  const Configuration& config() const { return config_; }
+
+  /// Phase 1's memo replay for one selected process: feeds the guard's
+  /// recorded reads into the step's read accounting, exactly as the
+  /// scalar path replays them through the logger mux.
+  void replay_guard_reads(ProcessId p) {
+    for (const auto& [subject, var] : guard_logs_[static_cast<std::size_t>(p)]) {
+      logger_.on_read(p, subject, var);
+    }
+  }
+
+  /// Records an action-phase neighbor read — the bulk counterpart of
+  /// ActionContext::nbr_comm's logging half (the kernel fetches the value
+  /// itself from the slabs).
+  void log(ProcessId p, ProcessId subject, int comm_var) {
+    logger_.on_read(p, subject, comm_var);
+  }
+
+  /// Copies p's snapshot row into the staged slot of selection index i
+  /// and returns it; the kernel overwrites the slots its action writes.
+  /// Unwritten slots keeping their snapshot values is what makes the
+  /// engine's whole-row commit equivalent to the scalar pending-write
+  /// commit.
+  Value* stage(std::size_t i, ProcessId p) {
+    Value* out = staged_rows_ + i * stride_;
+    const Value* src = config_.row(p);
+    std::copy(src, src + stride_, out);
+    return out;
+  }
+
+  /// Uniform draw from {lo..hi}, identical to ActionContext::random_range
+  /// without a script. Only legal on the serial path of a protocol that
+  /// declares is_probabilistic() — there the engine wires the model rng
+  /// and ascending selection order reproduces the scalar stream bit for
+  /// bit. Everywhere else rng is null and the assert is the bulk
+  /// counterpart of the engine's "no randomness in certified paths"
+  /// contract.
+  Value random_range(Value lo, Value hi) {
+    SSS_ASSERT(rng_ != nullptr,
+               "bulk-execute kernels may draw randomness only on the serial "
+               "path of a protocol declaring is_probabilistic()");
+    return static_cast<Value>(rng_->range(lo, hi));
+  }
+
+ private:
+  const Graph& graph_;
+  const Configuration& config_;
+  const std::vector<ReadLog>& guard_logs_;
+  ReadLogger& logger_;
+  Value* staged_rows_;
+  std::size_t stride_;
+  Rng* rng_;
 };
 
 }  // namespace sss

@@ -7,6 +7,28 @@
 
 namespace sss {
 
+SweepMode parse_sweep_mode(const std::string& name) {
+  if (name == "auto") return SweepMode::kAuto;
+  if (name == "force_scalar") return SweepMode::kForceScalar;
+  if (name == "force_bulk") return SweepMode::kForceBulk;
+  throw PreconditionError("unknown sweep mode \"" + name +
+                          "\" (accepted: auto, force_scalar, force_bulk)");
+}
+
+const std::string& sweep_mode_name(SweepMode mode) {
+  static const std::string kAuto = "auto";
+  static const std::string kScalar = "force_scalar";
+  static const std::string kBulk = "force_bulk";
+  switch (mode) {
+    case SweepMode::kForceScalar:
+      return kScalar;
+    case SweepMode::kForceBulk:
+      return kBulk;
+    default:
+      return kAuto;
+  }
+}
+
 Engine::Engine(const Graph& g, const Protocol& protocol,
                std::unique_ptr<Daemon> daemon, std::uint64_t seed)
     : graph_(g),
@@ -17,6 +39,7 @@ Engine::Engine(const Graph& g, const Protocol& protocol,
       enabled_(g.num_vertices()),
       probe_dirty_(static_cast<std::size_t>(g.num_vertices()), 0),
       bulk_supported_(protocol.has_bulk_sweep()),
+      bulk_exec_supported_(protocol.has_bulk_execute()),
       active_(g.num_vertices()),
       frozen_(static_cast<std::size_t>(g.num_vertices()), 0),
       probe_action_(static_cast<std::size_t>(g.num_vertices()),
@@ -128,7 +151,7 @@ void Engine::cover(ProcessId p) {
 void Engine::refresh_enabled() {
   if (dirty_queue_.empty()) return;
   // Frozen exclusion classifies self-loops with the per-process machinery,
-  // so it pins the scalar serial path (invariants 5 and 6).
+  // so it pins the scalar serial path (invariants 5 and 7).
   const bool can_parallel = pool_ != nullptr && !exclude_frozen_;
   // Bulk dispatch (invariant 5): one sweep when the protocol opts in and
   // enough of the network is stale. The 3/4 threshold comes from measured
@@ -150,7 +173,7 @@ void Engine::refresh_enabled() {
       return;
     }
   }
-  // Parallel scalar refresh (invariant 6) wants the dirty set large enough
+  // Parallel scalar refresh (invariant 7) wants the dirty set large enough
   // to amortize the barrier: at least a quarter of the network. Central
   // daemons dirty O(Delta) processes per step and stay on the cheap serial
   // drain below. Cost gate only — both paths compute identical state.
@@ -311,7 +334,6 @@ void Engine::parallel_bulk_refresh() {
 }
 
 void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
-  static const std::vector<Value> kNoScript;
   const int threads = pool_->threads();
   const std::size_t chunk =
       (selected + static_cast<std::size_t>(threads) - 1) /
@@ -323,18 +345,48 @@ void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
         begin, std::min(selected, begin + chunk)};
   };
 
+  // Bulk-execute composition (invariant 6 under invariant 7): the same
+  // dispatch the serial step uses, applied per worker slice. The arenas
+  // are sized serially here; inside the pool each worker touches only its
+  // slice's staged rows, action bytes, and (distinct, ascending) memo
+  // entries, so all writes stay disjoint.
+  const bool use_bulk = use_bulk_execute(selected);
+  if (use_bulk) {
+    const auto stride = static_cast<std::size_t>(config_.stride());
+    if (bulk_staged_rows_.size() < selected * stride) {
+      bulk_staged_rows_.resize(selected * stride);
+    }
+    if (bulk_actions_.universe() != graph_.num_vertices()) {
+      bulk_actions_.reset(graph_.num_vertices());
+    }
+  }
+
   // Phase 1 over contiguous selection slices, all against the shared
   // gamma_i snapshot; the barrier below keeps any commit from being
-  // visible to a still-evaluating worker. Actions run against a per-worker
-  // scratch rng with the empty random script installed: a protocol that
-  // declared is_probabilistic() == false and draws anyway is caught by the
-  // assert instead of silently diverging from the serial rng stream.
+  // visible to a still-evaluating worker. Scalar actions run through
+  // execute_certified (scratch rng + empty random script): a protocol
+  // that declared is_probabilistic() == false and draws anyway is caught
+  // by its assert instead of silently diverging from the serial rng
+  // stream. Bulk kernels get a null-rng context, whose random_range
+  // asserts on any draw attempt — the same contract, enforced
+  // structurally.
   pool_->run([&](int w) {
     const auto [begin, end] = slice(w);
     WorkerState& ws = worker_states_[static_cast<std::size_t>(w)];
     ws.tally.begin_step();
     ws.commits.clear();
-    Rng scratch_rng(0x9a7a11e1ULL);
+    if (use_bulk) {
+      stage_bulk_actions(begin, end);
+      BulkExecContext ctx(graph_, config_, probe_reads_, ws.tally,
+                          bulk_staged_rows_.data(),
+                          static_cast<std::size_t>(config_.stride()),
+                          /*rng=*/nullptr);
+      protocol_.execute_selected(
+          ctx, bulk_actions_,
+          std::span<const ProcessId>(selection_.data(), selected), begin,
+          end);
+      return;
+    }
     for (std::size_t i = begin; i < end; ++i) {
       const ProcessId p = selection_[i];
       ProcessStep& staged = staged_[i];
@@ -346,14 +398,8 @@ void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
       }
       staged.action = probe_action_[static_cast<std::size_t>(p)];
       if (staged.action == Protocol::kDisabled) continue;
-      ActionContext action(graph_, config_, p, scratch_rng, &ws.tally,
-                           &staged.writes);
-      action.set_random_script(&kNoScript);
-      protocol_.execute(staged.action, action);
-      SSS_ASSERT(action.random_draws().empty(),
-                 "a protocol declaring is_probabilistic() == false drew "
-                 "randomness inside the parallel execution path");
-      staged.comm_write_attempted = action.comm_write_attempted();
+      execute_certified(p, staged.action, &ws.tally, staged.writes,
+                        staged.comm_write_attempted);
     }
   });
 
@@ -367,7 +413,10 @@ void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
       const ProcessStep& staged = staged_[i];
       if (staged.action == Protocol::kDisabled) continue;
       const ProcessId p = selection_[i];
-      ws.commits.push_back({p, commit_writes(config_, p, staged.writes)});
+      ws.commits.push_back({p, use_bulk
+                                   ? commit_staged_row(i)
+                                   : commit_writes(config_, p,
+                                                   staged.writes)});
     }
   });
 
@@ -389,6 +438,89 @@ void Engine::parallel_phases(std::size_t selected, StepInfo& info) {
   }
 }
 
+bool Engine::use_bulk_execute(std::size_t selected) const {
+  // Hard gates first: no kernel, frozen exclusion (phase 1 must consult
+  // the frozen classification per process), or an external read logger
+  // (order-sensitive mux) all pin the scalar path regardless of mode.
+  if (!bulk_exec_supported_ || exclude_frozen_ || external_loggers_ != 0 ||
+      sweep_mode_ == SweepMode::kForceScalar) {
+    return false;
+  }
+  if (sweep_mode_ == SweepMode::kForceBulk) return true;
+  // kAuto cost gate, calibrated from bench_bulk_execute: the kernel wins
+  // once the selection is a large fraction of the network (synchronous and
+  // heavy distributed daemons); for small selections the scalar loop's
+  // per-process cost is below the kernel's slab-walk overhead. 1/2 is
+  // deliberately lower than the sweep's 3/4 — execution has no dirty-queue
+  // alternative, so the kernel amortizes sooner.
+  return selected * 2 >= static_cast<std::size_t>(graph_.num_vertices());
+}
+
+void Engine::stage_bulk_actions(std::size_t begin, std::size_t end) {
+  // Mirror the memo actions for [begin, end) of the selection into the
+  // kernel-facing bitmap and the trace-facing staged slots. probe_action_
+  // is authoritative: bulk_actions_ may hold a stale sweep result when the
+  // refresh ran scalar probes since the last bulk sweep.
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection_[i];
+    const int action = probe_action_[static_cast<std::size_t>(p)];
+    bulk_actions_.set_action(p, action);
+    staged_[i].action = action;
+  }
+}
+
+bool Engine::commit_staged_row(std::size_t i) {
+  // Whole-row commit of selection index i's staged post-state. The staged
+  // row started as a copy of the snapshot row, so comparing the
+  // communication prefix detects exactly what the scalar commit's
+  // pending-write walk detects: a written comm slot whose value differs.
+  const ProcessId p = selection_[i];
+  const auto stride = static_cast<std::size_t>(config_.stride());
+  const Value* staged = bulk_staged_rows_.data() + i * stride;
+  Value* live = config_.raw().data() + static_cast<std::size_t>(p) * stride;
+  const auto num_comm = static_cast<std::size_t>(config_.num_comm());
+  const bool changed = !std::equal(staged, staged + num_comm, live);
+  std::copy(staged, staged + stride, live);
+  return changed;
+}
+
+void Engine::bulk_phases(std::size_t selected, StepInfo& info) {
+  // Invariant 6's serial deployment: one kernel call covers phase 1 (memo
+  // replay + staged execution) for the whole selection, then the commit
+  // loop below applies the exact dirty-queue/covering/solo-cache
+  // treatment of the scalar phase 2.
+  if (bulk_actions_.universe() != graph_.num_vertices()) {
+    bulk_actions_.reset(graph_.num_vertices());
+  }
+  const auto stride = static_cast<std::size_t>(config_.stride());
+  if (bulk_staged_rows_.size() < selected * stride) {
+    bulk_staged_rows_.resize(selected * stride);
+  }
+  stage_bulk_actions(0, selected);
+  // Probabilistic protocols draw from the model stream: ascending
+  // selection order inside the kernel reproduces the scalar rng
+  // consumption bit for bit. Deterministic protocols get a null rng whose
+  // random_range asserts — the bulk counterpart of execute_certified.
+  Rng* rng = protocol_.is_probabilistic() ? &rng_ : nullptr;
+  BulkExecContext ctx(graph_, config_, probe_reads_, read_counter_,
+                      bulk_staged_rows_.data(), stride, rng);
+  protocol_.execute_selected(
+      ctx, bulk_actions_, std::span<const ProcessId>(selection_.data(), selected),
+      0, selected);
+  for (std::size_t i = 0; i < selected; ++i) {
+    if (staged_[i].action == Protocol::kDisabled) continue;
+    const ProcessId p = selection_[i];
+    ++info.fired;
+    const bool changed = commit_staged_row(i);
+    mark_probe_dirty(p);
+    mark_solo_dirty(p);
+    if (changed) {
+      info.comm_changed = true;
+      note_comm_changed(p);
+    }
+  }
+}
+
 void Engine::set_parallel_threads(int threads) {
   SSS_REQUIRE(threads >= 1, "parallel thread count must be at least 1");
   if (threads == parallel_threads_) return;
@@ -404,20 +536,42 @@ void Engine::set_parallel_threads(int threads) {
   }
 }
 
-bool Engine::verified_self_loop(ProcessId p, int action) {
-  // A simulator device like the probes: private rng (never the model
-  // stream), no read logging, writes discarded before returning. The
-  // empty random script makes draw attempts observable — an action that
-  // consumes randomness cannot be certified from one sample and is
-  // conservatively treated as live.
+bool Engine::execute_certified(ProcessId p, int action, ReadLogger* logger,
+                               std::vector<PendingWrite>& writes,
+                               bool& comm_write_attempted) {
+  // The shared setup of every execution the engine runs off the model rng
+  // stream: a private scratch rng (its values never escape — a draw either
+  // asserts or invalidates the result) with the empty random script
+  // installed, making draw attempts observable. This is the engine's one
+  // "no randomness in certified paths" checkpoint: a protocol that
+  // declared is_probabilistic() == false and draws anyway is caught here
+  // instead of silently diverging from the serial rng stream. Returns
+  // false iff the action attempted a draw (possible only for declared
+  // probabilistic protocols, whose callers treat the result as
+  // uncertifiable).
   static const std::vector<Value> kNoScript;
-  Rng scratch_rng(0x51ee9ULL);
-  ActionContext ctx(graph_, config_, p, scratch_rng, nullptr,
-                    &frozen_scratch_);
+  Rng scratch_rng(0x9a7a11e1ULL);
+  ActionContext ctx(graph_, config_, p, scratch_rng, logger, &writes);
   ctx.set_random_script(&kNoScript);
   protocol_.execute(action, ctx);
-  if (!ctx.random_draws().empty()) return false;
-  for (const PendingWrite& write : ctx.writes()) {
+  comm_write_attempted = ctx.comm_write_attempted();
+  const bool drew = !ctx.random_draws().empty();
+  SSS_ASSERT(!drew || protocol_.is_probabilistic(),
+             "a protocol declaring is_probabilistic() == false drew "
+             "randomness inside a certified execution path");
+  return !drew;
+}
+
+bool Engine::verified_self_loop(ProcessId p, int action) {
+  // A simulator device like the probes: no read logging, writes discarded
+  // before returning. An action that consumes randomness cannot be
+  // certified from one sample and is conservatively treated as live.
+  bool comm_write_attempted = false;
+  if (!execute_certified(p, action, nullptr, frozen_scratch_,
+                         comm_write_attempted)) {
+    return false;
+  }
+  for (const PendingWrite& write : frozen_scratch_) {
     const Value current = write.is_comm
                               ? config_.comm(p, write.var)
                               : config_.internal_var(p, write.var);
@@ -485,7 +639,7 @@ bool Engine::comm_quiescent_cached() {
 void Engine::attach_read_logger(ReadLogger* logger) {
   logger_mux_.add(logger);
   // An external observer sees reads through the order-sensitive mux, so
-  // its presence pins the serial execution path (invariant 6).
+  // its presence pins the serial scalar execution path (invariants 6, 7).
   ++external_loggers_;
 }
 
@@ -546,13 +700,17 @@ Engine::StepInfo Engine::step() {
   StepInfo info;
   info.selected = static_cast<int>(selected);
 
-  // Parallel dispatch (invariant 6): probabilistic protocols must consume
+  // Parallel dispatch (invariant 7): probabilistic protocols must consume
   // rng_ in ascending selection order, and external read loggers observe
   // reads through the order-sensitive mux — both pin the serial path.
-  // Cost gate aside, both paths produce bit-identical state.
+  // The serial path then picks between the bulk-execute kernel
+  // (invariant 6) and the scalar loop. Cost gates aside, all three paths
+  // produce bit-identical state.
   if (pool_ != nullptr && selected >= 2 && !protocol_.is_probabilistic() &&
       external_loggers_ == 0) {
     parallel_phases(selected, info);
+  } else if (use_bulk_execute(selected)) {
+    bulk_phases(selected, info);
   } else {
     // Phase 1: every selected process evaluates against the gamma_i
     // snapshot. The guard half is replayed from the memo (invariant 4):

@@ -80,13 +80,36 @@
 ///     exclusion needs the per-process self-loop classifier, so it always
 ///     takes the scalar path.
 ///
-///  6. Intra-trial parallelism (opt-in via set_parallel_threads). The
+///  6. Bulk execution. The execute half of a deployed synchronous step
+///     pays one ActionContext + virtual `execute` + pending-write commit
+///     per selected process. When the protocol opts in
+///     (Protocol::has_bulk_execute) and the selection covers at least
+///     half of the network (or SweepMode::kForceBulk), phase 1 instead
+///     runs one `execute_selected` pass over the CSR slabs: the kernel
+///     replays each selected guard memo into the read counters and
+///     stages each fired process's post-state as a full configuration
+///     row; phase 2 commits the rows with the same dirty-queue/covering/
+///     solo-cache treatment (and comm-changed detection by comm-prefix
+///     compare, equivalent to the pending-write flag because unwritten
+///     slots keep their snapshot values). The 1/2 threshold is calibrated
+///     from bench_bulk_execute: the bulk pass only amortizes its staging
+///     and dispatch overhead under co-firing selections. Frozen-process
+///     exclusion and attached external read loggers pin the scalar
+///     execute exactly as they pin the scalar sweep / serial step;
+///     probabilistic protocols are bulk-executable *serially* (the kernel
+///     draws from the model rng in ascending selection order, which is
+///     the scalar stream bit for bit) and stay serial under invariant 7's
+///     gates.
+///
+///  7. Intra-trial parallelism (opt-in via set_parallel_threads). The
 ///     network is partitioned into contiguous 64-aligned process ranges —
 ///     one per StepPool worker — so each range owns disjoint EnabledSet
 ///     words, probe memo slots, and covered_/probe_dirty_ bytes. Guard
 ///     refreshes (scalar probes and bulk sweeps alike; guards never draw
 ///     randomness) and the selected set's phase-1 evaluation + phase-2
-///     row commits fan out over the ranges; everything order-sensitive —
+///     row commits fan out over the ranges — phase 1 running the bulk
+///     execute kernel over each worker's contiguous selection slice when
+///     invariant 6 would engage it serially; everything order-sensitive —
 ///     daemon selection (it consumes rng_), EnabledSet count deltas,
 ///     dirty-queue pushes, read-metric absorption — is merged serially in
 ///     ascending process order after the barrier. The determinism
@@ -121,12 +144,20 @@
 
 namespace sss {
 
-/// How the engine refreshes stale guard probes (invariant 5 in the file
-/// comment). kAuto picks the bulk sweep when the protocol opts in and the
-/// dirty set covers at least 3/4 of the network; the force modes exist for
-/// the differential suites and the scalar-vs-bulk benches. Every mode
-/// computes the same computation bit for bit — mode only changes cost.
+/// How the engine runs the bulk-capable halves of a step: guard refresh
+/// (invariant 5 in the file comment) and selection execution (invariant
+/// 6). kAuto picks the bulk sweep when the protocol opts in and the dirty
+/// set covers at least 3/4 of the network, and the bulk execute when the
+/// selection covers at least half; the force modes exist for the
+/// differential suites and the scalar-vs-bulk benches, and govern both
+/// halves at once. Every mode computes the same computation bit for bit —
+/// mode only changes cost, and may be flipped mid-trajectory.
 enum class SweepMode { kAuto, kForceScalar, kForceBulk };
+
+/// Manifest/CLI spelling of a SweepMode ("auto", "force_scalar",
+/// "force_bulk"); throws PreconditionError on anything else.
+SweepMode parse_sweep_mode(const std::string& name);
+const std::string& sweep_mode_name(SweepMode mode);
 
 /// Legitimacy predicate over (graph, configuration); supplied by the caller
 /// because "the problem" is a layer above the runtime.
@@ -258,7 +289,7 @@ class Engine {
   void set_sweep_mode(SweepMode mode) { sweep_mode_ = mode; }
   SweepMode sweep_mode() const { return sweep_mode_; }
 
-  /// Intra-trial parallelism (invariant 6 in the file comment): evaluate
+  /// Intra-trial parallelism (invariant 7 in the file comment): evaluate
   /// guard refreshes and the selected set on `threads` pool workers with a
   /// deterministic merge. 1 (the default) runs fully serial with no pool.
   /// Any value produces the bit-identical computation — thread count only
@@ -290,17 +321,49 @@ class Engine {
   /// and round covering — the bulk equivalent of draining the dirty queue
   /// through scalar probes.
   void bulk_refresh();
-  /// Partitioned counterparts of the two refresh paths (invariant 6):
+  /// Partitioned counterparts of the two refresh paths (invariant 7):
   /// every worker drains the dirty ids (scalar) or sweeps (bulk) its own
   /// 64-aligned range, deferring EnabledSet count and covered_count_
   /// deltas to the serial merge after the barrier.
   void parallel_scalar_refresh();
   void parallel_bulk_refresh();
   /// Phase 1 + 2 of step() over the pool: evaluate the selection in
-  /// contiguous index slices, barrier, commit rows in parallel, barrier,
-  /// then merge dirty marks and read metrics serially in ascending
-  /// selection order. Only called under the invariant-6 gates.
+  /// contiguous index slices (scalar per-process, or the bulk execute
+  /// kernel per slice when use_bulk_execute holds), barrier, commit rows
+  /// in parallel, barrier, then merge dirty marks and read metrics
+  /// serially in ascending selection order. Only called under the
+  /// invariant-7 gates.
   void parallel_phases(std::size_t selected, StepInfo& info);
+  /// Invariant-6 dispatch: does this step's execution run the protocol's
+  /// bulk kernel? A pure cost gate — both paths are bit-identical.
+  bool use_bulk_execute(std::size_t selected) const;
+  /// Serial bulk execution of the whole selection (invariant 6): mirror
+  /// the memo into the action bitmap, run execute_selected, commit the
+  /// staged rows.
+  void bulk_phases(std::size_t selected, StepInfo& info);
+  /// Mirrors probe_action_ into bulk_actions_ (the kernel's input) and
+  /// staged_[i].action (what phase 2 and the trace read) for selection
+  /// indices [begin, end). The memo is authoritative — the bitmap may be
+  /// stale after scalar refreshes.
+  void stage_bulk_actions(std::size_t begin, std::size_t end);
+  /// Phase 2 of the bulk path for selection index i: comm-changed by
+  /// comparing the staged comm prefix against the live row (equivalent to
+  /// the pending-write flag, since unwritten slots keep their snapshot
+  /// values), then whole-row copy. Returns whether a communication
+  /// variable changed value.
+  bool commit_staged_row(std::size_t i);
+  /// Runs `action` for p through the scalar execute against a scratch rng
+  /// with the empty random script installed, staging writes into `writes`
+  /// (cleared first) and logging action reads through `logger`. The one
+  /// home of the certified-execution setup and its "no randomness in
+  /// certified paths" assert: a protocol that declares is_probabilistic()
+  /// == false and draws anyway dies here. For probabilistic protocols
+  /// (reachable via the frozen classifier only) a draw attempt is an
+  /// answer, not an error — the false return says the action cannot be
+  /// certified from one sample.
+  bool execute_certified(ProcessId p, int action, ReadLogger* logger,
+                         std::vector<PendingWrite>& writes,
+                         bool& comm_write_attempted);
   /// Worker w's process range [begin, end): contiguous, 64-aligned, so
   /// partitioned writers never share an EnabledSet word.
   std::pair<ProcessId, ProcessId> worker_range(int worker) const;
@@ -328,11 +391,17 @@ class Engine {
   std::vector<std::uint8_t> probe_dirty_;
   std::vector<ProcessId> dirty_queue_;
 
-  // Bulk sweep (invariant 5). `bulk_supported_` caches the protocol's
-  // opt-in; `bulk_actions_` is the sweep's reusable output arena.
+  // Bulk sweep (invariant 5) and bulk execute (invariant 6). The
+  // `*_supported_` flags cache the protocol's opt-ins; `bulk_actions_` is
+  // the sweep's reusable output arena, doubling as the execute kernel's
+  // action input (stage_bulk_actions re-syncs it from the memo);
+  // `bulk_staged_rows_` holds one full configuration row per selection
+  // index for the kernel's staged writes.
   bool bulk_supported_ = false;
+  bool bulk_exec_supported_ = false;
   SweepMode sweep_mode_ = SweepMode::kAuto;
   EnabledBitmap bulk_actions_;
+  std::vector<Value> bulk_staged_rows_;
 
   // Frozen-process exclusion (see set_exclude_frozen). `active_` is
   // enabled minus frozen, maintained alongside `enabled_` by the same
@@ -381,7 +450,7 @@ class Engine {
   std::vector<Value> solo_saved_row_;
   ProcessStep solo_scratch_;
 
-  // Intra-trial parallelism (invariant 6). worker_states_ holds one slot
+  // Intra-trial parallelism (invariant 7). worker_states_ holds one slot
   // per pool worker, reused across steps; external_loggers_ counts
   // attach_read_logger clients, whose presence forces the serial path.
   struct WorkerState {

@@ -7,7 +7,7 @@
 /// trial. An `Engine` with a pool partitions the network into contiguous
 /// process ranges and fans guard refreshes and selected-set execution out
 /// to the workers, merging the results deterministically (engine.hpp,
-/// invariant 6) — so the pool only has to provide one operation:
+/// invariant 7) — so the pool only has to provide one operation:
 ///
 ///   run(task) — every worker w in [0, threads) executes task(w) once,
 ///   and run() returns after all of them finished (a full barrier).

@@ -22,6 +22,14 @@ void Protocol::sweep_enabled_range(BulkGuardContext&, EnabledBitmap&,
              "(has_bulk_sweep() gates the call)");
 }
 
+void Protocol::execute_selected(BulkExecContext&, const EnabledBitmap&,
+                                std::span<const ProcessId>, std::size_t,
+                                std::size_t) const {
+  SSS_ASSERT(false,
+             "execute_selected called on a protocol without a bulk execute "
+             "kernel (has_bulk_execute() gates the call)");
+}
+
 ProcessStep evaluate_process(const Graph& g, const Protocol& protocol,
                              const Configuration& pre, ProcessId p, Rng& rng,
                              ReadLogger* logger) {

@@ -7,6 +7,7 @@
 /// pre-step snapshot.
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "runtime/bulk.hpp"
@@ -63,6 +64,29 @@ class Protocol {
   /// called when `has_bulk_sweep()` is true; the default asserts.
   virtual void sweep_enabled_range(BulkGuardContext& ctx, EnabledBitmap& out,
                                    ProcessId begin, ProcessId end) const;
+
+  /// Bulk action execution (see runtime/bulk.hpp): true when the protocol
+  /// implements `execute_selected`, letting the engine run phase-1 memo
+  /// replay plus action execution for a whole selection in one slab pass
+  /// instead of one ActionContext + virtual `execute` per selected
+  /// process. Independent of has_bulk_sweep, though every protocol here
+  /// implements both.
+  virtual bool has_bulk_execute() const { return false; }
+
+  /// Executes selection indices [begin, end) of `selection` (strictly
+  /// ascending process ids): for each index i with process p, replay p's
+  /// guard memo through `ctx`, and — when `enabled.action(p)` is not
+  /// kDisabled — stage p's post-state row via `ctx.stage(i, p)`, applying
+  /// exactly the writes and logging exactly the neighbor reads (order
+  /// included) the scalar `execute` would produce for that action against
+  /// the same snapshot. [begin, end) is the partition primitive of the
+  /// engine's parallel composition; the serial path passes the whole
+  /// selection. Only called when `has_bulk_execute()` is true; the
+  /// default asserts.
+  virtual void execute_selected(BulkExecContext& ctx,
+                                const EnabledBitmap& enabled,
+                                std::span<const ProcessId> selection,
+                                std::size_t begin, std::size_t end) const;
 
   /// Writes the protocol's communication constants (e.g. colors C.p) into
   /// `config`. Called once after construction and again after any state

@@ -62,7 +62,7 @@ struct HarnessOptions {
   /// process count per cell).
   int fault_victims = 2;
   /// Intra-trial worker threads applied to every fast Engine the grid
-  /// drives (engine invariant 6: bit-identical at any value, so a forced
+  /// drives (engine invariant 7: bit-identical at any value, so a forced
   /// > 1 run of the whole grid proves the parallel step against the same
   /// oracle and predicates the serial grid answers to).
   int parallel_threads = 1;

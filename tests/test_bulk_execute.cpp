@@ -1,0 +1,176 @@
+/// The bulk execute hook's contract (runtime/bulk.hpp): for every opted-in
+/// protocol, one `execute_selected` pass over a selection must reproduce —
+/// write for write, logged read for logged read, random draw for random
+/// draw — what the per-process scalar `execute` calls produce, and an
+/// Engine forced onto the bulk path must stay bit-identical to one forced
+/// onto the scalar path. SweepMode governs both the guard-sweep half
+/// (invariant 5) and this execute half (invariant 6), so the checks here
+/// deliberately stress the execute-specific corners the sweep suite
+/// cannot: probabilistic protocols replaying the engine RNG stream,
+/// composition with the parallel step (invariant 7), and mid-trajectory
+/// mode flips.
+///
+/// The registry-wide harness additionally runs the full property grid
+/// with the bulk path forced on (tests/test_protocol_properties.cpp) and
+/// proves falsifiability with a deliberately wrong execute kernel
+/// (tests/test_protocol_harness.cpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol_registry.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace sss {
+namespace {
+
+/// Forced-bulk vs forced-scalar engines from the same seed must produce
+/// identical computations and metrics. `bulk_threads` > 1 additionally
+/// routes the bulk engine through the parallel step, exercising the
+/// per-worker bulk kernel slices and the two-barrier commit.
+void expect_mode_lockstep(const Graph& g, const Protocol& protocol,
+                          const std::string& daemon_name, std::uint64_t seed,
+                          int steps, int bulk_threads = 1) {
+  Engine bulk(g, protocol, make_daemon(daemon_name), seed);
+  Engine scalar(g, protocol, make_daemon(daemon_name), seed);
+  bulk.set_sweep_mode(SweepMode::kForceBulk);
+  bulk.set_parallel_threads(bulk_threads);
+  scalar.set_sweep_mode(SweepMode::kForceScalar);
+  bulk.randomize_state();
+  scalar.randomize_state();
+  ASSERT_EQ(bulk.config(), scalar.config());
+  for (int s = 0; s < steps; ++s) {
+    ASSERT_EQ(bulk.num_enabled(), scalar.num_enabled())
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " threads " << bulk_threads << " step " << s;
+    const Engine::StepInfo a = bulk.step();
+    const Engine::StepInfo b = scalar.step();
+    ASSERT_EQ(a.selected, b.selected)
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " threads " << bulk_threads << " step " << s;
+    ASSERT_EQ(a.fired, b.fired);
+    ASSERT_EQ(a.comm_changed, b.comm_changed);
+    ASSERT_EQ(bulk.config(), scalar.config())
+        << protocol.name() << "/" << g.name() << "/" << daemon_name
+        << " threads " << bulk_threads << " step " << s;
+    ASSERT_EQ(bulk.rounds(), scalar.rounds());
+    ASSERT_EQ(bulk.read_counter().total_reads(),
+              scalar.read_counter().total_reads());
+    ASSERT_EQ(bulk.read_counter().total_bits(),
+              scalar.read_counter().total_bits());
+    ASSERT_EQ(bulk.read_counter().max_reads_per_process_step(),
+              scalar.read_counter().max_reads_per_process_step());
+  }
+}
+
+TEST(BulkExecute, EveryRegistryProtocolOptsIn) {
+  // The whole registry is covered by the fast execute path; a protocol
+  // that stays scalar should be a deliberate choice, visible here.
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const Graph g = path(4);
+    const std::unique_ptr<Protocol> protocol =
+        ProtocolRegistry::instance().make(name, g, {});
+    EXPECT_TRUE(protocol->has_bulk_execute()) << name;
+  }
+}
+
+TEST(BulkExecute, ForcedBulkEngineLockstepsForcedScalarEngine) {
+  // Deliberately a different menagerie slice and seed than the bulk-sweep
+  // lockstep, so together the two suites cover six graphs. Probabilistic
+  // protocols ride the serial bulk path here, proving the engine-RNG
+  // draw order is replayed bit-for-bit.
+  const std::vector<testing::NamedGraph> graphs = testing::sweep_graphs();
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const auto& named : {graphs[1], graphs[3], graphs[5]}) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, named.graph, {});
+      if (!protocol->has_bulk_execute()) continue;
+      for (const std::string& daemon_name : daemon_names()) {
+        expect_mode_lockstep(named.graph, *protocol, daemon_name, 1337, 64);
+      }
+    }
+  }
+}
+
+TEST(BulkExecute, ParallelWorkersComposeWithBulkExecute) {
+  // Invariants 6 and 7 together: each worker runs the bulk kernel over
+  // its contiguous selection slice and the serial ascending merge commits
+  // the staged rows — the result must sit on the single-threaded scalar
+  // rail at every thread count. (Probabilistic protocols fall back to the
+  // serial step under parallel_threads > 1; they still lockstep.)
+  Rng graph_rng(0xb01dULL);
+  std::vector<testing::NamedGraph> graphs;
+  graphs.push_back({"grid3x4", grid(3, 4)});
+  graphs.push_back({"pa200", preferential_attachment(200, 3, graph_rng)});
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const auto& named : graphs) {
+      const std::unique_ptr<Protocol> protocol =
+          ProtocolRegistry::instance().make(name, named.graph, {});
+      if (!protocol->has_bulk_execute()) continue;
+      for (int threads : {2, 3, 8}) {
+        for (const std::string& daemon_name :
+             {std::string("synchronous"), std::string("distributed")}) {
+          expect_mode_lockstep(named.graph, *protocol, daemon_name, 2024, 48,
+                               threads);
+        }
+      }
+    }
+  }
+}
+
+TEST(BulkExecute, SweepModeCanChangeMidTrajectory) {
+  // set_sweep_mode is a pure implementation switch: flipping it between
+  // steps must leave the trajectory on the scalar rail. The coloring leg
+  // flips a probabilistic protocol between the scalar ActionContext draws
+  // and the bulk kernel's direct engine-RNG draws — same stream either
+  // way, so the colors must not care.
+  const Graph g = grid(3, 4);
+  const SweepMode schedule[] = {SweepMode::kAuto,        SweepMode::kForceBulk,
+                                SweepMode::kForceScalar, SweepMode::kForceBulk,
+                                SweepMode::kAuto,        SweepMode::kForceScalar};
+  for (const std::string& name : {std::string("mis"), std::string("coloring"),
+                                  std::string("full-read-matching")}) {
+    const std::unique_ptr<Protocol> protocol =
+        ProtocolRegistry::instance().make(name, g, {});
+    Engine scalar(g, *protocol, make_distributed_random_daemon(), 5150);
+    Engine shifting(g, *protocol, make_distributed_random_daemon(), 5150);
+    scalar.set_sweep_mode(SweepMode::kForceScalar);
+    scalar.randomize_state();
+    shifting.randomize_state();
+    for (int s = 0; s < 60; ++s) {
+      shifting.set_sweep_mode(schedule[s % 6]);
+      scalar.step();
+      shifting.step();
+      ASSERT_EQ(scalar.config(), shifting.config())
+          << name << " step " << s;
+      ASSERT_EQ(scalar.read_counter().total_reads(),
+                shifting.read_counter().total_reads())
+          << name << " step " << s;
+    }
+  }
+}
+
+TEST(BulkExecute, ForceBulkOnScalarOnlyProtocolFallsBack) {
+  // A protocol without an execute kernel ignores the preference — no
+  // assert, same behaviour.
+  const Graph g = path(5);
+  const testing::CopyChannelOne protocol(g);
+  ASSERT_FALSE(protocol.has_bulk_execute());
+  Engine forced(g, protocol, make_synchronous_daemon(), 11);
+  Engine plain(g, protocol, make_synchronous_daemon(), 11);
+  forced.set_sweep_mode(SweepMode::kForceBulk);
+  forced.randomize_state();
+  plain.randomize_state();
+  for (int s = 0; s < 32; ++s) {
+    forced.step();
+    plain.step();
+    ASSERT_EQ(forced.config(), plain.config()) << "step " << s;
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,4 +1,4 @@
-/// Intra-trial parallelism (engine invariant 6): an Engine with N worker
+/// Intra-trial parallelism (engine invariant 7): an Engine with N worker
 /// threads must be indistinguishable — bit for bit — from the same Engine
 /// single-threaded. Parallelism partitions guard refreshes and action
 /// executions over contiguous 64-aligned process ranges and merges every

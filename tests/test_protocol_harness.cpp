@@ -148,6 +148,49 @@ class WrongSweep final : public Protocol {
   ProtocolSpec spec_;
 };
 
+/// Scalar execute drives X to 1 and goes quiet; the bulk execute kernel
+/// stages 2 instead — a planted bulk/scalar divergence on the *execute*
+/// half (the guards are untouched, so the bulk sweep fallback stays
+/// correct). On the scalar path the protocol is well behaved; only a grid
+/// that actually runs the bulk execute path can flag it: the
+/// falsifiability proof for invariant 6 under SweepMode::kForceBulk.
+class WrongExecute final : public Protocol {
+ public:
+  explicit WrongExecute(const Graph&) {
+    spec_.comm.emplace_back("X", VarDomain{0, 3});
+  }
+  const std::string& name() const override {
+    static const std::string kName = "WRONG-EXECUTE";
+    return kName;
+  }
+  const ProtocolSpec& spec() const override { return spec_; }
+  int num_actions() const override { return 1; }
+  int first_enabled(GuardContext& ctx) const override {
+    return ctx.self_comm(0) != 1 ? 0 : kDisabled;
+  }
+  void execute(int, ActionContext& ctx) const override {
+    ctx.set_comm(0, 1);
+  }
+  bool has_bulk_execute() const override { return true; }
+  void execute_selected(BulkExecContext& ctx, const EnabledBitmap& enabled,
+                        std::span<const ProcessId> selection,
+                        std::size_t begin, std::size_t end) const override {
+    // Honors the kernel contract (replay, skip disabled, stage) so the
+    // surrounding machinery runs exactly as for a correct kernel — only
+    // the staged value is wrong.
+    for (std::size_t i = begin; i < end; ++i) {
+      const ProcessId p = selection[i];
+      ctx.replay_guard_reads(p);
+      if (enabled.action(p) == kDisabled) continue;
+      Value* out = ctx.stage(i, p);
+      out[0] = 2;
+    }
+  }
+
+ private:
+  ProtocolSpec spec_;
+};
+
 /// A latch with a poison region: values in [1, kPoison) self-repair to 0
 /// and 0 is silent, but values >= kPoison ping-pong forever. From a
 /// benign configuration the protocol stabilizes and stays silent; a
@@ -217,6 +260,11 @@ void register_toys() {
         "wrong-sweep", {}, "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<WrongSweep>(g);
+        });
+    protocols.register_protocol(
+        "wrong-execute", {}, "always-true",
+        [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
+          return std::make_unique<WrongExecute>(g);
         });
     protocols.register_protocol(
         "poison-latch", {}, "always-true",
@@ -298,6 +346,31 @@ TEST(ProtocolHarnessFalsifiability, FlagsWrongBulkSweep) {
   ASSERT_FALSE(bulk_report.ok())
       << "the harness certified a protocol whose bulk sweep disagrees "
          "with its scalar guards";
+  bool saw_equivalence = false;
+  for (const testing::HarnessViolation& violation : bulk_report.violations) {
+    if (violation.check == "equivalence") saw_equivalence = true;
+  }
+  EXPECT_TRUE(saw_equivalence) << bulk_report.str();
+}
+
+TEST(ProtocolHarnessFalsifiability, FlagsWrongBulkExecute) {
+  register_toys();
+  // On the scalar path the planted kernel never runs: the toy converges,
+  // closes, and lockstep-matches the oracle.
+  testing::HarnessOptions options = toy_options();
+  options.sweep_mode = SweepMode::kForceScalar;
+  const testing::HarnessReport scalar_report =
+      testing::run_protocol_property_suite("wrong-execute", options);
+  EXPECT_TRUE(scalar_report.ok()) << scalar_report.str();
+
+  // Forcing the bulk path must surface the divergence — the
+  // ReferenceEngine lockstep is the execute kernel's oracle.
+  options.sweep_mode = SweepMode::kForceBulk;
+  const testing::HarnessReport bulk_report =
+      testing::run_protocol_property_suite("wrong-execute", options);
+  ASSERT_FALSE(bulk_report.ok())
+      << "the harness certified a protocol whose bulk execute kernel "
+         "disagrees with its scalar actions";
   bool saw_equivalence = false;
   for (const testing::HarnessViolation& violation : bulk_report.violations) {
     if (violation.check == "equivalence") saw_equivalence = true;

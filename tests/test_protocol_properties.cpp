@@ -78,7 +78,7 @@ TEST(ProtocolPropertySuite, ParallelSteppingForcedGridStaysInLockstep) {
   // The registry-wide grid again, with every fast engine running the
   // intra-trial parallel step (3 workers — odd, so 64-aligned range
   // boundaries and the selection-slice boundaries disagree, the shape
-  // most likely to expose a merge-order bug). Engine invariant 6 says
+  // most likely to expose a merge-order bug). Engine invariant 7 says
   // this changes nothing: convergence/legitimacy/closure must hold and
   // every trial's ReferenceEngine lockstep must stay bit-identical.
   testing::HarnessOptions options;

@@ -4,7 +4,8 @@
 ///
 ///   sss_lab run manifest.json [--sink out.jsonl] [--sink out.csv]
 ///                             [--bench NAME] [--threads N] [--shards N]
-///                             [--parallel-threads N] [--quiet]
+///                             [--parallel-threads N] [--sweep-mode MODE]
+///                             [--quiet]
 ///   sss_lab validate manifest.json
 ///   sss_lab list
 ///   sss_lab diff a.jsonl b.jsonl [--quiet]
@@ -64,6 +65,9 @@ int usage() {
       "      --parallel-threads <n>\n"
       "                        intra-trial engine threads for every item\n"
       "                        (bit-identical output at any value)\n"
+      "      --sweep-mode <auto|force_scalar|force_bulk>\n"
+      "                        engine bulk sweep/execute dispatch for every\n"
+      "                        item (bit-identical output in any mode)\n"
       "      --quiet           suppress the summary table\n"
       "  validate <manifest.json>        expand only; print the plan shape\n"
       "  list                            print all registered names\n"
@@ -104,6 +108,11 @@ void print_list() {
   }
   std::printf("protocols:\n");
   const ProtocolRegistry& protocols = ProtocolRegistry::instance();
+  // Bulk capabilities (has_bulk_sweep / has_bulk_execute) are instance
+  // properties, so probe each entry on a tiny default graph; entries whose
+  // defaults cannot build there just omit the tag.
+  const Graph probe_graph =
+      GraphFamilyRegistry::instance().build("cycle", {{"n", ParamValue(4.0)}});
   for (const std::string& name : protocols.names()) {
     const ProtocolRegistry::Entry& entry = protocols.info(name);
     std::string line = "  " + name;
@@ -111,6 +120,16 @@ void print_list() {
     if (!entry.problem.empty()) line += "  problem: " + entry.problem;
     if (!entry.daemons.empty()) {
       line += "  daemons: " + join(entry.daemons, ", ");
+    }
+    try {
+      const std::unique_ptr<Protocol> probe =
+          protocols.make(name, probe_graph);
+      std::vector<std::string> bulk;
+      if (probe->has_bulk_sweep()) bulk.push_back("sweep");
+      if (probe->has_bulk_execute()) bulk.push_back("execute");
+      if (!bulk.empty()) line += "  bulk: " + join(bulk, "+");
+    } catch (const std::exception&) {
+      // Not buildable on the probe graph; capabilities stay unprinted.
     }
     std::printf("%s\n", line.c_str());
   }
@@ -159,7 +178,8 @@ int run_command(const std::vector<std::string>& args) {
   std::string bench_name;
   BatchOptions options;
   bool quiet = false;
-  int parallel_threads = 0;  // 0 = leave the manifest's values alone
+  int parallel_threads = 0;   // 0 = leave the manifest's values alone
+  std::string sweep_mode;     // empty = leave the manifest's values alone
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -179,6 +199,9 @@ int run_command(const std::vector<std::string>& args) {
       parallel_threads = int_value(arg, value(arg));
       SSS_REQUIRE(parallel_threads >= 1,
                   "--parallel-threads must be >= 1");
+    } else if (arg == "--sweep-mode") {
+      sweep_mode = value(arg);
+      parse_sweep_mode(sweep_mode);  // validate before any work runs
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -194,7 +217,7 @@ int run_command(const std::vector<std::string>& args) {
   ExperimentPlan plan = plan_from_manifest_file(manifest_path);
   if (parallel_threads != 0) {
     // Post-expansion override: since the intra-trial parallel step is
-    // bit-identical to single-threaded (engine invariant 6), re-running a
+    // bit-identical to single-threaded (engine invariant 7), re-running a
     // manifest at a different thread count must reproduce its output
     // byte-for-byte — that is exactly what CI's determinism smoke checks.
     for (BatchItem& item : plan.items) {
@@ -202,6 +225,14 @@ int run_command(const std::vector<std::string>& args) {
                   "--parallel-threads > 1 cannot be applied to churn sweeps");
       item.parallel_threads = parallel_threads;
     }
+  }
+  if (!sweep_mode.empty()) {
+    // Same post-expansion override shape as --parallel-threads: the bulk
+    // sweep/execute paths are bit-identical to scalar (engine invariants
+    // 5 and 6), so re-running a manifest in any mode must reproduce its
+    // output byte-for-byte — the force modes exist to prove exactly that.
+    const SweepMode mode = parse_sweep_mode(sweep_mode);
+    for (BatchItem& item : plan.items) item.sweep_mode = mode;
   }
 
   std::vector<std::unique_ptr<std::ofstream>> files;
