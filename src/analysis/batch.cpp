@@ -148,6 +148,18 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
 
   std::vector<RunStats> results(static_cast<std::size_t>(total));
   std::vector<ChurnStats> churn_results(static_cast<std::size_t>(total));
+  // Which trials actually ran: skip_trial excludes resumed-over trials up
+  // front, cancellation stops scheduling new ones. Each slot is written
+  // by exactly one worker before the join, read only after it.
+  std::vector<char> executed(static_cast<std::size_t>(total), 0);
+  const auto skip = [&](int global) {
+    const TrialRef ref = trials[static_cast<std::size_t>(global)];
+    return options.skip_trial &&
+           options.skip_trial(ref.item, ref.index_in_item);
+  };
+  const auto cancel_requested = [&] {
+    return options.cancelled && options.cancelled();
+  };
   // The streaming hook may be called from any worker; one mutex serializes
   // the calls so sinks never need their own locking. Rows arrive in
   // completion order — the (item, trial) indices they carry make the
@@ -206,6 +218,7 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
       }
     }
     results[static_cast<std::size_t>(global)] = stats;
+    executed[static_cast<std::size_t>(global)] = 1;
     if (options.on_trial) {
       BatchTrialRow row;
       row.item = ref.item;
@@ -231,7 +244,11 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
   threads = std::clamp(threads, 1, total);
 
   if (threads == 1) {
-    for (int g = 0; g < total; ++g) run_trial(g);
+    for (int g = 0; g < total; ++g) {
+      if (skip(g)) continue;
+      if (cancel_requested()) break;
+      run_trial(g);
+    }
   } else {
     // Per-shard cursors; claiming a trial is one fetch_add, stealing is
     // claiming from someone else's shard after your own runs dry.
@@ -245,8 +262,13 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
         for (;;) {
           const int c = cursors[s].fetch_add(1, std::memory_order_relaxed);
           if (c >= static_cast<int>(shard_trials[s].size())) break;
+          const int g = shard_trials[s][static_cast<std::size_t>(c)];
+          if (skip(g)) continue;
+          // Cancellation is per-trial, never mid-trial: claimed trials
+          // run to completion and stream whole rows.
+          if (cancel_requested()) return;
           try {
-            run_trial(shard_trials[s][static_cast<std::size_t>(c)]);
+            run_trial(g);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -261,21 +283,39 @@ BatchResult run_batch(const std::vector<BatchItem>& items,
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  // Reduction in item order, each item in trial-index order: bitwise
-  // identical for every thread/shard count.
+  // Reduction in item order, each item over its *executed* trials in
+  // trial-index order: bitwise identical for every thread/shard count,
+  // and — absent skip/cancel hooks — identical to reducing all trials.
   BatchResult out;
-  out.total_trials = total;
+  out.planned_trials = total;
   out.summaries.reserve(items.size());
   out.churn_summaries.reserve(items.size());
+  std::vector<RunStats> item_stats;
+  std::vector<ChurnStats> item_churn;
   for (std::size_t i = 0; i < items.size(); ++i) {
+    item_stats.clear();
+    item_churn.clear();
+    for (int g = item_offset[i]; g < item_offset[i + 1]; ++g) {
+      if (!executed[static_cast<std::size_t>(g)]) continue;
+      item_stats.push_back(results[static_cast<std::size_t>(g)]);
+      item_churn.push_back(churn_results[static_cast<std::size_t>(g)]);
+    }
     out.summaries.push_back(summarize_runs(
-        results.data() + item_offset[i], item_offset[i + 1] - item_offset[i]));
+        item_stats.data(), static_cast<int>(item_stats.size())));
     out.churn_summaries.push_back(
         items[i].churn_enabled
-            ? summarize_churn(churn_results.data() + item_offset[i],
-                              item_offset[i + 1] - item_offset[i])
+            ? summarize_churn(item_churn.data(),
+                              static_cast<int>(item_churn.size()))
             : ChurnSweepSummary{});
   }
+  for (int g = 0; g < total; ++g) {
+    if (executed[static_cast<std::size_t>(g)]) {
+      ++out.total_trials;
+    } else if (skip(g)) {
+      ++out.skipped_trials;
+    }
+  }
+  out.cancelled = out.total_trials + out.skipped_trials < total;
   return out;
 }
 

@@ -131,15 +131,39 @@ struct BatchOptions {
   /// need every sample), so this hook changes when results leave the
   /// process, not the runner's own footprint.
   std::function<void(const BatchTrialRow&)> on_trial;
+  /// Resume hook: trials for which this returns true are neither executed
+  /// nor streamed — the serve layer passes the completed-(item, trial)
+  /// set recovered from a durable stream, so a resumed batch produces
+  /// exactly the missing rows. Because a trial's engine seed derives from
+  /// its index alone (never from which trials ran), the remaining rows
+  /// are byte-identical to the same rows of an uninterrupted run.
+  /// Summaries reduce over executed trials only. Called once per trial
+  /// before it is scheduled; must be thread-safe and pure.
+  std::function<bool(int item, int trial)> skip_trial;
+  /// Cooperative cancellation: polled between trials (never mid-trial).
+  /// Once it returns true, no new trial starts; already-finished trials
+  /// have streamed normally, so a cancelled run's durable output is a
+  /// resumable set of whole rows. Must be thread-safe.
+  std::function<bool()> cancelled;
 };
 
 struct BatchResult {
-  /// One summary per item, in item order.
+  /// One summary per item, in item order, reduced over executed trials
+  /// (= all trials unless skip_trial/cancelled intervened).
   std::vector<SweepSummary> summaries;
   /// One churn summary per item, in item order; all-zero for items that
   /// did not run churn windows.
   std::vector<ChurnSweepSummary> churn_summaries;
+  /// Trials actually executed this call (excludes skipped and
+  /// cancelled-away trials).
   int total_trials = 0;
+  /// Trials the plan contained (executed + skipped + cancelled-away).
+  int planned_trials = 0;
+  /// Trials skip_trial excluded.
+  int skipped_trials = 0;
+  /// True when `cancelled` stopped the run before every non-skipped trial
+  /// executed.
+  bool cancelled = false;
 };
 
 /// Runs every trial of every item and reduces per item. See the file

@@ -72,7 +72,7 @@ constexpr TrialField kIntFields[] = {
 
 }  // namespace
 
-void JsonlSink::on_trial(const BatchTrialRow& row) {
+std::string format_trial_row_jsonl(const BatchTrialRow& row) {
   std::string line = "{\"item\": " + std::to_string(row.item) +
                      ", \"trial\": " + std::to_string(row.trial) +
                      ", \"label\": " + json_quote(row.label) +
@@ -87,22 +87,31 @@ void JsonlSink::on_trial(const BatchTrialRow& row) {
     line += ", \"" + std::string(field.name) +
             "\": " + std::to_string(field.value(row));
   }
-  line += "}\n";
-  out_ << line;
+  line += "}";
+  return line;
+}
+
+// Per-row durability (see the header's contract): the whole row is built
+// first, then written and flushed as one unit, so a killed run leaves
+// only whole newline-terminated rows on disk — never a torn row.
+void JsonlSink::on_trial(const BatchTrialRow& row) {
+  out_ << format_trial_row_jsonl(row) << '\n' << std::flush;
 }
 
 void JsonlSink::finish() { out_.flush(); }
 
+void CsvSink::write_header() {
+  std::vector<std::string> header = {"item",     "trial",  "label",
+                                     "graph",    "protocol", "daemon",
+                                     "engine_seed", "silent",
+                                     "reached_legitimate"};
+  for (const TrialField& field : kIntFields) header.push_back(field.name);
+  writer_.write_row(header);
+  wrote_header_ = true;
+}
+
 void CsvSink::on_trial(const BatchTrialRow& row) {
-  if (!wrote_header_) {
-    std::vector<std::string> header = {"item",     "trial",  "label",
-                                       "graph",    "protocol", "daemon",
-                                       "engine_seed", "silent",
-                                       "reached_legitimate"};
-    for (const TrialField& field : kIntFields) header.push_back(field.name);
-    writer_.write_row(header);
-    wrote_header_ = true;
-  }
+  if (!wrote_header_) write_header();
   std::vector<std::string> cells = {
       std::to_string(row.item),
       std::to_string(row.trial),
@@ -117,15 +126,23 @@ void CsvSink::on_trial(const BatchTrialRow& row) {
     cells.push_back(std::to_string(field.value(row)));
   }
   writer_.write_row(cells);
+  out_.flush();  // per-row durability, same contract as JsonlSink
 }
 
-// Flush at the finish point like JsonlSink, so a caller checking stream
-// state after run_batch_to_sinks observes write errors instead of losing
-// them in the ofstream destructor.
-void CsvSink::finish() { out_.flush(); }
+// The header backstop: a plan whose trials were all skipped (or an empty
+// resume remainder) still leaves a file honoring the column contract.
+// The flush also surfaces write errors for callers checking stream state
+// after run_batch_to_sinks instead of losing them in the destructor.
+void CsvSink::finish() {
+  if (!wrote_header_) write_header();
+  out_.flush();
+}
 
-BenchJsonSink::BenchJsonSink(std::string bench_name, std::string directory)
-    : writer_(std::move(bench_name)), directory_(std::move(directory)) {}
+BenchJsonSink::BenchJsonSink(std::string bench_name, std::string directory,
+                             bool strict)
+    : writer_(std::move(bench_name)),
+      directory_(std::move(directory)),
+      strict_(strict) {}
 
 void BenchJsonSink::on_item(int, const BatchItem& item,
                             const SweepSummary& summary,
@@ -173,7 +190,13 @@ void BenchJsonSink::on_item(int, const BatchItem& item,
   }
 }
 
-void BenchJsonSink::finish() { writer_.write(directory_); }
+void BenchJsonSink::finish() {
+  if (strict_) {
+    writer_.write_strict(directory_);
+  } else {
+    writer_.write(directory_);
+  }
+}
 
 BatchResult run_batch_to_sinks(const std::vector<BatchItem>& items,
                                BatchOptions options,

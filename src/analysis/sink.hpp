@@ -36,6 +36,15 @@ namespace sss {
 /// runner but arrive in completion order; `on_item` calls arrive after all
 /// trials, in item order. `finish` is the flush point for sinks that
 /// buffer or write files.
+///
+/// Durability contract: the row sinks (JSONL, CSV) write and flush every
+/// row as it arrives — each `on_trial` leaves one whole newline-terminated
+/// row on the stream. A run killed between rows therefore loses nothing
+/// it completed, which is what lets the serve layer resume an interrupted
+/// batch from its own output stream and diff a stream while the producing
+/// run is still writing. `finish` remains the end-of-run hook (final
+/// flush; header backstop for empty CSV streams), not the durability
+/// point.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -48,6 +57,12 @@ class ResultSink {
                        const ChurnSweepSummary& churn);
   virtual void finish();
 };
+
+/// Renders one trial row exactly as JsonlSink writes it, without the
+/// trailing newline. Shared by JsonlSink and the serve layer, so a row
+/// streamed over the service protocol is byte-identical to the row in the
+/// durable JSONL file (and to the golden fixtures).
+std::string format_trial_row_jsonl(const BatchTrialRow& row);
 
 /// One JSON object per trial per line. Field order is fixed; values are
 /// limited to strings, integers, and booleans (see file comment).
@@ -63,7 +78,9 @@ class JsonlSink final : public ResultSink {
   std::ostream& out_;
 };
 
-/// The same per-trial rows as CSV; the header row is written on first use.
+/// The same per-trial rows as CSV; the header row is written on first use,
+/// or by `finish` when a plan yields zero trials — the column contract
+/// holds even for empty result files.
 class CsvSink final : public ResultSink {
  public:
   /// The stream must outlive the sink.
@@ -73,16 +90,22 @@ class CsvSink final : public ResultSink {
   void finish() override;
 
  private:
+  void write_header();
+
   std::ostream& out_;
   CsvWriter writer_;
   bool wrote_header_ = false;
 };
 
 /// Per-item summary records through the BENCH_<name>.json writer; trial
-/// rows are ignored. `finish` writes the artifact into `directory`.
+/// rows are ignored. `finish` writes the artifact into `directory`; with
+/// `strict`, a failed artifact write throws from `finish` instead of
+/// warning to stderr — callers whose exit code must reflect the loss
+/// (sss_lab run --bench) opt in.
 class BenchJsonSink final : public ResultSink {
  public:
-  explicit BenchJsonSink(std::string bench_name, std::string directory = ".");
+  explicit BenchJsonSink(std::string bench_name, std::string directory = ".",
+                         bool strict = false);
 
   void on_trial(const BatchTrialRow& row) override {}
   void on_item(int item_index, const BatchItem& item,
@@ -95,6 +118,7 @@ class BenchJsonSink final : public ResultSink {
  private:
   BenchJsonWriter writer_;
   std::string directory_;
+  bool strict_ = false;
 };
 
 /// Runs the plan with every sink attached: trial rows stream through

@@ -1,0 +1,79 @@
+#include "service/protocol.hpp"
+
+#include "support/require.hpp"
+
+namespace sss {
+
+ServeCommand parse_serve_command(const std::string& line) {
+  ServeCommand command;
+  command.doc = JsonValue::parse(line);
+  SSS_REQUIRE(command.doc.is_object(), "command must be a JSON object");
+  const JsonValue& cmd = command.doc.at("cmd");
+  SSS_REQUIRE(cmd.is_string(), "\"cmd\" must be a string");
+  command.cmd = cmd.as_string();
+  if (const JsonValue* id = command.doc.find("id")) {
+    if (id->is_string()) {
+      command.id_json = json_quote(id->as_string());
+    } else if (id->is_number()) {
+      command.id_json = std::to_string(id->as_int());
+    } else {
+      throw PreconditionError("\"id\" must be a string or an integer, got " +
+                              std::string(JsonValue::kind_name(id->kind())) +
+                              " at " + id->where());
+    }
+  }
+  return command;
+}
+
+JsonLineBuilder& JsonLineBuilder::raw(const std::string& key,
+                                      const std::string& json) {
+  if (!first_) body_ += ", ";
+  first_ = false;
+  body_ += json_quote(key) + ": " + json;
+  return *this;
+}
+
+JsonLineBuilder& JsonLineBuilder::field(const std::string& key,
+                                        const std::string& value) {
+  return raw(key, json_quote(value));
+}
+
+JsonLineBuilder& JsonLineBuilder::field(const std::string& key,
+                                        const char* value) {
+  return raw(key, json_quote(value));
+}
+
+JsonLineBuilder& JsonLineBuilder::field(const std::string& key,
+                                        std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonLineBuilder& JsonLineBuilder::field(const std::string& key, int value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonLineBuilder& JsonLineBuilder::field(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonLineBuilder reply_ok(const std::string& id_json) {
+  JsonLineBuilder line;
+  line.raw("id", id_json).field("ok", true);
+  return line;
+}
+
+JsonLineBuilder reply_error(const std::string& id_json,
+                            const std::string& message) {
+  JsonLineBuilder line;
+  line.raw("id", id_json).field("ok", false).field("error", message);
+  return line;
+}
+
+JsonLineBuilder event_line(const std::string& kind,
+                           const std::string& run_id) {
+  JsonLineBuilder line;
+  line.field("event", kind).field("run", run_id);
+  return line;
+}
+
+}  // namespace sss

@@ -1,0 +1,82 @@
+#pragma once
+/// \file protocol.hpp
+/// Line-oriented JSON framing for the `sss_lab serve` command protocol.
+///
+/// The service speaks newline-delimited JSON in both directions, the
+/// shape monotone's `automate stdio` long-lived command server pioneered
+/// (persistent session, framed commands, multiplexed replies) translated
+/// to JSONL so the lab's existing strict reader/writer pair covers both
+/// sides:
+///
+///  * client -> server: one command object per line,
+///      {"cmd": "<name>", "id": <string|int>?, ...command keys}
+///    `id` is an optional client-chosen tag; it is echoed verbatim on the
+///    command's reply so a pipelining client can match them up.
+///
+///  * server -> client: one object per line, either a *reply* —
+///      {"id": <echo|null>, "ok": true, ...}        on success
+///      {"id": <echo|null>, "ok": false, "error": "..."}
+///    — or an *event*, pushed outside the request/response rhythm:
+///      {"event": "row",  "run": "r1", "seq": 0, "row": {...}}
+///      {"event": "done", "run": "r1", "state": "done", "rows": N}
+///    Replies and events are multiplexed on one stream; a client
+///    distinguishes them by the presence of the "event" member. Row
+///    events embed the row object byte-identically to the durable JSONL
+///    stream (analysis/sink.hpp's format_trial_row_jsonl), so a client
+///    can reconstruct the stream or diff against goldens without
+///    re-serialization concerns.
+///
+/// This header is the framing only: parsing a command line into its name
+/// plus tag, and building reply/event lines. Session semantics live in
+/// service.hpp / session.hpp.
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace sss {
+
+/// One parsed command line. `doc` holds every command key; `id_json` is
+/// the client tag rendered back to JSON ("null" when absent) for verbatim
+/// echo in the reply.
+struct ServeCommand {
+  JsonValue doc;
+  std::string cmd;
+  std::string id_json = "null";
+};
+
+/// Parses one input line. Throws PreconditionError when the line is not a
+/// JSON object, lacks a string "cmd", or carries an "id" that is neither
+/// a string nor an integer.
+ServeCommand parse_serve_command(const std::string& line);
+
+/// Incremental builder for one reply/event line. All values are encoded
+/// immediately; `str()` yields the object without a trailing newline.
+class JsonLineBuilder {
+ public:
+  JsonLineBuilder& field(const std::string& key, const std::string& value);
+  JsonLineBuilder& field(const std::string& key, const char* value);
+  JsonLineBuilder& field(const std::string& key, std::int64_t value);
+  JsonLineBuilder& field(const std::string& key, int value);
+  JsonLineBuilder& field(const std::string& key, bool value);
+  /// Appends `json` verbatim as the member's value — for pre-encoded
+  /// payloads (the echoed id, an embedded row object, a nested array).
+  JsonLineBuilder& raw(const std::string& key, const std::string& json);
+
+  std::string str() const { return body_ + "}"; }
+
+ private:
+  std::string body_ = "{";
+  bool first_ = true;
+};
+
+/// Reply-line helpers: every reply leads with the echoed id and the ok
+/// flag, so clients can dispatch on a fixed prefix.
+JsonLineBuilder reply_ok(const std::string& id_json);
+JsonLineBuilder reply_error(const std::string& id_json,
+                            const std::string& message);
+/// Event-line helper: leads with {"event": <kind>, "run": <run id>}.
+JsonLineBuilder event_line(const std::string& kind, const std::string& run_id);
+
+}  // namespace sss

@@ -1,0 +1,147 @@
+#include "service/socket.hpp"
+
+#include "service/service.hpp"
+#include "service/session.hpp"
+#include "support/require.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SSS_HAVE_UNIX_SOCKETS 1
+#else
+#define SSS_HAVE_UNIX_SOCKETS 0
+#endif
+
+#if SSS_HAVE_UNIX_SOCKETS
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace sss {
+
+namespace {
+
+/// A minimal bidirectional streambuf over one connected socket fd — just
+/// enough iostream for ServeSession's getline/operator<< protocol loop.
+/// Unbuffered on write beyond the put area (sync() sends the whole
+/// pending block), byte-buffered on read.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t got;
+    do {
+      got = ::read(fd_, in_, sizeof(in_));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* begin = pbase();
+    const char* end = pptr();
+    while (begin < end) {
+      const ssize_t sent = ::write(fd_, begin, static_cast<std::size_t>(end - begin));
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      begin += sent;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+bool serve_socket_supported() { return true; }
+
+void serve_unix_socket(LabService& service, const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  SSS_REQUIRE(path.size() < sizeof(address.sun_path),
+              "socket path \"" + path + "\" is too long");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  SSS_REQUIRE(listener >= 0,
+              std::string("socket(): ") + std::strerror(errno));
+  ::unlink(path.c_str());  // a stale file from a dead server would block bind
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listener);
+    throw PreconditionError("bind(\"" + path +
+                            "\"): " + std::strerror(saved));
+  }
+  if (::listen(listener, 1) != 0) {
+    const int saved = errno;
+    ::close(listener);
+    ::unlink(path.c_str());
+    throw PreconditionError("listen(\"" + path +
+                            "\"): " + std::strerror(saved));
+  }
+
+  ServeSession::Exit exit = ServeSession::Exit::kEof;
+  do {
+    int connection;
+    do {
+      connection = ::accept(listener, nullptr, nullptr);
+    } while (connection < 0 && errno == EINTR);
+    if (connection < 0) break;
+    FdStreambuf buffer(connection);
+    std::istream in(&buffer);
+    std::ostream out(&buffer);
+    ServeSession session(service, in, out);
+    exit = session.run();
+    out.flush();
+    ::close(connection);
+  } while (exit != ServeSession::Exit::kShutdown);
+
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+}  // namespace sss
+
+#else  // !SSS_HAVE_UNIX_SOCKETS
+
+namespace sss {
+
+bool serve_socket_supported() { return false; }
+
+void serve_unix_socket(LabService&, const std::string&) {
+  throw PreconditionError(
+      "this build has no Unix-domain-socket support; use stdio serve");
+}
+
+}  // namespace sss
+
+#endif

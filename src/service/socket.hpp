@@ -1,0 +1,33 @@
+#pragma once
+/// \file socket.hpp
+/// Optional Unix-domain-socket transport for `sss_lab serve --socket`.
+///
+/// The stdio transport (one client, the process's lifetime) is the
+/// primary one; this adds a listening AF_UNIX stream socket so a
+/// long-lived service can outlive any single client: connections are
+/// accepted one at a time, each runs a full ServeSession over the
+/// connection's byte stream, and the service — and every run in it —
+/// persists across connections. A client can submit, disconnect, and a
+/// later connection can status/stream/diff/resume the same runs. The
+/// loop ends when a session issues the shutdown command.
+///
+/// Availability: compiled only where <sys/socket.h>/<sys/un.h> exist
+/// (anything POSIX); `serve_socket_supported()` reports it at runtime so
+/// the CLI can fail with a message instead of a missing symbol.
+
+#include <string>
+
+namespace sss {
+
+class LabService;
+
+/// True when this build carries the AF_UNIX transport.
+bool serve_socket_supported();
+
+/// Binds `path` (unlinking a stale socket file first), accepts
+/// connections until a session returns Exit::kShutdown, then unlinks the
+/// socket. Throws PreconditionError on bind/listen failure or on an
+/// unsupported platform.
+void serve_unix_socket(LabService& service, const std::string& path);
+
+}  // namespace sss

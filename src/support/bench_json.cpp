@@ -125,11 +125,23 @@ std::string BenchJsonWriter::str() const {
 std::string BenchJsonWriter::write(const std::string& directory) const {
   const std::string path = directory + "/BENCH_" + name_ + ".json";
   std::ofstream out(path);
+  if (out) out << str() << std::flush;
+  // Flush before checking: a full disk surfaces at flush time, not at the
+  // operator<<, and the destructor would swallow it.
   if (!out) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     return path;
   }
-  out << str();
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
+}
+
+std::string BenchJsonWriter::write_strict(const std::string& directory) const {
+  const std::string path = directory + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  SSS_REQUIRE(out.good(), "cannot open bench artifact \"" + path + "\"");
+  out << str() << std::flush;
+  SSS_REQUIRE(out.good(), "write error on bench artifact \"" + path + "\"");
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return path;
 }

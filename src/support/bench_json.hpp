@@ -45,6 +45,11 @@ class BenchJsonWriter {
   /// tables remain useful even when the artifact cannot be saved.
   std::string write(const std::string& directory = ".") const;
 
+  /// Like `write`, but a failed open or a write/flush error throws
+  /// PreconditionError instead of warning — for callers whose exit code
+  /// must reflect a lost artifact (sss_lab run --bench).
+  std::string write_strict(const std::string& directory = ".") const;
+
  private:
   /// One key plus an already-JSON-encoded value.
   struct Field {

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <system_error>
 
@@ -406,6 +407,66 @@ std::string json_quote(const std::string& text) {
     }
   }
   out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void serialize_into(const JsonValue& value, std::string& out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      const double d = value.as_double();
+      // The int64 range check must precede the cast (an out-of-range cast
+      // is undefined behaviour).
+      if (d >= -9.2e18 && d <= 9.2e18 &&
+          d == static_cast<double>(static_cast<std::int64_t>(d))) {
+        out += std::to_string(static_cast<std::int64_t>(d));
+      } else {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+        out += buffer;
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      out += json_quote(value.as_string());
+      return;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      const auto& items = value.items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        serialize_into(items[i], out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      const auto& members = value.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) out += ", ";
+        out += json_quote(members[i].first);
+        out += ": ";
+        serialize_into(members[i].second, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& value) {
+  std::string out;
+  serialize_into(value, out);
   return out;
 }
 

@@ -97,4 +97,12 @@ class JsonValue {
 /// quotes — the emission-side helper the JSONL/CSV sinks share.
 std::string json_quote(const std::string& text);
 
+/// Serializes `value` back to compact JSON text (no insignificant
+/// whitespace beyond ", " / ": " separators). Member order is the parsed
+/// document order, so parse -> serialize -> parse is semantics-preserving
+/// — which is what the service checkpoint needs to embed a submitted
+/// manifest verbatim. Integral numbers render without exponent or
+/// fraction; other numbers use shortest-round-trip %.17g.
+std::string json_serialize(const JsonValue& value);
+
 }  // namespace sss

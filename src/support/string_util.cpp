@@ -1,6 +1,7 @@
 #include "support/string_util.hpp"
 
 #include <cctype>
+#include <limits>
 
 namespace sss {
 
@@ -46,6 +47,18 @@ std::string join(const std::vector<std::string>& parts,
 bool starts_with(const std::string& text, const std::string& prefix) {
   return text.size() >= prefix.size() &&
          text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool parse_non_negative_int(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  long long value = 0;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + (ch - '0');
+    if (value > std::numeric_limits<int>::max()) return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
 }
 
 }  // namespace sss

@@ -20,4 +20,12 @@ std::string join(const std::vector<std::string>& parts,
 /// True if `text` begins with `prefix`.
 bool starts_with(const std::string& text, const std::string& prefix);
 
+/// Strict non-negative integer parse: `text` must be one or more ASCII
+/// digits and nothing else — no sign (not even '+'), no surrounding
+/// whitespace, no empty string. Returns false (leaving `*out` untouched)
+/// on any violation or on overflow past int range. This is the parse CLI
+/// flags documented as "non-negative integer" must use; std::stoi accepts
+/// "+5" and "  5", silently widening the contract.
+bool parse_non_negative_int(const std::string& text, int* out);
+
 }  // namespace sss

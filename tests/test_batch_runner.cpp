@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/batch.hpp"
@@ -190,6 +194,74 @@ TEST(BatchRunner, ExtraStepsExtendTheReadMaximaWindow) {
   // And it is deterministic.
   const BatchResult again = run_batch({item}, options);
   expect_same_sweep(again.summaries[0], extended.summaries[0], "extra rerun");
+}
+
+TEST(BatchRunner, SkipTrialExcludesRowsWithoutChangingTheRest) {
+  BatchStore store;
+  const ColoringProblem problem;
+  const std::vector<BatchItem> items = build_plan(store, &problem);
+
+  // Reference: every row of the full run, keyed by (item, trial).
+  std::map<std::pair<int, int>, std::uint64_t> reference_seeds;
+  BatchOptions full;
+  full.threads = 1;
+  full.on_trial = [&](const BatchTrialRow& row) {
+    reference_seeds[{row.item, row.trial}] = row.engine_seed;
+  };
+  const BatchResult full_result = run_batch(items, full);
+  ASSERT_EQ(full_result.total_trials, 18);
+
+  // Skip a scattered third of the trials; the rows that do run must be
+  // the same rows (same seeds, a subset of the keys), and the accounting
+  // must split executed vs skipped exactly.
+  BatchOptions partial;
+  partial.threads = 4;
+  partial.skip_trial = [](int item, int trial) {
+    return (item + trial) % 3 == 0;
+  };
+  std::mutex seen_mutex;
+  std::map<std::pair<int, int>, std::uint64_t> seen;
+  partial.on_trial = [&](const BatchTrialRow& row) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen[{row.item, row.trial}] = row.engine_seed;
+  };
+  const BatchResult result = run_batch(items, partial);
+  EXPECT_EQ(result.planned_trials, 18);
+  EXPECT_EQ(result.total_trials + result.skipped_trials, 18);
+  EXPECT_EQ(result.total_trials, static_cast<int>(seen.size()));
+  EXPECT_FALSE(result.cancelled);
+  for (const auto& [key, seed] : seen) {
+    EXPECT_NE((key.first + key.second) % 3, 0);
+    EXPECT_EQ(seed, reference_seeds.at(key));
+  }
+}
+
+TEST(BatchRunner, CancelledStopsAtTrialBoundaries) {
+  BatchStore store;
+  const ColoringProblem problem;
+  const std::vector<BatchItem> items = build_plan(store, &problem);
+
+  // Cancel after the 4th completed trial; at threads=1 exactly 4 rows ran.
+  int rows = 0;
+  BatchOptions options;
+  options.threads = 1;
+  options.on_trial = [&rows](const BatchTrialRow&) { ++rows; };
+  options.cancelled = [&rows] { return rows >= 4; };
+  const BatchResult result = run_batch(items, options);
+  EXPECT_EQ(rows, 4);
+  EXPECT_EQ(result.total_trials, 4);
+  EXPECT_EQ(result.planned_trials, 18);
+  EXPECT_TRUE(result.cancelled);
+
+  // Cancelled-from-the-start runs nothing and reduces to empty summaries.
+  BatchOptions nothing;
+  nothing.threads = 1;
+  nothing.cancelled = [] { return true; };
+  const BatchResult none = run_batch(items, nothing);
+  EXPECT_EQ(none.total_trials, 0);
+  EXPECT_TRUE(none.cancelled);
+  ASSERT_EQ(none.summaries.size(), items.size());
+  EXPECT_EQ(none.summaries[0].runs, 0);
 }
 
 TEST(BatchRunner, ValidatesPlans) {

@@ -116,5 +116,23 @@ TEST(Json, QuoteRoundTripsThroughParse) {
   EXPECT_EQ(parsed.as_string(), original);
 }
 
+TEST(Json, SerializePreservesOrderAndRoundTrips) {
+  const std::string text =
+      R"({"b": 1, "a": [true, null, "x\ny", -2.5], "c": {"n": 9000000000}})";
+  const std::string compact = json_serialize(JsonValue::parse(text));
+  // Member order is document order — "b" before "a" before "c".
+  EXPECT_LT(compact.find("\"b\""), compact.find("\"a\""));
+  EXPECT_LT(compact.find("\"a\""), compact.find("\"c\""));
+  // Integral numbers render without exponent or fraction.
+  EXPECT_NE(compact.find("9000000000"), std::string::npos);
+  // parse -> serialize is a fixed point after one pass.
+  EXPECT_EQ(json_serialize(JsonValue::parse(compact)), compact);
+  // And the round-tripped document is semantically intact.
+  const JsonValue again = JsonValue::parse(compact);
+  EXPECT_EQ(again.at("a").items()[2].as_string(), "x\ny");
+  EXPECT_EQ(again.at("a").items()[3].as_double(), -2.5);
+  EXPECT_EQ(again.at("c").at("n").as_int(), 9000000000LL);
+}
+
 }  // namespace
 }  // namespace sss

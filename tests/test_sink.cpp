@@ -15,6 +15,7 @@
 #include "analysis/plan.hpp"
 #include "analysis/sink.hpp"
 #include "support/json.hpp"
+#include "support/require.hpp"
 #include "support/string_util.hpp"
 
 namespace sss {
@@ -101,6 +102,62 @@ TEST(Sink, CsvEmitsHeaderPlusOneRowPerTrial) {
   while (!lines.empty() && lines.back().empty()) lines.pop_back();
   ASSERT_EQ(static_cast<int>(lines.size()), plan.total_trials() + 1);
   EXPECT_EQ(lines.front().substr(0, 11), "item,trial,");
+}
+
+TEST(Sink, RowSinksAreDurablePerRow) {
+  // The durability contract: each on_trial leaves one whole, flushed,
+  // newline-terminated row on the stream — before finish() ever runs.
+  BatchTrialRow row;
+  row.item = 2;
+  row.trial = 5;
+  row.label = "X/y(3)";
+  row.graph = "y(3)";
+  row.protocol = "X";
+  row.daemon = "central-rr";
+  row.engine_seed = 9;
+
+  std::ostringstream jsonl_out;
+  JsonlSink jsonl(jsonl_out);
+  jsonl.on_trial(row);
+  EXPECT_EQ(jsonl_out.str(), format_trial_row_jsonl(row) + "\n");
+  jsonl.on_trial(row);
+  EXPECT_EQ(jsonl_out.str().size(),
+            2 * (format_trial_row_jsonl(row).size() + 1));
+
+  std::ostringstream csv_out;
+  CsvSink csv(csv_out);
+  csv.on_trial(row);
+  const std::vector<std::string> lines = split(csv_out.str(), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].substr(0, 11), "item,trial,");
+  EXPECT_EQ(lines[1].substr(0, 4), "2,5,");
+  EXPECT_EQ(csv_out.str().back(), '\n');
+}
+
+TEST(Sink, CsvWritesHeaderEvenForZeroTrials) {
+  // A plan that yields no rows must still produce the column contract:
+  // finish() backstops the header.
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.finish();
+  const std::vector<std::string> lines = split(out.str(), '\n');
+  ASSERT_EQ(lines.size(), 2u);  // header + trailing empty from split
+  EXPECT_EQ(lines[0].substr(0, 11), "item,trial,");
+  EXPECT_TRUE(lines[1].empty());
+}
+
+TEST(Sink, BenchJsonSinkStrictThrowsWhenArtifactUnwritable) {
+  const ExperimentPlan plan = plan_from_manifest_text(kPlanManifest);
+  BenchJsonSink lax("sink_test_artifact", "/nonexistent-dir-no-write");
+  BatchOptions options;
+  options.threads = 1;
+  // Non-strict: the lost artifact is a warning, the run succeeds.
+  EXPECT_NO_THROW(run_batch_to_sinks(plan.items, options, {&lax}));
+  // Strict (what sss_lab run --bench uses): the loss is an error.
+  BenchJsonSink strict("sink_test_artifact", "/nonexistent-dir-no-write",
+                       /*strict=*/true);
+  EXPECT_THROW(run_batch_to_sinks(plan.items, options, {&strict}),
+               PreconditionError);
 }
 
 TEST(Sink, BenchJsonSinkRecordsOneSummaryPerItem) {

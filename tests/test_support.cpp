@@ -264,5 +264,32 @@ TEST(StringUtil, TrimAndJoinAndStartsWith) {
   EXPECT_FALSE(starts_with("fo", "foo"));
 }
 
+TEST(StringUtil, ParseNonNegativeIntAcceptsPlainDigitsOnly) {
+  int value = -1;
+  EXPECT_TRUE(parse_non_negative_int("0", &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(parse_non_negative_int("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(parse_non_negative_int("007", &value));  // leading zeros fine
+  EXPECT_EQ(value, 7);
+  EXPECT_TRUE(parse_non_negative_int("2147483647", &value));  // INT_MAX
+  EXPECT_EQ(value, 2147483647);
+}
+
+TEST(StringUtil, ParseNonNegativeIntRejectsWhatStoiAccepts) {
+  // std::stoi takes all of these; the strict parse must not.
+  int value = 123;
+  EXPECT_FALSE(parse_non_negative_int("+5", &value));
+  EXPECT_FALSE(parse_non_negative_int("  5", &value));
+  EXPECT_FALSE(parse_non_negative_int("5 ", &value));
+  EXPECT_FALSE(parse_non_negative_int("-1", &value));
+  EXPECT_FALSE(parse_non_negative_int("", &value));
+  EXPECT_FALSE(parse_non_negative_int("5x", &value));
+  EXPECT_FALSE(parse_non_negative_int("0x5", &value));
+  EXPECT_FALSE(parse_non_negative_int("2147483648", &value));  // overflow
+  EXPECT_FALSE(parse_non_negative_int("99999999999999999999", &value));
+  EXPECT_EQ(value, 123);  // failures leave *out untouched
+}
+
 }  // namespace
 }  // namespace sss

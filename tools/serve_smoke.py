@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""CI smoke for `sss_lab serve`: interrupt a live run, resume it, and
+byte-diff the stitched stream against the golden fixture.
+
+The script drives two serve processes over stdio and asserts the three
+properties the serve layer exists for:
+
+ 1. **Live streaming.** Row events arrive while the batch is still
+    running: a `status` issued after the first row event must report
+    state "running" with 0 < rows < planned.
+ 2. **Durable interruption.** Cancelling after the 5th row event leaves a
+    durable stream of whole rows plus a checkpoint; a live `diff` against
+    the golden then reports no changed/extra rows, only pending ones.
+ 3. **Byte-identical resume.** A second serve process resuming from the
+    checkpoint appends exactly the missing rows: the final stream equals
+    the golden byte for byte at --threads 1, and modulo row order at any
+    other thread count.
+
+Exit code 0 on success; any assertion failure or timeout exits 1 with a
+transcript of the protocol exchange.
+
+Usage:
+  python3 tools/serve_smoke.py --binary build/sss_lab \\
+      --manifest examples/manifests/smoke.json \\
+      --golden tools/fixtures/sss_lab/smoke.golden.jsonl \\
+      --sink /tmp/serve-smoke.jsonl --threads 1
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import threading
+
+
+TIMEOUT_SECONDS = 180
+
+
+class ServeClient:
+    """One serve process spoken to over stdio, line by line."""
+
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        self.transcript = []
+        # A watchdog rather than per-read timeouts: the protocol is
+        # deterministic, so the only way a read blocks forever is a bug.
+        self.watchdog = threading.Timer(TIMEOUT_SECONDS, self._on_timeout)
+        self.watchdog.daemon = True
+        self.watchdog.start()
+        self.timed_out = False
+
+    def _on_timeout(self):
+        self.timed_out = True
+        self.proc.kill()
+
+    def send(self, command):
+        line = json.dumps(command)
+        self.transcript.append(">> " + line)
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def read(self):
+        line = self.proc.stdout.readline()
+        if not line:
+            self.fail("server closed its stream" +
+                      (" (watchdog timeout)" if self.timed_out else ""))
+        self.transcript.append("<< " + line.rstrip("\n"))
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            self.fail(f"unparseable protocol line: {error}")
+
+    def read_reply(self, reply_id, on_event=None):
+        """Reads until the reply tagged `reply_id`, handing events (and
+        replies to other ids already handled elsewhere) to `on_event`."""
+        while True:
+            doc = self.read()
+            if doc.get("id") == reply_id:
+                if not doc.get("ok"):
+                    self.fail(f"command {reply_id} failed: {doc.get('error')}")
+                return doc
+            if "event" in doc and on_event is not None:
+                on_event(doc)
+
+    def close(self, expect_exit=0):
+        self.watchdog.cancel()
+        self.proc.stdin.close()
+        code = self.proc.wait(timeout=30)
+        if code != expect_exit:
+            self.fail(f"serve exited {code}, expected {expect_exit}")
+
+    def fail(self, message):
+        print("serve_smoke: FAIL:", message, file=sys.stderr)
+        print("--- protocol transcript ---", file=sys.stderr)
+        for line in self.transcript[-60:]:
+            print(line, file=sys.stderr)
+        self.proc.kill()
+        sys.exit(1)
+
+
+def check(client, condition, message):
+    if not condition:
+        client.fail(message)
+
+
+def read_rows(path):
+    with open(path, "rb") as stream:
+        data = stream.read()
+    if data:
+        # Whole rows only: the durability contract of the streaming sinks.
+        assert data.endswith(b"\n"), f"{path} ends mid-row"
+    return data.decode().splitlines()
+
+
+def interrupted_run(args):
+    """Phase 1: submit, observe live rows, cancel, diff. Returns the
+    number of durable rows left behind."""
+    client = ServeClient(args.binary)
+    state = {"rows": 0, "status": None, "done": None}
+
+    # Row events are multiplexed with replies and may even precede the
+    # submit reply (the worker starts before the reply is written), so
+    # every read path funnels events through this one handler. The run id
+    # comes from the event itself for the same reason.
+    def handle_event(doc):
+        if doc.get("event") == "row":
+            state["rows"] += 1
+            if state["rows"] == 1:
+                # Property 1: the batch is demonstrably still running
+                # when the first row is already on the wire.
+                client.send({"cmd": "status", "id": 2, "run": doc["run"]})
+            if state["rows"] == 5:
+                client.send({"cmd": "cancel", "id": 3, "run": doc["run"]})
+        elif doc.get("event") == "done":
+            state["done"] = doc
+
+    client.send({
+        "cmd": "submit", "id": 1, "manifest_path": args.manifest,
+        "sink": args.sink, "threads": args.threads, "stream": True,
+        "pace_ms": 15,
+    })
+    submitted = client.read_reply(1, on_event=handle_event)
+    planned = submitted["trials"]
+    run = submitted["run"]
+    check(client, planned > 8, f"smoke plan too small to interrupt: {planned}")
+
+    while state["done"] is None:
+        doc = client.read()
+        if "event" in doc:
+            handle_event(doc)
+        elif doc.get("id") == 2:
+            state["status"] = doc
+        elif doc.get("id") == 3:
+            check(client, doc.get("ok"), f"cancel failed: {doc}")
+    if state["status"] is None:
+        state["status"] = client.read_reply(2, on_event=handle_event)
+    status, done = state["status"], state["done"]
+    check(client, status is not None and status["ok"], "no status reply")
+    check(client, status["state"] == "running",
+          f"status after first row: {status['state']} (want running)")
+    check(client, 0 < status["rows"] < planned,
+          f"status rows {status['rows']} not strictly inside (0, {planned})")
+    check(client, done["state"] == "cancelled",
+          f"done state {done['state']} (want cancelled)")
+    check(client, 5 <= done["rows"] < planned,
+          f"cancelled with {done['rows']} rows (want >=5, < {planned})")
+
+    # Property 2: a live diff against the golden sees only pending rows.
+    client.send({"cmd": "diff", "id": 4, "run": run, "baseline": args.golden})
+    diff = client.read_reply(4)
+    check(client, diff["changed"] == 0 and diff["extra"] == 0,
+          f"interrupted stream diverges from golden: {diff}")
+    check(client, diff["pending"] > 0 and not diff["clean"],
+          f"interrupted diff should be pending, not clean: {diff}")
+
+    client.send({"cmd": "shutdown", "id": 5})
+    client.read_reply(5)
+    client.close()
+
+    rows = read_rows(args.sink)
+    if len(rows) != done["rows"]:
+        print(f"serve_smoke: FAIL: sink holds {len(rows)} rows, "
+              f"done event said {done['rows']}", file=sys.stderr)
+        sys.exit(1)
+    assert os.path.exists(args.sink + ".ckpt.json"), "checkpoint missing"
+    return len(rows), planned
+
+
+def resumed_run(args, durable_rows, planned):
+    """Phase 2: a fresh process resumes the checkpoint and finishes."""
+    client = ServeClient(args.binary)
+    state = {"rows": 0, "done": None}
+
+    def handle_event(doc):
+        if doc.get("event") == "row":
+            state["rows"] += 1
+        elif doc.get("event") == "done":
+            state["done"] = doc
+
+    client.send({
+        "cmd": "resume", "id": 1, "checkpoint": args.sink + ".ckpt.json",
+        "threads": args.threads, "stream": True,
+    })
+    resumed = client.read_reply(1, on_event=handle_event)
+    check(client, resumed["skipped"] == durable_rows,
+          f"resume skipped {resumed['skipped']}, want {durable_rows}")
+
+    while state["done"] is None:
+        doc = client.read()
+        if "event" in doc:
+            handle_event(doc)
+    new_rows, done = state["rows"], state["done"]
+    check(client, done["state"] == "done", f"resume ended {done['state']}")
+    check(client, done["rows"] == planned,
+          f"resume finished with {done['rows']} rows, want {planned}")
+    check(client, new_rows == planned - durable_rows,
+          f"resume streamed {new_rows} new rows, "
+          f"want {planned - durable_rows}")
+
+    client.send({"cmd": "diff", "id": 2, "run": resumed["run"],
+                 "baseline": args.golden})
+    diff = client.read_reply(2)
+    check(client, diff["clean"] and diff["pending"] == 0,
+          f"resumed stream does not match golden: {diff}")
+
+    client.send({"cmd": "shutdown", "id": 3})
+    client.read_reply(3)
+    client.close()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--manifest", required=True)
+    parser.add_argument("--golden", required=True)
+    parser.add_argument("--sink", required=True)
+    parser.add_argument("--threads", type=int, default=1)
+    args = parser.parse_args()
+
+    for stale in (args.sink, args.sink + ".ckpt.json"):
+        if os.path.exists(stale):
+            os.remove(stale)
+
+    durable_rows, planned = interrupted_run(args)
+    resumed_run(args, durable_rows, planned)
+
+    # Property 3: the stitched stream vs the golden, byte for byte at one
+    # thread, modulo row order otherwise.
+    produced = read_rows(args.sink)
+    golden = read_rows(args.golden)
+    if args.threads == 1:
+        if produced != golden:
+            print("serve_smoke: FAIL: resumed stream != golden at "
+                  "--threads 1", file=sys.stderr)
+            sys.exit(1)
+    else:
+        if sorted(produced) != sorted(golden):
+            print("serve_smoke: FAIL: resumed stream != golden "
+                  "(sorted)", file=sys.stderr)
+            sys.exit(1)
+    print(f"serve_smoke: OK ({durable_rows} rows before interrupt, "
+          f"{planned} total, threads={args.threads})")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@
 ///   sss_lab validate manifest.json
 ///   sss_lab list
 ///   sss_lab diff a.jsonl b.jsonl [--quiet]
+///   sss_lab serve [--socket path]
 ///
 /// `run` expands the manifest (analysis/plan.hpp), executes it on the
 /// sharded batch runner, prints a per-item summary table, and streams
@@ -24,6 +25,12 @@
 /// were written in. It reports rows only present on one side and rows
 /// whose fields changed (naming each changed field old -> new).
 ///
+/// `serve` turns the one-shot CLI into a long-lived lab service speaking
+/// line-oriented JSON over stdio (or an AF_UNIX socket with `--socket`):
+/// submit manifests, stream completed rows live, cancel, diff against
+/// baselines while still writing, and resume interrupted batches from
+/// their durable streams. Protocol and semantics: src/service/.
+///
 /// Exit codes: 0 success (diff: streams identical); 1 (diff only):
 /// differences found; 2 usage, manifest, or I/O error.
 
@@ -37,6 +44,8 @@
 #include <utility>
 #include <vector>
 
+#include <iostream>
+
 #include "analysis/plan.hpp"
 #include "analysis/sink.hpp"
 #include "support/json.hpp"
@@ -44,6 +53,9 @@
 #include "core/protocol_registry.hpp"
 #include "graph/family_registry.hpp"
 #include "runtime/daemon.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+#include "service/socket.hpp"
 #include "support/require.hpp"
 #include "support/string_util.hpp"
 #include "support/text_table.hpp"
@@ -74,20 +86,21 @@ int usage() {
       "  diff <a.jsonl> <b.jsonl> [--quiet]\n"
       "                                  compare two result streams keyed\n"
       "                                  by (item, trial); exit 1 on any\n"
-      "                                  difference\n");
+      "                                  difference\n"
+      "  serve [--socket <path>]         long-lived lab service speaking\n"
+      "                                  line-oriented JSON on stdio (or an\n"
+      "                                  AF_UNIX socket): submit, stream,\n"
+      "                                  status, cancel, diff, resume\n");
   return 2;
 }
 
-/// Parses the integer value of a --flag; throws on garbage.
+/// Parses the integer value of a --flag; throws on anything but plain
+/// digits ("+5" and " 5" are rejected — std::stoi would take both, and a
+/// flag that silently strips signs and whitespace invites " -1" slipping
+/// through as 1).
 int int_value(const std::string& flag, const std::string& text) {
   int value = -1;
-  std::size_t used = 0;
-  try {
-    value = std::stoi(text, &used);
-  } catch (const std::exception&) {
-    used = 0;  // fall through to the named error below
-  }
-  SSS_REQUIRE(used == text.size() && value >= 0,
+  SSS_REQUIRE(parse_non_negative_int(text, &value),
               flag + " needs a non-negative integer, got \"" + text + "\"");
   return value;
 }
@@ -260,7 +273,10 @@ int run_command(const std::vector<std::string>& args) {
     sinks.push_back(owned.back().get());
   }
   if (!bench_name.empty()) {
-    owned.push_back(std::make_unique<BenchJsonSink>(bench_name));
+    // Strict: a bench artifact CI will diff must fail the run (exit 2)
+    // when it cannot be written, not print a warning and exit 0.
+    owned.push_back(std::make_unique<BenchJsonSink>(bench_name, ".",
+                                                    /*strict=*/true));
     sinks.push_back(owned.back().get());
   }
 
@@ -434,6 +450,33 @@ int diff_command(const std::vector<std::string>& args) {
   return 1;
 }
 
+int serve_command(const std::vector<std::string>& args) {
+  std::string socket_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--socket") {
+      SSS_REQUIRE(i + 1 < args.size(), "--socket needs a path");
+      socket_path = args[++i];
+    } else {
+      throw PreconditionError("unknown option \"" + args[i] + "\"");
+    }
+  }
+  LabService service;
+  if (socket_path.empty()) {
+    // stdio transport: the session owns the process's std streams; the
+    // process ends with the session (EOF or shutdown both stop serving).
+    ServeSession session(service, std::cin, std::cout);
+    session.run();
+  } else {
+    SSS_REQUIRE(serve_socket_supported(),
+                "this build has no Unix-domain-socket support");
+    serve_unix_socket(service, socket_path);
+  }
+  // Cancel anything still running and join workers before exit; durable
+  // streams keep every completed row, so interrupted runs stay resumable.
+  service.shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,6 +497,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "diff") return diff_command(args);
+    if (command == "serve") return serve_command(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sss_lab: %s\n", error.what());
     return 2;
