@@ -85,23 +85,32 @@ LabService::Submitted LabService::submit(const std::string& manifest_text,
   run->sink_path = sink_path;
   run->pace_ms = options.pace_ms;
 
-  // Durability order: checkpoint first, then the (empty) stream — a run
-  // that dies after its first row must already have the checkpoint its
-  // resume needs.
-  Checkpoint checkpoint;
-  checkpoint.plan_name = run->plan.name;
-  checkpoint.manifest_json = json_serialize(manifest);
-  checkpoint.sink_path = sink_path;
-  checkpoint.planned_trials = run->planned;
-  checkpoint.threads = options.threads;
-  checkpoint.shards = options.shards;
-  checkpoint.parallel_threads = options.parallel_threads;
-  checkpoint.sweep_mode = options.sweep_mode;
-  write_checkpoint(checkpoint);
+  // Claim the sink before touching any file: truncating (or rewriting
+  // the checkpoint of) a stream another live run is appending to would
+  // silently corrupt it.
+  claim_sink(sink_path);
+  try {
+    // Durability order: checkpoint first, then the (empty) stream — a
+    // run that dies after its first row must already have the checkpoint
+    // its resume needs.
+    Checkpoint checkpoint;
+    checkpoint.plan_name = run->plan.name;
+    checkpoint.manifest_json = json_serialize(manifest);
+    checkpoint.sink_path = sink_path;
+    checkpoint.planned_trials = run->planned;
+    checkpoint.threads = options.threads;
+    checkpoint.shards = options.shards;
+    checkpoint.parallel_threads = options.parallel_threads;
+    checkpoint.sweep_mode = options.sweep_mode;
+    write_checkpoint(checkpoint);
 
-  run->sink.open(sink_path, std::ios::binary | std::ios::trunc);
-  SSS_REQUIRE(run->sink.good(), "cannot open sink \"" + sink_path + "\"");
-  return launch(std::move(run), options);
+    run->sink.open(sink_path, std::ios::binary | std::ios::trunc);
+    SSS_REQUIRE(run->sink.good(), "cannot open sink \"" + sink_path + "\"");
+    return launch(std::move(run), options);
+  } catch (...) {
+    release_sink(sink_path);
+    throw;
+  }
 }
 
 LabService::Submitted LabService::resume(const std::string& checkpoint_path,
@@ -129,33 +138,42 @@ LabService::Submitted LabService::resume(const std::string& checkpoint_path,
   run->sink_path = checkpoint.sink_path;
   run->pace_ms = options.pace_ms;
 
-  // Recover the durable rows; a torn tail (hard kill mid-write) is
-  // dropped so the stream returns to whole-rows-only before we append.
-  const StreamScan scan = scan_result_stream(checkpoint.sink_path);
-  truncate_stream_tail(checkpoint.sink_path, scan);
-  const std::vector<int> per_item = trials_per_item(run->plan);
-  for (std::size_t i = 0; i < scan.keys.size(); ++i) {
-    const auto [item, trial] = scan.keys[i];
-    SSS_REQUIRE(item >= 0 && item < static_cast<int>(per_item.size()) &&
-                    trial >= 0 &&
-                    trial < per_item[static_cast<std::size_t>(item)],
-                "stream \"" + checkpoint.sink_path + "\" row " +
-                    std::to_string(i + 1) + " has key (" +
-                    std::to_string(item) + ", " + std::to_string(trial) +
-                    ") outside the checkpoint's plan");
-    SSS_REQUIRE(run->skip_keys.insert(scan.keys[i]).second,
-                "stream \"" + checkpoint.sink_path +
-                    "\" holds duplicate key (" + std::to_string(item) +
-                    ", " + std::to_string(trial) + ")");
-  }
-  run->skipped = static_cast<int>(scan.keys.size());
-  run->rows = scan.rows;
-  run->keys = scan.keys;
+  // Claim the sink before scanning: scanning (and then truncating the
+  // tail of) a stream a live run is still appending to would destroy its
+  // rows.
+  claim_sink(checkpoint.sink_path);
+  try {
+    // Recover the durable rows; a torn tail (hard kill mid-write) is
+    // dropped so the stream returns to whole-rows-only before we append.
+    const StreamScan scan = scan_result_stream(checkpoint.sink_path);
+    truncate_stream_tail(checkpoint.sink_path, scan);
+    const std::vector<int> per_item = trials_per_item(run->plan);
+    for (std::size_t i = 0; i < scan.keys.size(); ++i) {
+      const auto [item, trial] = scan.keys[i];
+      SSS_REQUIRE(item >= 0 && item < static_cast<int>(per_item.size()) &&
+                      trial >= 0 &&
+                      trial < per_item[static_cast<std::size_t>(item)],
+                  "stream \"" + checkpoint.sink_path + "\" row " +
+                      std::to_string(i + 1) + " has key (" +
+                      std::to_string(item) + ", " + std::to_string(trial) +
+                      ") outside the checkpoint's plan");
+      SSS_REQUIRE(run->skip_keys.insert(scan.keys[i]).second,
+                  "stream \"" + checkpoint.sink_path +
+                      "\" holds duplicate key (" + std::to_string(item) +
+                      ", " + std::to_string(trial) + ")");
+    }
+    run->skipped = static_cast<int>(scan.keys.size());
+    run->rows = scan.rows;
+    run->keys = scan.keys;
 
-  run->sink.open(checkpoint.sink_path, std::ios::binary | std::ios::app);
-  SSS_REQUIRE(run->sink.good(),
-              "cannot reopen sink \"" + checkpoint.sink_path + "\"");
-  return launch(std::move(run), options);
+    run->sink.open(checkpoint.sink_path, std::ios::binary | std::ios::app);
+    SSS_REQUIRE(run->sink.good(),
+                "cannot reopen sink \"" + checkpoint.sink_path + "\"");
+    return launch(std::move(run), options);
+  } catch (...) {
+    release_sink(checkpoint.sink_path);
+    throw;
+  }
 }
 
 LabService::Submitted LabService::launch(std::unique_ptr<Run> run,
@@ -194,6 +212,7 @@ void LabService::worker_main(Run& run, int threads, int shards) {
   };
   options.on_trial = [this, &run](const BatchTrialRow& row) {
     const std::string line = format_trial_row_jsonl(row);
+    EventFn subscriber;
     int seq = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -205,8 +224,18 @@ void LabService::worker_main(Run& run, int threads, int shards) {
       seq = static_cast<int>(run.rows.size());
       run.rows.push_back(line);
       run.keys.emplace_back(row.item, row.trial);
+      // The delivery decision commits with the push: a subscribe() that
+      // lands after this lock releases finds the row already in run.rows
+      // and replays it itself, so a row is never both replayed and
+      // delivered live to the same subscriber.
+      if (run.subscriber) {
+        subscriber = run.subscriber;
+        ++run.events_in_flight;
+      }
     }
-    emit_event(run, row_event(run.id, seq, line));
+    if (subscriber) {
+      deliver_event(run, subscriber, row_event(run.id, seq, line));
+    }
     if (run.pace_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(run.pace_ms));
     }
@@ -222,15 +251,37 @@ void LabService::worker_main(Run& run, int threads, int shards) {
     error = exception.what();
   }
   int rows = 0;
+  EventFn subscriber;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     run.state = state;
     run.error = error;
     rows = static_cast<int>(run.rows.size());
+    // All on_trial calls have returned; the stream is complete. Close it
+    // and release the sink claim so the path can be resubmitted/resumed.
+    run.sink.close();
+    active_sinks_.erase(run.sink_path);
+    // Snapshot the subscriber in the critical section that flips the
+    // state: a subscribe() after this lock sees a terminal run and
+    // synthesizes its own done event instead of installing itself, so
+    // every subscription gets exactly one done event.
+    if (run.subscriber) {
+      subscriber = run.subscriber;
+      ++run.events_in_flight;
+    }
   }
   cv_.notify_all();
-  emit_event(run,
-             done_event(run.id, state, rows, run.planned, run.skipped, error));
+  if (subscriber) {
+    try {
+      deliver_event(run, subscriber,
+                    done_event(run.id, state, rows, run.planned, run.skipped,
+                               error));
+    } catch (...) {
+      // A subscriber throwing out of its done event must not escape the
+      // worker thread (std::terminate) — drop it; done_emitted below
+      // still unblocks wait().
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     run.done_emitted = true;
@@ -238,14 +289,8 @@ void LabService::worker_main(Run& run, int threads, int shards) {
   cv_.notify_all();
 }
 
-void LabService::emit_event(Run& run, const std::string& line) {
-  EventFn subscriber;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!run.subscriber) return;
-    subscriber = run.subscriber;
-    ++run.events_in_flight;
-  }
+void LabService::deliver_event(Run& run, const EventFn& subscriber,
+                               const std::string& line) {
   // Outside the lock: the callback may write to a slow client or call
   // back into the service (cancel-after-k-rows). The in-flight count
   // lets detach_subscribers wait the call out.
@@ -260,6 +305,17 @@ void LabService::emit_event(Run& run, const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
   --run.events_in_flight;
   cv_.notify_all();
+}
+
+void LabService::claim_sink(const std::string& sink_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SSS_REQUIRE(active_sinks_.insert(sink_path).second,
+              "a live run is still writing to sink \"" + sink_path + "\"");
+}
+
+void LabService::release_sink(const std::string& sink_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_sinks_.erase(sink_path);
 }
 
 LabService::Run& LabService::find_locked(const std::string& run_id) const {
@@ -300,15 +356,30 @@ bool LabService::cancel(const std::string& run_id) {
   return true;
 }
 
-LabService::RunStatus LabService::wait(const std::string& run_id) {
+LabService::RunStatus LabService::wait(const std::string& run_id,
+                                       int timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
   Run& run = find_locked(run_id);
   // Wait for the done event too (not just the terminal state): a client
   // that streams and then waits must have its done event by the time the
   // wait reply arrives, and a session that exits right after wait() must
   // not race the event out of existence.
-  cv_.wait(lock, [&run] { return run.state != "running" && run.done_emitted; });
-  return status_locked(run);
+  const auto settled = [&run] {
+    return run.state != "running" && run.done_emitted;
+  };
+  bool done = true;
+  if (timeout_ms < 0) {
+    cv_.wait(lock, settled);
+  } else {
+    done = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), settled);
+  }
+  RunStatus status = status_locked(run);
+  // A timed-out wait reports "running" even in the sliver where the
+  // state is terminal but the done event is still in flight, keeping the
+  // invariant that a wait reply carrying a terminal state means the
+  // subscriber already has its done event.
+  if (!done) status.state = "running";
+  return status;
 }
 
 int LabService::subscribe(const std::string& run_id, int from, EventFn fn) {
@@ -316,23 +387,42 @@ int LabService::subscribe(const std::string& run_id, int from, EventFn fn) {
   SSS_REQUIRE(from >= 0, "subscribe \"from\" cannot be negative");
   std::unique_lock<std::mutex> lock(mutex_);
   Run& run = find_locked(run_id);
-  // Replay under the lock: no row can slip between the replayed prefix
-  // and the live subscription. The callback writes to the client stream
-  // only, so holding the lock here cannot deadlock.
+  // Replay outside the lock, in chunks: a slow client must not stall
+  // every run's on_trial behind the service mutex. Each unlocked write
+  // window may let new rows land; the loop re-checks until it observes
+  // itself caught up *while holding the lock*, and installs the
+  // subscriber in that same critical section — since live delivery
+  // decisions also commit under the lock (on_trial), no row is missed or
+  // delivered twice to this subscription.
+  int cursor = from;
   int replayed = 0;
-  for (int i = from; i < static_cast<int>(run.rows.size()); ++i) {
-    fn(row_event(run.id, i, run.rows[static_cast<std::size_t>(i)]));
-    ++replayed;
-  }
-  if (run.state == "running") {
-    run.subscriber = std::move(fn);
-  } else {
+  for (;;) {
+    if (cursor < static_cast<int>(run.rows.size())) {
+      const std::vector<std::string> chunk(
+          run.rows.begin() + cursor, run.rows.end());
+      const int base = cursor;
+      cursor += static_cast<int>(chunk.size());
+      lock.unlock();
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        fn(row_event(run.id, base + static_cast<int>(i), chunk[i]));
+        ++replayed;
+      }
+      lock.lock();
+      continue;
+    }
+    if (run.state == "running") {
+      run.subscriber = std::move(fn);
+      return replayed;
+    }
     // The worker has already emitted (or skipped) its done event;
     // synthesize one so every subscription ends with exactly one.
-    fn(done_event(run.id, run.state, static_cast<int>(run.rows.size()),
-                  run.planned, run.skipped, run.error));
+    const std::string done =
+        done_event(run.id, run.state, static_cast<int>(run.rows.size()),
+                   run.planned, run.skipped, run.error);
+    lock.unlock();
+    fn(done);
+    return replayed;
   }
-  return replayed;
 }
 
 void LabService::detach_subscribers() {

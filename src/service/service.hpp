@@ -30,11 +30,15 @@
 ///    cancelled run is simply a resumable one.
 ///
 /// Thread model: one mutex guards the run registry and every run's
-/// mutable state; workers take it per row. Subscriber callbacks are
-/// invoked *outside* the lock (an event handler may call back into the
-/// service, e.g. cancel-after-k-rows), serialized per run by the batch
-/// runner's own streaming mutex; `detach_subscribers` blocks until
-/// in-flight callbacks drain, so a disconnecting session can safely die.
+/// mutable state; workers take it per row. The delivery decision for an
+/// event (which subscriber, if any, receives it) is made in the same
+/// critical section that commits the row, so a subscriber attaching
+/// mid-run never sees a row both replayed and delivered live. The
+/// callbacks themselves run *outside* the lock (an event handler may
+/// write to a slow client or call back into the service, e.g.
+/// cancel-after-k-rows), serialized per run by the batch runner's own
+/// streaming mutex; `detach_subscribers` blocks until in-flight
+/// callbacks drain, so a disconnecting session can safely die.
 
 #include <atomic>
 #include <condition_variable>
@@ -124,14 +128,17 @@ class LabService {
   /// Validates and expands `manifest_text`, truncates `sink_path`, writes
   /// the checkpoint manifest, and starts the batch on a background
   /// worker. Throws PreconditionError on manifest/plan/IO errors (before
-  /// any worker starts).
+  /// any worker starts), and rejects `sink_path` while another live run
+  /// is still writing to it — two writers would silently corrupt the
+  /// durable stream.
   Submitted submit(const std::string& manifest_text,
                    const std::string& sink_path, SubmitOptions options);
 
   /// Resumes from a checkpoint: scans the durable stream, truncates a
   /// torn tail, and runs the remaining trials, appending to the stream.
   /// A stream that already holds every row yields a run that completes
-  /// immediately with nothing to do.
+  /// immediately with nothing to do. Rejects a sink another live run is
+  /// still writing to, like submit.
   Submitted resume(const std::string& checkpoint_path, SubmitOptions options);
 
   /// Snapshot of one run (`exists == false` for unknown ids).
@@ -145,12 +152,20 @@ class LabService {
   bool cancel(const std::string& run_id);
 
   /// Blocks until the run reaches a terminal state; returns its status.
-  RunStatus wait(const std::string& run_id);
+  /// A non-negative `timeout_ms` bounds the wait: on timeout the status
+  /// reports state "running" (even in the sliver where the state already
+  /// flipped but the done event is still in flight), so a wait reply
+  /// carrying a terminal state always means a live subscriber already
+  /// has its done event.
+  RunStatus wait(const std::string& run_id, int timeout_ms = -1);
 
   /// Replays rows [from, rows) to `fn` as row events, synthesizes the
   /// done event if the run already ended, and otherwise installs `fn` as
   /// the run's live subscriber (replacing any previous one). Returns the
-  /// number of rows replayed. Throws for unknown ids.
+  /// number of rows replayed. Throws for unknown ids. The replay writes
+  /// happen outside the service lock (a slow client does not stall other
+  /// runs' workers); `fn` is installed in the same critical section that
+  /// observes the replay caught up, so no row is missed or duplicated.
   int subscribe(const std::string& run_id, int from, EventFn fn);
 
   /// Removes every live subscriber and waits for in-flight callbacks to
@@ -192,9 +207,19 @@ class LabService {
 
   Submitted launch(std::unique_ptr<Run> run, const SubmitOptions& options);
   void worker_main(Run& run, int threads, int shards);
-  /// Emits `line` through the run's subscriber outside the lock, tracked
-  /// by the in-flight gate. Pre: caller holds no lock.
-  void emit_event(Run& run, const std::string& line);
+  /// Calls `subscriber(line)` and settles the in-flight gate. Pre: the
+  /// caller snapshotted `subscriber` and incremented `events_in_flight`
+  /// under the lock (in the same critical section as the state change the
+  /// event announces) and holds no lock now. Rethrows what the callback
+  /// throws, after the decrement.
+  void deliver_event(Run& run, const EventFn& subscriber,
+                     const std::string& line);
+  /// Registers `sink_path` as owned by a live run; throws if a live run
+  /// already owns it. Every claim is released exactly once: by the
+  /// worker on reaching a terminal state, or by the claimant if launch
+  /// never happens.
+  void claim_sink(const std::string& sink_path);
+  void release_sink(const std::string& sink_path);
   RunStatus status_locked(const Run& run) const;
   Run& find_locked(const std::string& run_id) const;
 
@@ -202,6 +227,9 @@ class LabService {
   mutable std::condition_variable cv_;
   std::vector<std::string> order_;
   std::map<std::string, std::unique_ptr<Run>> runs_;
+  /// Sink paths with a non-terminal run writing to them (claimed from
+  /// submit/resume entry until the worker goes terminal).
+  std::set<std::string> active_sinks_;
   int next_id_ = 1;
   bool shut_down_ = false;
 };

@@ -243,11 +243,14 @@ ServeSession::Exit ServeSession::run() {
         emit(reply.str());
 
       } else if (cmd == "wait") {
-        check_keys(command, {"run"});
+        check_keys(command, {"run", "timeout_ms"});
         const std::string run_id = require_string(command, "run");
         // Blocks the command loop; events for this session keep flowing
-        // from worker threads while we wait.
-        const LabService::RunStatus status = service_.wait(run_id);
+        // from worker threads while we wait. An optional timeout returns
+        // the command loop to the client (reply state "running") so a
+        // wedged run cannot wedge the connection too.
+        const int timeout_ms = optional_int(command, "timeout_ms", -1);
+        const LabService::RunStatus status = service_.wait(run_id, timeout_ms);
         emit(status_reply(id_json, run_id, status).str());
 
       } else if (cmd == "diff") {

@@ -27,7 +27,10 @@
 ///                                   after the replayed rows) carries the
 ///                                   replay count
 ///   {"cmd": "cancel", "run": R}     stop at the next trial boundary
-///   {"cmd": "wait", "run": R}       block until terminal; reply = status
+///   {"cmd": "wait", "run": R, "timeout_ms"?}
+///                                   block until terminal (or at most
+///                                   timeout_ms, replying state
+///                                   "running"); reply = status
 ///   {"cmd": "diff", "run": R, "baseline": P}
 ///                                   live byte-diff against a baseline
 ///   {"cmd": "shutdown"}             reply, then end the session loop

@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/batch.hpp"
@@ -368,6 +372,113 @@ TEST(LabService, SubscribeReplaysEverythingAndSynthesizesDone) {
   EXPECT_EQ(done.at("rows").as_int(), 8);
 }
 
+TEST(LabService, RejectsSecondWriterOnALiveSink) {
+  const std::string sink = temp_stream("exclusive.jsonl");
+  LabService service;
+  LabService::SubmitOptions slow;
+  slow.threads = 1;
+  slow.pace_ms = 20;
+  const LabService::Submitted submitted =
+      service.submit(kServeManifest, sink, slow);
+
+  // While the first run is live, a second submit (which would truncate
+  // the stream under it) and a resume (which would scan and append to a
+  // moving stream) of the same sink must both be rejected — and must not
+  // have touched the file.
+  EXPECT_THROW(service.submit(kServeManifest, sink, {}), PreconditionError);
+  EXPECT_THROW(service.resume(checkpoint_path_for(sink), {}),
+               PreconditionError);
+
+  service.cancel(submitted.run_id);
+  service.wait(submitted.run_id);
+  // Terminal runs release their claim: the same path resumes cleanly and
+  // still stitches to the golden.
+  const LabService::Submitted resumed =
+      service.resume(checkpoint_path_for(sink), {});
+  EXPECT_EQ(service.wait(resumed.run_id).state, "done");
+  EXPECT_EQ(read_file(sink), golden_stream());
+}
+
+TEST(LabService, WaitTimeoutReturnsRunningWithoutBlocking) {
+  const std::string sink = temp_stream("wait_timeout.jsonl");
+  LabService service;
+  LabService::SubmitOptions slow;
+  slow.threads = 1;
+  slow.pace_ms = 30;  // >= 8 * 30ms of pacing: the run cannot finish early
+  const LabService::Submitted submitted =
+      service.submit(kServeManifest, sink, slow);
+  EXPECT_EQ(service.wait(submitted.run_id, 1).state, "running");
+
+  service.cancel(submitted.run_id);
+  const LabService::RunStatus final_status = service.wait(submitted.run_id);
+  EXPECT_NE(final_status.state, "running");
+  // A timed wait on a settled run reports the terminal state immediately.
+  EXPECT_EQ(service.wait(submitted.run_id, 0).state, final_status.state);
+}
+
+TEST(LabService, ThrowingDoneSubscriberDoesNotWedgeWait) {
+  const std::string sink = temp_stream("throwing_done.jsonl");
+  LabService service;
+  LabService::SubmitOptions options;
+  options.threads = 1;
+  options.subscriber = [](const std::string& line) {
+    if (JsonValue::parse(line).at("event").as_string() == "done") {
+      throw std::runtime_error("client went away");
+    }
+  };
+  const LabService::Submitted submitted =
+      service.submit(kServeManifest, sink, options);
+  // The worker must swallow the subscriber's throw (a leak would
+  // std::terminate the process) and still mark the done event emitted —
+  // otherwise this wait hangs forever.
+  const LabService::RunStatus status = service.wait(submitted.run_id);
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.rows, 8);
+  EXPECT_EQ(read_file(sink), golden_stream());
+}
+
+TEST(LabService, MidRunSubscribeSeesEveryRowExactlyOnce) {
+  // Attach while the worker is actively producing: the replayed prefix
+  // and the live tail must cover seq 0..7 in order with no gap and no
+  // duplicate, because the delivery decision commits in the same
+  // critical section as the row push. Varying the attach point sweeps
+  // the prefix/live split across attempts.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const std::string sink = temp_stream("mid_attach.jsonl");
+    LabService service;
+    LabService::SubmitOptions options;
+    options.threads = 1;
+    options.pace_ms = 3;
+    const LabService::Submitted submitted =
+        service.submit(kServeManifest, sink, options);
+    std::this_thread::sleep_for(std::chrono::milliseconds(4 * attempt));
+
+    std::mutex seen_mutex;
+    std::vector<int> seen;
+    int dones = 0;
+    service.subscribe(submitted.run_id, 0,
+                      [&seen_mutex, &seen, &dones](const std::string& line) {
+                        const JsonValue event = JsonValue::parse(line);
+                        std::lock_guard<std::mutex> lock(seen_mutex);
+                        if (event.at("event").as_string() == "row") {
+                          seen.push_back(
+                              static_cast<int>(event.at("seq").as_int()));
+                        } else {
+                          ++dones;
+                        }
+                      });
+    service.wait(submitted.run_id);
+
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    ASSERT_EQ(seen.size(), 8u) << "attempt " << attempt;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(i)], i)
+          << "attempt " << attempt;
+    }
+    EXPECT_EQ(dones, 1) << "attempt " << attempt;
+  }
+}
+
 TEST(LabService, RejectsUnknownRunsAndBadManifests) {
   LabService service;
   EXPECT_FALSE(service.status("r99").exists);
@@ -491,6 +602,32 @@ TEST(ServeSession, StreamReplaysFinishedRunsAndDiffReportsClean) {
   EXPECT_TRUE(diff.at("clean").as_bool());
   EXPECT_EQ(diff.at("matched").as_int(), 8);
   EXPECT_EQ(JsonValue::parse(lines[6]).at("state").as_string(), "done");
+}
+
+TEST(ServeSession, WaitTimeoutKeepsCommandLoopResponsive) {
+  const std::string sink = temp_stream("session_wait.jsonl");
+  LabService service;
+  const std::string submit = R"({"cmd": "submit", "id": "s", "sink": )" +
+                             json_quote(sink) +
+                             R"(, "threads": 1, "pace_ms": 30, "manifest": )" +
+                             json_serialize(JsonValue::parse(kServeManifest)) +
+                             "}";
+  const std::vector<std::string> lines = run_session(
+      service,
+      {submit, R"({"cmd": "wait", "id": "t", "run": "r1", "timeout_ms": 1})",
+       R"({"cmd": "cancel", "id": "c", "run": "r1"})",
+       R"({"cmd": "wait", "id": "w", "run": "r1"})"},
+      ServeSession::Exit::kEof);
+  // No stream requested, so exactly the four tagged replies, in order:
+  // the timed-out wait hands the loop back (state "running") instead of
+  // wedging the connection, and cancel + blocking wait then settle it.
+  ASSERT_EQ(lines.size(), 4u);
+  const JsonValue timed = JsonValue::parse(lines[1]);
+  EXPECT_TRUE(timed.at("ok").as_bool());
+  EXPECT_EQ(timed.at("state").as_string(), "running");
+  const JsonValue settled = JsonValue::parse(lines[3]);
+  EXPECT_TRUE(settled.at("ok").as_bool());
+  EXPECT_NE(settled.at("state").as_string(), "running");
 }
 
 }  // namespace
