@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
                          "speedup"});
   Geomean steps_geomean;
   for (const Graph& g : graphs) {
-    for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, g, {});
       if (!protocol->has_bulk_execute()) continue;
@@ -294,7 +294,7 @@ int main(int argc, char** argv) {
                         "bulk acts/s", "speedup"});
   Geomean exec_geomean;
   for (const Graph& g : graphs) {
-    for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, g, {});
       if (!protocol->has_bulk_execute()) continue;

@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
                          "speedup"});
   Geomean steps_geomean;
   for (const Graph& g : graphs) {
-    for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, g, {});
       if (!protocol->has_bulk_sweep()) continue;
@@ -210,7 +210,7 @@ int main(int argc, char** argv) {
                            "bulk evals/s", "speedup"});
   Geomean refresh_geomean;
   for (const Graph& g : graphs) {
-    for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, g, {});
       if (!protocol->has_bulk_sweep()) continue;

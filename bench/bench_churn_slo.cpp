@@ -9,7 +9,7 @@
 /// distribution (p50/p90/p99), and the read overhead per disruption
 /// versus the idle read rate of the silent baseline.
 ///
-/// The grid is examples/manifests/churn_slo.json: all ten registry
+/// The grid is examples/manifests/churn_slo.json: every base registry
 /// protocols x {central-rr, distributed} x two churn schedules (a
 /// Bernoulli corruption/reset mix and a deterministic period with
 /// topology churn), expanded by the shared plan builder — the same plan
@@ -84,7 +84,7 @@ int main() {
   }
   std::printf("%s\n", table.str().c_str());
   SSS_REQUIRE(protocols_seen.size() ==
-                  ProtocolRegistry::instance().names().size(),
+                  ProtocolRegistry::instance().protocol_names().size(),
               "churn_slo manifest must cover every registry protocol");
   print_note("claim check: every registry protocol stabilized, was "
              "disrupted, and recovered in every cell.");

@@ -1,0 +1,21 @@
+/// E-FOREST — silent multi-root BFS spanning forests, communication-
+/// efficient vs full-read.
+///
+/// Protocol SPANNING-FOREST grows the BFS forest of its flagged root set
+/// reading at most its parent plus one round-robin neighbor per step
+/// (k = 2) where the classic full-read construction reads all Delta
+/// neighbors; both stabilize to the exact multi-source BFS forest
+/// (Voronoi partition of the roots). The menagerie, daemons, seeds and
+/// root sets are declared in examples/manifests/spanning_forest.json and
+/// expanded by the shared plan builder — the bench is a thin shell over
+/// the same plan `sss_lab run` executes. Emits BENCH_spanning_forest.json
+/// next to the table.
+
+#include "bench_common.hpp"
+
+int main() {
+  return sss::bench::run_efficiency_comparison(
+      "E-FOREST: SPANNING-FOREST convergence and reads vs full-read",
+      std::string(SSS_MANIFEST_DIR) + "/spanning_forest.json",
+      "spanning_forest", "SPANNING-FOREST", /*efficient_k=*/2);
+}

@@ -1,0 +1,180 @@
+/// E16 — the generic communication-efficiency transformer, measured.
+///
+/// The claim under gate: wrap a Delta-read baseline in GENERIC-EFFICIENCY
+/// and the *stabilized* phase costs a constant — every activation reads
+/// exactly one neighbor (the rotating audit), no matter how large Delta
+/// grows — while the bare baseline's guard evaluation keeps paying Delta
+/// reads per activation forever. Both costs are measured, not asserted
+/// from theory:
+///
+///  * wrapped: run to certified silence, mix so every audit pointer has
+///    lapped its channels, then attach a fresh per-step read counter and
+///    take the worst per-process read count over a multi-round window;
+///  * bare baseline: run to certified silence, then charge one guard
+///    evaluation per process on the silent configuration through a
+///    logging GuardContext — the model cost of *staying* silent, which
+///    the fast engine's dirty-set caching hides but the paper's
+///    communication-complexity accounting still pays.
+///
+/// Sweeps stars of growing Delta plus a clique, over both Delta-read
+/// baselines (coloring and the multi-root spanning forest). Emits
+/// BENCH_transformer_efficiency.json: wrapped reads stay at 1 while the
+/// baseline column tracks Delta, so the bench gate catches any regression
+/// that reintroduces degree-proportional stabilized reads.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/problem_registry.hpp"
+#include "core/protocol_registry.hpp"
+#include "graph/builders.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
+#include "support/bench_json.hpp"
+#include "support/require.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace sss;
+
+/// Worst per-process neighbor reads in any single stabilized step,
+/// measured over `rounds * n` engine steps after a mixing window.
+int stabilized_reads_per_step(Engine& engine, const Graph& g,
+                              const ProtocolSpec& spec) {
+  // Mixing: let every audit pointer lap its channels (and any straggler
+  // collect drain) before the measured window starts.
+  for (int step = 0; step < 20 * g.num_vertices(); ++step) engine.step();
+  StepReadCounter counter(g, spec);
+  engine.attach_read_logger(&counter);
+  int worst = 0;
+  for (int step = 0; step < 30 * g.num_vertices(); ++step) {
+    counter.begin_step();
+    engine.step();
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+      worst = std::max(worst, counter.step_reads_of(p));
+    }
+  }
+  return worst;
+}
+
+/// Model cost of one guard evaluation per process on a silent
+/// configuration: what each process must read to decide it has nothing
+/// to do. For a full-read baseline this is degree(p) even though the
+/// answer is "disabled".
+int guard_evaluation_reads(const Graph& g, const Protocol& protocol,
+                           const Configuration& config) {
+  StepReadCounter counter(g, protocol.spec());
+  int worst = 0;
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    counter.begin_step();
+    GuardContext ctx(g, config, p, &counter);
+    protocol.first_enabled(ctx);
+    worst = std::max(worst, counter.step_reads_of(p));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E16: generic-efficiency transformer — stabilized reads "
+               "vs Delta");
+  print_note("wrapped = GENERIC-EFFICIENCY(base): worst physical reads in "
+             "any stabilized step;");
+  print_note("bare = the Delta-read base alone: worst guard-evaluation "
+             "reads on its silent configuration.");
+
+  const std::vector<std::string> bases = {"full-read-coloring",
+                                          "full-read-spanning-forest"};
+  std::vector<Graph> graphs;
+  for (int leaves : {4, 8, 16, 24}) graphs.push_back(star(leaves));
+  graphs.push_back(complete(8));
+
+  TextTable table({"base", "graph", "Delta", "wrapped reads", "bare reads",
+                   "ratio", "steps to silence"});
+  BenchJsonWriter json("transformer_efficiency");
+  ProtocolRegistry& registry = ProtocolRegistry::instance();
+  std::uint64_t seed = 0xeff1;
+  for (const std::string& base : bases) {
+    for (const Graph& g : graphs) {
+      const int delta = g.max_degree();
+      // Rooted bases get the *last* vertex as root: on a star that is a
+      // leaf, so the hub stays a non-root whose guard evaluation pays the
+      // full degree (a hub root would decide "disabled" without reading).
+      ParamMap params;
+      if (base == "full-read-spanning-forest") {
+        params["roots"] = std::to_string(g.num_vertices() - 1);
+      }
+      const ProtocolSelection wrapped_selection = ProtocolSelection::wrap(
+          "generic-efficiency", ProtocolSelection::base(base, params));
+      const std::unique_ptr<Protocol> wrapped =
+          registry.make(wrapped_selection, g);
+      const std::unique_ptr<Protocol> bare =
+          registry.make(ProtocolSelection::base(base, params), g);
+      const std::unique_ptr<Problem> problem = ProblemRegistry::instance().make(
+          registry.resolve(wrapped_selection).problem);
+
+      Engine wrapped_engine(g, *wrapped, make_daemon("distributed"), ++seed);
+      wrapped_engine.randomize_state();
+      RunOptions options;
+      options.max_steps = 2'000'000;
+      const RunStats stats = wrapped_engine.run(options);
+      SSS_REQUIRE(stats.silent, wrapped->name() + " on " + g.name() +
+                                    " failed to stabilize");
+      SSS_REQUIRE(problem->holds(g, wrapped_engine.config()),
+                  wrapped->name() + " on " + g.name() +
+                      " stabilized without reaching legitimacy");
+      const int wrapped_reads =
+          stabilized_reads_per_step(wrapped_engine, g, wrapped->spec());
+
+      Engine bare_engine(g, *bare, make_daemon("distributed"), ++seed);
+      bare_engine.randomize_state();
+      SSS_REQUIRE(bare_engine.run(options).silent,
+                  bare->name() + " on " + g.name() + " failed to stabilize");
+      const int bare_reads =
+          guard_evaluation_reads(g, *bare, bare_engine.config());
+
+      // The gated claim, both halves: a constant for the wrapped
+      // protocol, the full degree for the bare baseline.
+      SSS_REQUIRE(wrapped_reads <= 1,
+                  wrapped->name() + " on " + g.name() +
+                      " read more than one neighbor in a stabilized step");
+      SSS_REQUIRE(bare_reads == delta,
+                  bare->name() + " on " + g.name() +
+                      " no longer pays Delta reads per guard evaluation "
+                      "(comparison baseline changed)");
+
+      table.row()
+          .add(base)
+          .add(g.name())
+          .add(delta)
+          .add(wrapped_reads)
+          .add(bare_reads)
+          .add(static_cast<double>(bare_reads) /
+                   std::max(wrapped_reads, 1),
+               1)
+          .add(static_cast<std::int64_t>(stats.steps));
+      json.record()
+          .field("base", base)
+          .field("graph", g.name())
+          .field("delta", delta)
+          .field("wrapped_stabilized_reads_per_step", wrapped_reads)
+          .field("bare_guard_evaluation_reads", bare_reads)
+          .field("delta_to_constant_ratio",
+                 static_cast<double>(bare_reads) /
+                     std::max(wrapped_reads, 1))
+          .field("wrapped_steps_to_silence",
+                 static_cast<std::int64_t>(stats.steps));
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_note("claim check: wrapped reads <= 1 on every graph (constant in "
+             "Delta); bare reads == Delta everywhere.");
+  std::fflush(stdout);
+  json.write();
+  return 0;
+}

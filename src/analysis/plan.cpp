@@ -281,15 +281,51 @@ std::vector<ParamMap> expand_graph_params(const JsonValue& spec) {
   return combos;
 }
 
-ParamMap protocol_params(const JsonValue& spec) {
+/// Parses one protocol spec object into a (possibly nested) selection.
+/// A base spec is {"name": ..., <scalar params>}; a composed spec is
+/// {"transform": ..., "inner": {<protocol spec>}, <scalar params>} with
+/// the inner object parsed recursively, so transformers nest. Shape
+/// errors name the offending object's line:col in the manifest; name/
+/// parameter/composition errors are the registry's (attached to the
+/// spec's position by the caller).
+ProtocolSelection parse_protocol_selection(const JsonValue& spec) {
+  const std::string context = "protocol spec at " + spec.where();
+  SSS_REQUIRE(spec.is_object(), context + " must be an object, got " +
+                                    JsonValue::kind_name(spec.kind()));
+  const JsonValue* name = spec.find("name");
+  const JsonValue* transform = spec.find("transform");
+  SSS_REQUIRE(name == nullptr || transform == nullptr,
+              context + " accepts \"name\" or \"transform\", not both");
+  SSS_REQUIRE(name != nullptr || transform != nullptr,
+              context + " needs \"name\" (base protocol) or \"transform\" + "
+                        "\"inner\" (composition)");
   ParamMap params;
   for (const auto& [key, value] : spec.members()) {
-    if (key == "name") continue;
+    if (key == "name" || key == "transform" || key == "inner") continue;
     SSS_REQUIRE(!value.is_array() && !value.is_object(),
-                "protocol parameter \"" + key + "\" must be a scalar");
+                "protocol parameter \"" + key + "\" at " + value.where() +
+                    " must be a scalar");
     params[key] = scalar_param(key, value);
   }
-  return params;
+  if (name != nullptr) {
+    const JsonValue* inner = spec.find("inner");
+    // The message is only built when the check fails, so inner is
+    // non-null there.
+    SSS_REQUIRE(inner == nullptr,
+                context + ": \"inner\" (at " + inner->where() +
+                    ") is only valid alongside \"transform\"");
+    return ProtocolSelection::base(name->as_string(), std::move(params));
+  }
+  const JsonValue* inner = spec.find("inner");
+  SSS_REQUIRE(inner != nullptr,
+              context + ": \"transform\" needs an \"inner\" protocol spec");
+  SSS_REQUIRE(inner->is_object(),
+              "\"inner\" at " + inner->where() +
+                  " must be a protocol spec object, got " +
+                  JsonValue::kind_name(inner->kind()));
+  return ProtocolSelection::wrap(transform->as_string(),
+                                 parse_protocol_selection(*inner),
+                                 std::move(params));
 }
 
 void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
@@ -313,13 +349,11 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
   }
   // Churn availability is "fraction of window steps in a legitimate
   // configuration", which needs a predicate; a churn sweep without an
-  // explicit "problem" binds each protocol's registered problem instead
+  // explicit "problem" binds each composition's resolved problem instead
   // (one sweep may mix protocols of different problems).
   std::map<std::string, const Problem*> default_problems;
-  auto problem_for = [&](const std::string& protocol_name) -> const Problem* {
+  auto problem_for = [&](const std::string& name) -> const Problem* {
     if (problem != nullptr || !defaults.churn_enabled) return problem;
-    const std::string& name =
-        ProtocolRegistry::instance().info(protocol_name).problem;
     if (name.empty()) return nullptr;
     auto [it, fresh] = default_problems.try_emplace(name, nullptr);
     if (fresh) {
@@ -333,23 +367,42 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
   const JsonValue& protocols = sweep.at("protocols");
   SSS_REQUIRE(!protocols.items().empty(), "\"protocols\" cannot be empty");
 
+  // Parse + resolve every protocol spec once, up front: composition
+  // errors (unknown transform, bare checker source, daemon-claim
+  // conflicts) surface with the spec's manifest position even when the
+  // graph sweep would never have reached that spec.
+  struct ParsedProtocol {
+    ProtocolSelection selection;
+    ProtocolRegistry::ComposedInfo info;
+  };
+  std::vector<ParsedProtocol> parsed;
+  parsed.reserve(protocols.items().size());
+  for (const JsonValue& protocol_spec : protocols.items()) {
+    ProtocolSelection selection = parse_protocol_selection(protocol_spec);
+    try {
+      ProtocolRegistry::ComposedInfo info =
+          ProtocolRegistry::instance().resolve(selection);
+      parsed.push_back({std::move(selection), std::move(info)});
+    } catch (const PreconditionError& error) {
+      throw PreconditionError("protocol spec at " + protocol_spec.where() +
+                              ": " + error.what());
+    }
+  }
+
   std::vector<BatchItem> sweep_items;
   for (const JsonValue& graph_spec : graphs.items()) {
     const std::string& family = graph_spec.at("family").as_string();
     for (const ParamMap& params : expand_graph_params(graph_spec)) {
       const Graph& graph = plan.store.add(
           GraphFamilyRegistry::instance().build(family, params));
-      for (const JsonValue& protocol_spec : protocols.items()) {
-        const std::string& protocol_name =
-            protocol_spec.at("name").as_string();
-        const ParamMap params = protocol_params(protocol_spec);
+      for (const ParsedProtocol& choice : parsed) {
         const Protocol& protocol = plan.store.add(
-            ProtocolRegistry::instance().make(protocol_name, graph, params));
+            ProtocolRegistry::instance().make(choice.selection, graph));
         BatchItem item;
         item.label = protocol.name() + "/" + graph.name();
         item.graph = &graph;
         item.protocol = &protocol;
-        item.problem = problem_for(protocol_name);
+        item.problem = problem_for(choice.info.problem);
         item.daemons = defaults.daemons;
         item.seeds_per_daemon = defaults.seeds_per_daemon;
         item.run = defaults.run;
@@ -363,10 +416,11 @@ void expand_sweep(const JsonValue& sweep, const RunDefaults& manifest_defaults,
           item.churn = defaults.churn;
           // Registry-backed factory so churn windows can rebuild the
           // protocol on churned topologies (and so every churn trial runs
-          // the owning-mode runner uniformly).
-          item.protocol_factory = [protocol_name, params](const Graph& g) {
-            return ProtocolRegistry::instance().make(protocol_name, g,
-                                                     params);
+          // the owning-mode runner uniformly). Captures the whole
+          // composed selection, so transformed protocols rebuild too.
+          item.protocol_factory = [selection =
+                                       choice.selection](const Graph& g) {
+            return ProtocolRegistry::instance().make(selection, g);
           };
         }
         sweep_items.push_back(std::move(item));

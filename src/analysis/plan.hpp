@@ -25,13 +25,26 @@
 ///         ],
 ///         "protocols": [
 ///           {"name": "coloring"},
-///           {"name": "full-read-coloring", "palette_size": 5}
+///           {"name": "full-read-coloring", "palette_size": 5},
+///           {"transform": "generic-efficiency",
+///            "inner": {"name": "full-read-coloring"}},
+///           {"transform": "rotating-check",
+///            "inner": {"name": "pairwise-coloring", "palette_size": 5}}
 ///         ],
 ///         "problem": "vertex-coloring",      // optional
 ///         <run keys>                         // override the defaults
 ///       }
 ///     ]
 ///   }
+///
+/// A protocol spec is either a base entry ({"name": ..., <scalar
+/// params>}) or a composition ({"transform": ..., "inner": {<protocol
+/// spec>}, <scalar params of the transformer>}); "inner" nests
+/// recursively, so transformers compose. Specs resolve through
+/// ProtocolRegistry::resolve before any graph is built: unknown names,
+/// bad parameters, and malformed compositions (a bare checker source, a
+/// transformer without "inner", "name" next to "transform") all throw
+/// with the spec's line:col in the manifest.
 ///
 /// Run keys (accepted in "defaults" and per sweep): "daemons" (array of
 /// daemon names), "seeds_per_daemon", "base_seed", "base_seeds" (per-sweep

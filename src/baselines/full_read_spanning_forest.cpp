@@ -1,0 +1,181 @@
+#include "baselines/full_read_spanning_forest.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+constexpr int kFixRoot = 0;
+constexpr int kRecompute = 1;
+}  // namespace
+
+FullReadSpanningForest::FullReadSpanningForest(const Graph& g,
+                                               std::vector<ProcessId> roots)
+    : roots_(std::move(roots)),
+      max_distance_(static_cast<Value>(g.num_vertices() - 1)) {
+  SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
+              "FULL-READ-SPANNING-FOREST requires a connected network with "
+              "n >= 2");
+  SSS_REQUIRE(!roots_.empty(),
+              "FULL-READ-SPANNING-FOREST needs at least one root");
+  std::sort(roots_.begin(), roots_.end());
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    SSS_REQUIRE(roots_[i] >= 0 && roots_[i] < g.num_vertices(),
+                "FULL-READ-SPANNING-FOREST roots must be process ids in "
+                "[0, n)");
+    SSS_REQUIRE(i == 0 || roots_[i] != roots_[i - 1],
+                "FULL-READ-SPANNING-FOREST roots must be distinct");
+  }
+  spec_.comm.emplace_back("D", VarDomain{0, max_distance_});
+  spec_.comm.emplace_back("PR", domain_channel_or_none());
+  spec_.comm.emplace_back("R", VarDomain{0, 1}, /*is_constant=*/true);
+}
+
+void FullReadSpanningForest::install_constants(const Graph& g,
+                                               Configuration& config) const {
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    config.set_comm(p, kRootVar, 0);
+  }
+  for (const ProcessId root : roots_) config.set_comm(root, kRootVar, 1);
+}
+
+int FullReadSpanningForest::first_enabled(GuardContext& ctx) const {
+  const Value dist = ctx.self_comm(kDistVar);
+  const Value parent = ctx.self_comm(kParentVar);
+  if (ctx.self_comm(kRootVar) == 1) {
+    return (dist != 0 || parent != 0) ? kFixRoot : kDisabled;
+  }
+  // Local checking reads the whole neighborhood (the Delta-efficient
+  // baseline cost the paper's Section 3 charges).
+  Value best = max_distance_;
+  for (NbrIndex ch = 1; ch <= ctx.degree(); ++ch) {
+    best = std::min(best, ctx.nbr_comm(ch, kDistVar));
+  }
+  const Value target = std::min<Value>(best + 1, max_distance_);
+  if (dist != target) return kRecompute;
+  if (parent == 0 ||
+      ctx.nbr_comm(static_cast<NbrIndex>(parent), kDistVar) != best) {
+    return kRecompute;
+  }
+  return kDisabled;
+}
+
+void FullReadSpanningForest::sweep_enabled_range(BulkGuardContext& ctx,
+                                                 EnabledBitmap& out,
+                                                 ProcessId begin,
+                                                 ProcessId end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = begin; p < end; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value dist = row[kDistVar];
+    const Value parent = row[kParentVar];
+    if (row[kRootVar] == 1) {
+      actions[p] = static_cast<std::int8_t>(
+          (dist != 0 || parent != 0) ? kFixRoot : kDisabled);
+      continue;
+    }
+    const std::int32_t begin_slot = offsets[p];
+    const std::int32_t end_slot = offsets[p + 1];
+    // Branch-free min over the contiguous neighborhood slice; the scalar
+    // guard reads every neighbor unconditionally.
+    Value best = max_distance_;
+    for (std::int32_t slot = begin_slot; slot < end_slot; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      best = std::min(best,
+                      data[static_cast<std::size_t>(q) * stride + kDistVar]);
+    }
+    for (std::int32_t slot = begin_slot; slot < end_slot; ++slot) {
+      ctx.log(p, neighbors[static_cast<std::size_t>(slot)], kDistVar);
+    }
+    const Value target = std::min<Value>(best + 1, max_distance_);
+    if (dist != target) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+      continue;
+    }
+    if (parent == 0) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+      continue;
+    }
+    const ProcessId parent_nbr = neighbors[static_cast<std::size_t>(
+        begin_slot + static_cast<std::int32_t>(parent) - 1)];
+    const Value parent_dist =
+        data[static_cast<std::size_t>(parent_nbr) * stride + kDistVar];
+    ctx.log(p, parent_nbr, kDistVar);
+    if (parent_dist != best) {
+      actions[p] = static_cast<std::int8_t>(kRecompute);
+    }
+  }
+}
+
+void FullReadSpanningForest::execute_selected(
+    BulkExecContext& ctx, const EnabledBitmap& enabled,
+    std::span<const ProcessId> selection, std::size_t begin,
+    std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    Value* out = ctx.stage(i, p);
+    if (action == kFixRoot) {
+      out[kDistVar] = 0;
+      out[kParentVar] = 0;
+      continue;
+    }
+    // kRecompute re-reads the whole neighborhood at execute time (every
+    // read logged, channel order), keeping the first channel achieving
+    // the minimum — the scalar strict-< update rule.
+    const std::int32_t nbr_begin = offsets[p];
+    const std::int32_t nbr_end = offsets[p + 1];
+    Value best = max_distance_;
+    Value best_channel = 1;
+    for (std::int32_t slot = nbr_begin; slot < nbr_end; ++slot) {
+      const ProcessId q = neighbors[static_cast<std::size_t>(slot)];
+      const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+      ctx.log(p, q, kDistVar);
+      if (d < best) {
+        best = d;
+        best_channel = static_cast<Value>(slot - nbr_begin + 1);
+      }
+    }
+    out[kDistVar] = std::min<Value>(best + 1, max_distance_);
+    out[kParentVar] = best_channel;
+  }
+}
+
+void FullReadSpanningForest::execute(int action, ActionContext& ctx) const {
+  if (action == kFixRoot) {
+    ctx.set_comm(kDistVar, 0);
+    ctx.set_comm(kParentVar, 0);
+    return;
+  }
+  SSS_ASSERT(action == kRecompute,
+             "FULL-READ-SPANNING-FOREST has two actions");
+  Value best = max_distance_;
+  NbrIndex best_channel = 1;
+  for (NbrIndex ch = 1; ch <= ctx.degree(); ++ch) {
+    const Value d = ctx.nbr_comm(ch, kDistVar);
+    if (d < best) {
+      best = d;
+      best_channel = ch;
+    }
+  }
+  ctx.set_comm(kDistVar, std::min<Value>(best + 1, max_distance_));
+  ctx.set_comm(kParentVar, static_cast<Value>(best_channel));
+}
+
+}  // namespace sss

@@ -31,6 +31,15 @@ std::int64_t matching_round_bound(int n, int max_degree);
 /// daemon x menagerie grid in tests/test_bfs_tree_protocol.cpp.
 std::int64_t bfs_tree_round_bound(int n, int max_degree);
 
+/// Multi-root generalization (arXiv:1805.02401): Protocol SPANNING-FOREST
+/// reaches a silent configuration within (Delta + 1) * n + 2 rounds
+/// regardless of the number of roots. The BFS-TREE argument is
+/// root-count-agnostic — the distance cap flushes fake parent chains in n
+/// rounds and each true forest layer (w.r.t. the multi-source BFS) settles
+/// within Delta rounds of the previous one — and more roots only shrink
+/// the layer count. Asserted in tests/test_spanning_forest.cpp.
+std::int64_t spanning_forest_round_bound(int n, int max_degree);
+
 /// Same treatment for communication-efficient LEADER-ELECTION
 /// (arXiv:2008.04252): electing the minimum identifier builds the BFS
 /// tree of the winner after a reset wave clears inflated leader claims —

@@ -4,6 +4,7 @@
 
 #include "baselines/full_read_matching.hpp"
 #include "support/params.hpp"
+#include "verify/forest_predicates.hpp"
 #include "verify/tree_predicates.hpp"
 
 namespace sss {
@@ -27,6 +28,10 @@ ProblemRegistry& ProblemRegistry::instance() {
     });
     fresh->register_problem("bfs-spanning-tree", {"bfs-tree", "bfs"}, [] {
       return std::make_unique<BfsTreeProblem>();
+    });
+    fresh->register_problem("bfs-spanning-forest", {"bfs-forest", "forest"},
+                            [] {
+      return std::make_unique<BfsForestProblem>();
     });
     fresh->register_problem("leader-election", {"leader"}, [] {
       return std::make_unique<LeaderElectionProblem>();

@@ -1,9 +1,10 @@
 #pragma once
 /// \file protocol_registry.hpp
 /// Name-based protocol factory: the paper's three 1-efficient protocols,
-/// the communication-efficient BFS-tree and leader-election protocols,
-/// and their full-read baselines, constructible from (name, parameter
-/// map) — the protocol half of the manifest-driven experiment lab.
+/// the communication-efficient BFS-tree / leader-election / spanning-forest
+/// protocols, their full-read baselines, and the *transformers* that wrap
+/// other entries — all constructible from a (possibly nested) protocol
+/// selection, the protocol half of the manifest-driven experiment lab.
 ///
 /// Mirrors runtime/daemon.hpp's factory-by-name and
 /// graph/family_registry.hpp's parameter handling. Locally-colored
@@ -17,16 +18,36 @@
 /// proper colorings from graph/coloring.hpp. The coloring protocols take
 /// `palette_size` (default 0 = Delta+1). Booleans are spelled 0/1
 /// (`promote_on_higher_color` for MIS's convergence-accelerator ablation).
-/// The rooted tree protocols take `root` (default 0); the identified
+/// The rooted tree protocols take `root` (default 0); the forest protocols
+/// take `roots` (comma-separated process ids, default "0"); the identified
 /// election protocols take `id_scheme` ("identity" (default) | "reverse"
 /// | "random") and `id_seed` (default 1, for the "random" scheme).
 ///
-/// Every entry names the ProblemRegistry predicate it stabilizes to, so
-/// protocol-agnostic harnesses can audit any entry without a hand-kept
-/// protocol -> problem table.
+/// ## Composition
 ///
-/// Open registry: `register_protocol` / `ProtocolRegistrar` add entries
-/// from any translation unit; built-ins are installed by this module.
+/// Entries come in three kinds:
+///
+///  * `kProtocol` — a runnable protocol, constructed from (graph, params);
+///  * `kTransformer` — a higher-order entry whose selection carries a
+///    *nested* protocol spec: `generic-efficiency` wraps any runnable
+///    entry (including another transformer) into its communication-
+///    efficient self-stabilizing version, `rotating-check` wraps a
+///    checker source;
+///  * `kCheckerSource` — a pairwise-checkable predicate/repair pair
+///    (`pairwise-coloring`, `pairwise-separation`) selectable only as the
+///    inner spec of `rotating-check`, never runnable on its own.
+///
+/// A `ProtocolSelection` is the value form of that nesting — what a
+/// manifest's `{"transform": ..., "inner": {...}}` object parses into —
+/// and `make(selection, graph)` / `resolve(selection)` instantiate and
+/// audit a whole composition. Every entry names the ProblemRegistry
+/// predicate it stabilizes to; transformers inherit the inner entry's
+/// problem (unless they override it) and intersect daemon restrictions,
+/// so protocol-agnostic harnesses can audit any composition without a
+/// hand-kept table.
+///
+/// Open registry: `add` / `ProtocolRegistrar` install entries from any
+/// translation unit; built-ins are installed by this module.
 
 #include <functional>
 #include <memory>
@@ -39,45 +60,133 @@
 
 namespace sss {
 
+class PairwiseCheckable;
+
+/// One (possibly nested) protocol choice: an entry name, its own
+/// parameters, and — when the entry is a transformer — the inner
+/// selection it wraps. This is the value a manifest's protocol object
+/// expands to and the unit the churn runtime captures to rebuild
+/// protocols on churned topologies.
+struct ProtocolSelection {
+  std::string name;
+  ParamMap params;
+  /// Inner spec for transformer entries; null for base protocols.
+  /// shared_ptr keeps the selection cheaply copyable (factories capture
+  /// whole compositions by value).
+  std::shared_ptr<ProtocolSelection> inner;
+
+  /// A base (non-nested) selection.
+  static ProtocolSelection base(std::string name, ParamMap params = {}) {
+    return ProtocolSelection{std::move(name), std::move(params), nullptr};
+  }
+  /// A transformer selection wrapping `inner`.
+  static ProtocolSelection wrap(std::string transform, ProtocolSelection inner,
+                                ParamMap params = {}) {
+    ProtocolSelection selection{std::move(transform), std::move(params),
+                                std::make_shared<ProtocolSelection>(
+                                    std::move(inner))};
+    return selection;
+  }
+};
+
 class ProtocolRegistry {
  public:
   using Factory =
       std::function<std::unique_ptr<Protocol>(const Graph&, const ParamMap&)>;
+  /// Factory of a transformer entry: own parameters plus the inner
+  /// selection to wrap (instantiated via the registry, so transformers
+  /// compose).
+  using WrapFactory = std::function<std::unique_ptr<Protocol>(
+      const Graph&, const ParamMap&, const ProtocolSelection&)>;
+  /// Factory of a checker-source entry (rotating-check's admissible
+  /// sources).
+  using CheckerFactory = std::function<std::unique_ptr<PairwiseCheckable>(
+      const Graph&, const ParamMap&)>;
 
   struct Entry {
+    enum class Kind {
+      kProtocol,      ///< runnable on its own
+      kTransformer,   ///< wraps an inner selection
+      kCheckerSource  ///< selectable only inside rotating-check
+    };
+
     std::string name;
+    Kind kind = Kind::kProtocol;
     /// Accepted parameter names (all optional for protocols).
     std::vector<std::string> params;
     /// Canonical ProblemRegistry name of the legitimacy predicate this
-    /// protocol stabilizes to — the hook the registry-wide property-test
+    /// entry stabilizes to — the hook the registry-wide property-test
     /// harness and `sss_lab list` use to pair every protocol with its
-    /// problem automatically.
+    /// problem automatically. Empty on a transformer means "inherit the
+    /// inner entry's problem".
     std::string problem;
-    /// Daemon names this protocol's stabilization claim assumes; empty =
+    /// Daemon names this entry's stabilization claim assumes; empty =
     /// any registered daemon. FULL-READ-COLORING, for instance, breaks
     /// symmetry by redrawing among the colors its neighbors do not use,
     /// which can leave two synchronously-fired neighbors a single shared
     /// free color forever — its claim excludes the deterministic
-    /// co-firing schedulers (synchronous, adversarial).
+    /// co-firing schedulers (synchronous, adversarial). Transformed
+    /// selections intersect the transformer's and the inner entry's sets.
     std::vector<std::string> daemons;
-    Factory make;
+    /// For transformers: the entry kind the inner spec must resolve to.
+    /// kProtocol accepts anything runnable (base protocols and other
+    /// transformer compositions); kCheckerSource accepts exactly a
+    /// checker source.
+    Kind wraps = Kind::kProtocol;
+    Factory make;          ///< kProtocol entries
+    WrapFactory wrap;      ///< kTransformer entries
+    CheckerFactory checker;  ///< kCheckerSource entries
+
+    /// Capability metadata for `sss_lab list` and the harness: does this
+    /// entry take a nested runnable-protocol spec?
+    bool wraps_protocol() const {
+      return kind == Kind::kTransformer && wraps == Kind::kProtocol;
+    }
+    /// Runnable = constructible by `make(selection, graph)` when properly
+    /// composed (checker sources are not).
+    bool runnable() const { return kind != Kind::kCheckerSource; }
+  };
+
+  /// What a composed selection stabilizes to and under which schedulers —
+  /// resolved without constructing anything, so `sss_lab validate` and
+  /// the harness can audit compositions cheaply. Also validates the
+  /// composition shape (unknown names/params, missing or stray inner
+  /// specs, wrap-kind mismatches all throw PreconditionError).
+  struct ComposedInfo {
+    /// "generic-efficiency(coloring)"-style display label.
+    std::string label;
+    /// Canonical problem name; empty when no predicate is registered.
+    std::string problem;
+    /// Intersected daemon restriction; empty = any registered daemon.
+    std::vector<std::string> daemons;
   };
 
   /// The process-wide registry, with the built-in protocols installed.
   static ProtocolRegistry& instance();
 
-  /// Adds a protocol; re-registering an existing name throws. `problem`
-  /// names the entry's legitimacy predicate in the ProblemRegistry;
-  /// `daemons` optionally restricts the stabilization claim (see Entry).
-  void register_protocol(std::string name, std::vector<std::string> params,
-                         std::string problem, Factory make,
-                         std::vector<std::string> daemons = {});
+  /// Adds an entry; re-registering an existing name or registering an
+  /// entry whose factory slot does not match its kind throws.
+  void add(Entry entry);
 
-  /// Instantiates `protocol_name` on `g`. Unknown names and unknown or
-  /// ill-typed parameters throw PreconditionError.
+  /// Instantiates a composed selection on `g`. Unknown names, unknown or
+  /// ill-typed parameters, and malformed compositions (an inner spec on a
+  /// base protocol, a transformer without one, a bare checker source)
+  /// throw PreconditionError.
+  std::unique_ptr<Protocol> make(const ProtocolSelection& selection,
+                                 const Graph& g) const;
+
+  /// Convenience for the common non-nested case.
   std::unique_ptr<Protocol> make(const std::string& protocol_name,
                                  const Graph& g,
                                  const ParamMap& params = {}) const;
+
+  /// Instantiates a checker-source selection (rotating-check's inner).
+  std::unique_ptr<PairwiseCheckable> make_checker(
+      const ProtocolSelection& selection, const Graph& g) const;
+
+  /// Validates `selection` and resolves its label / problem / daemon
+  /// claim (see ComposedInfo).
+  ComposedInfo resolve(const ProtocolSelection& selection) const;
 
   bool contains(const std::string& protocol_name) const;
 
@@ -85,8 +194,13 @@ class ProtocolRegistry {
   /// throws PreconditionError on unknown names.
   const Entry& info(const std::string& protocol_name) const;
 
-  /// Registered names in sorted order.
+  /// Registered names in sorted order (all kinds).
   std::vector<std::string> names() const;
+
+  /// Names of the base runnable entries only (kind kProtocol), sorted —
+  /// the set constructible without an inner selection, which registry-
+  /// wide grids (tests, benches) iterate.
+  std::vector<std::string> protocol_names() const;
 
  private:
   std::vector<Entry> entries_;
@@ -94,12 +208,8 @@ class ProtocolRegistry {
 
 /// Static-init helper for self-registration.
 struct ProtocolRegistrar {
-  ProtocolRegistrar(std::string name, std::vector<std::string> params,
-                    std::string problem, ProtocolRegistry::Factory make,
-                    std::vector<std::string> daemons = {}) {
-    ProtocolRegistry::instance().register_protocol(
-        std::move(name), std::move(params), std::move(problem),
-        std::move(make), std::move(daemons));
+  explicit ProtocolRegistrar(ProtocolRegistry::Entry entry) {
+    ProtocolRegistry::instance().add(std::move(entry));
   }
 };
 

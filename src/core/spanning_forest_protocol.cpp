@@ -1,0 +1,210 @@
+#include "core/spanning_forest_protocol.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace sss {
+
+namespace {
+constexpr int kFixRoot = 0;  // A1
+constexpr int kFollow = 1;   // A2
+constexpr int kAdopt = 2;    // A3
+constexpr int kImprove = 3;  // A4
+constexpr int kScan = 4;     // A5
+}  // namespace
+
+SpanningForestProtocol::SpanningForestProtocol(const Graph& g,
+                                               std::vector<ProcessId> roots)
+    : roots_(std::move(roots)),
+      max_distance_(static_cast<Value>(g.num_vertices() - 1)) {
+  SSS_REQUIRE(g.num_vertices() >= 2 && g.min_degree() >= 1,
+              "SPANNING-FOREST requires a connected network with n >= 2");
+  SSS_REQUIRE(!roots_.empty(), "SPANNING-FOREST needs at least one root");
+  std::sort(roots_.begin(), roots_.end());
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    SSS_REQUIRE(roots_[i] >= 0 && roots_[i] < g.num_vertices(),
+                "SPANNING-FOREST roots must be process ids in [0, n)");
+    SSS_REQUIRE(i == 0 || roots_[i] != roots_[i - 1],
+                "SPANNING-FOREST roots must be distinct");
+  }
+  spec_.comm.emplace_back("D", VarDomain{0, max_distance_});
+  spec_.comm.emplace_back("PR", domain_channel_or_none());
+  spec_.comm.emplace_back("R", VarDomain{0, 1}, /*is_constant=*/true);
+  spec_.internal.emplace_back("cur", domain_channel());
+}
+
+void SpanningForestProtocol::install_constants(const Graph& g,
+                                               Configuration& config) const {
+  for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+    config.set_comm(p, kRootVar, 0);
+  }
+  for (const ProcessId root : roots_) config.set_comm(root, kRootVar, 1);
+}
+
+int SpanningForestProtocol::first_enabled(GuardContext& ctx) const {
+  const Value dist = ctx.self_comm(kDistVar);
+  const Value parent = ctx.self_comm(kParentVar);
+  if (ctx.self_comm(kRootVar) == 1) {
+    return (dist != 0 || parent != 0) ? kFixRoot : kDisabled;
+  }
+  const auto cur = static_cast<NbrIndex>(ctx.self_internal(kCurVar));
+  if (parent == 0) return kAdopt;
+  // Neighbor reads are lazy: the parent settles A2 before the cur
+  // neighbor is fetched for A4, so an evaluation costs at most two
+  // distinct neighbor reads (the protocol's k = 2 certificate).
+  const Value via_parent = std::min<Value>(
+      ctx.nbr_comm(static_cast<NbrIndex>(parent), kDistVar) + 1,
+      max_distance_);
+  if (dist != via_parent) return kFollow;
+  if (ctx.nbr_comm(cur, kDistVar) + 1 < dist) return kImprove;
+  return kScan;
+}
+
+void SpanningForestProtocol::sweep_enabled_range(BulkGuardContext& ctx,
+                                                 EnabledBitmap& out,
+                                                 ProcessId begin,
+                                                 ProcessId end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot =
+      static_cast<std::size_t>(cfg.num_comm() + kCurVar);  // internal cur
+  std::int8_t* actions = out.actions();
+  for (ProcessId p = begin; p < end; ++p) {
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const Value dist = row[kDistVar];
+    const Value parent = row[kParentVar];
+    if (row[kRootVar] == 1) {
+      actions[p] = static_cast<std::int8_t>(
+          (dist != 0 || parent != 0) ? kFixRoot : kDisabled);
+      continue;
+    }
+    if (parent == 0) {
+      actions[p] = static_cast<std::int8_t>(kAdopt);
+      continue;
+    }
+    // The parent read settles A2 before the cur neighbor is fetched for
+    // A4 — the k = 2 lazy pattern of the scalar guard.
+    const std::int32_t base = offsets[p];
+    const ProcessId parent_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(parent) - 1)];
+    const Value parent_dist =
+        data[static_cast<std::size_t>(parent_nbr) * stride + kDistVar];
+    ctx.log(p, parent_nbr, kDistVar);
+    const Value via_parent = std::min<Value>(parent_dist + 1, max_distance_);
+    if (dist != via_parent) {
+      actions[p] = static_cast<std::int8_t>(kFollow);
+      continue;
+    }
+    const ProcessId cur_nbr = neighbors[static_cast<std::size_t>(
+        base + static_cast<std::int32_t>(row[cur_slot]) - 1)];
+    const Value cur_dist =
+        data[static_cast<std::size_t>(cur_nbr) * stride + kDistVar];
+    ctx.log(p, cur_nbr, kDistVar);
+    actions[p] =
+        static_cast<std::int8_t>(cur_dist + 1 < dist ? kImprove : kScan);
+  }
+}
+
+void SpanningForestProtocol::execute_selected(
+    BulkExecContext& ctx, const EnabledBitmap& enabled,
+    std::span<const ProcessId> selection, std::size_t begin,
+    std::size_t end) const {
+  const Graph& g = ctx.graph();
+  const Configuration& cfg = ctx.config();
+  const std::int32_t* offsets = g.csr_offsets().data();
+  const ProcessId* neighbors = g.csr_neighbors().data();
+  const Value* data = cfg.row(0);
+  const auto stride = static_cast<std::size_t>(cfg.stride());
+  const auto cur_slot = static_cast<std::size_t>(cfg.num_comm() + kCurVar);
+  for (std::size_t i = begin; i < end; ++i) {
+    const ProcessId p = selection[i];
+    ctx.replay_guard_reads(p);
+    const int action = enabled.action(p);
+    if (action == kDisabled) continue;
+    const Value* row = data + static_cast<std::size_t>(p) * stride;
+    const std::int32_t base = offsets[p];
+    const Value cur = row[cur_slot];
+    const auto degree = static_cast<Value>(offsets[p + 1] - base);
+    const Value next = (cur % degree) + 1;
+    Value* out = ctx.stage(i, p);
+    switch (action) {
+      case kFixRoot:
+        out[kDistVar] = 0;
+        out[kParentVar] = 0;
+        break;
+      case kFollow: {
+        // Re-reads the parent's distance at execute time, like the scalar
+        // nbr_comm (logged).
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(row[kParentVar]) - 1)];
+        const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+        ctx.log(p, q, kDistVar);
+        out[kDistVar] = std::min<Value>(d + 1, max_distance_);
+        break;
+      }
+      case kAdopt:
+      case kImprove: {
+        const ProcessId q = neighbors[static_cast<std::size_t>(
+            base + static_cast<std::int32_t>(cur) - 1)];
+        const Value d = data[static_cast<std::size_t>(q) * stride + kDistVar];
+        ctx.log(p, q, kDistVar);
+        out[kParentVar] = cur;
+        // A3 clamps the adopted distance; A4 fires only when the improved
+        // value is already in range, so the scalar action leaves it raw.
+        out[kDistVar] =
+            action == kAdopt ? std::min<Value>(d + 1, max_distance_) : d + 1;
+        out[cur_slot] = next;
+        break;
+      }
+      default:  // kScan
+        out[cur_slot] = next;
+        break;
+    }
+  }
+}
+
+void SpanningForestProtocol::execute(int action, ActionContext& ctx) const {
+  const auto cur = static_cast<Value>(ctx.self_internal(kCurVar));
+  const Value next = (cur % static_cast<Value>(ctx.degree())) + 1;
+  switch (action) {
+    case kFixRoot:
+      ctx.set_comm(kDistVar, 0);
+      ctx.set_comm(kParentVar, 0);
+      break;
+    case kFollow: {
+      const auto parent =
+          static_cast<NbrIndex>(ctx.self_comm(kParentVar));
+      ctx.set_comm(kDistVar,
+                   std::min<Value>(ctx.nbr_comm(parent, kDistVar) + 1,
+                                   max_distance_));
+      break;
+    }
+    case kAdopt:
+      ctx.set_comm(kParentVar, cur);
+      ctx.set_comm(
+          kDistVar,
+          std::min<Value>(
+              ctx.nbr_comm(static_cast<NbrIndex>(cur), kDistVar) + 1,
+              max_distance_));
+      ctx.set_internal(kCurVar, next);
+      break;
+    case kImprove:
+      ctx.set_comm(kParentVar, cur);
+      ctx.set_comm(kDistVar,
+                   ctx.nbr_comm(static_cast<NbrIndex>(cur), kDistVar) + 1);
+      ctx.set_internal(kCurVar, next);
+      break;
+    case kScan:
+      ctx.set_internal(kCurVar, next);
+      break;
+    default:
+      SSS_ASSERT(false, "SPANNING-FOREST has exactly five actions");
+  }
+}
+
+}  // namespace sss

@@ -12,6 +12,14 @@ GuardContext::GuardContext(const Graph& g, const Configuration& pre,
 }
 
 Value GuardContext::nbr_comm(NbrIndex channel, int var) const {
+  if (nbr_overlay_ != nullptr) {
+    SSS_ASSERT(channel >= 1 && channel <= degree() && var >= 0 &&
+                   var < overlay_stride_,
+               "overlay read out of range");
+    return nbr_overlay_[static_cast<std::size_t>(channel - 1) *
+                            static_cast<std::size_t>(overlay_stride_) +
+                        static_cast<std::size_t>(var)];
+  }
   const ProcessId subject = graph_.neighbor(self_, channel);
   if (logger_ != nullptr) logger_->on_read(self_, subject, var);
   return pre_.comm(subject, var);

@@ -62,11 +62,32 @@ class GuardContext {
   /// neighbor's pointer is compared against our index in its numbering.
   NbrIndex self_index_at(NbrIndex channel) const;
 
+  /// Neighbor-view overlay: when installed, `nbr_comm(ch, var)` returns
+  /// `overlay[(ch - 1) * stride + var]` instead of the neighbor's real
+  /// communication row, and the read is NOT logged — an overlay read
+  /// touches local memory only. This is how the generic efficiency
+  /// transformer evaluates the wrapped protocol's guards against its
+  /// *mirrored* neighbor states (its own internal variables) at zero
+  /// communication cost. `overlay` must hold degree() * stride values
+  /// laid out channel-major and outlive the context.
+  void set_nbr_overlay(const Value* overlay, int stride) {
+    nbr_overlay_ = overlay;
+    overlay_stride_ = stride;
+  }
+
+  /// The simulator-side handles a wrapper protocol needs to build a
+  /// nested context over the same pre-step snapshot.
+  const Graph& graph() const { return graph_; }
+  const Configuration& config() const { return pre_; }
+  ProcessId self() const { return self_; }
+
  protected:
   const Graph& graph_;
   const Configuration& pre_;
   ProcessId self_;
   ReadLogger* logger_;
+  const Value* nbr_overlay_ = nullptr;
+  int overlay_stride_ = 0;
 };
 
 /// Guard view plus deferred writes and randomness, for action execution.

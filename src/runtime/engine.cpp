@@ -622,10 +622,13 @@ bool Engine::comm_quiescent_cached() {
     solo_dirty_queue_.pop_back();
     solo_dirty_[static_cast<std::size_t>(p)] = 0;
     // The shared decision procedure of is_comm_quiescent, on this one
-    // process; it restores config_ before returning.
+    // process; it restores config_ before returning. The margin honors
+    // the protocol's own demand (wrapper protocols need deeper probes).
     const std::uint8_t active =
         solo_would_write_comm(graph_, protocol_, config_, p, solo_scratch_,
-                              solo_saved_row_, QuiescenceOptions{}.margin)
+                              solo_saved_row_,
+                              std::max(QuiescenceOptions{}.margin,
+                                       protocol_.solo_quiescence_margin()))
             ? 1
             : 0;
     solo_active_count_ +=

@@ -37,6 +37,17 @@ class Protocol {
 
   virtual bool is_probabilistic() const { return false; }
 
+  /// Extra solo activations beyond degree(p) the silence check
+  /// (runtime/quiescence.hpp) must run before concluding that a process
+  /// frozen against its neighborhood never attempts a communication
+  /// write. 2 covers the protocols whose internal state is one rotating
+  /// pointer (periodic within degree(p) activations, plus one
+  /// confirmation). A wrapper protocol whose internal state needs an
+  /// extra activation to settle (e.g. the generic efficiency
+  /// transformer's one full mirror refresh) must return its wrapped
+  /// protocol's margin plus its own overhead.
+  virtual int solo_quiescence_margin() const { return 2; }
+
   /// Bulk guard evaluation (see runtime/bulk.hpp): true when the protocol
   /// implements `sweep_enabled`, letting the engine refresh every guard in
   /// one pass over the CSR slabs instead of n virtual probes. Protocols

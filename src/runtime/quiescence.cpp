@@ -1,5 +1,7 @@
 #include "runtime/quiescence.hpp"
 
+#include <algorithm>
+
 #include "support/require.hpp"
 
 namespace sss {
@@ -48,9 +50,14 @@ bool is_comm_quiescent(const Graph& g, const Protocol& protocol,
   Configuration scratch_config = config;
   ProcessStep scratch;
   std::vector<Value> saved_row;
+  // A protocol may demand a deeper probe than the caller's default (see
+  // Protocol::solo_quiescence_margin); certifying silence with too small
+  // a margin would be unsound, so the larger of the two wins.
+  const int margin =
+      std::max(options.margin, protocol.solo_quiescence_margin());
   for (ProcessId p = 0; p < g.num_vertices(); ++p) {
     if (solo_would_write_comm(g, protocol, scratch_config, p, scratch,
-                              saved_row, options.margin)) {
+                              saved_row, margin)) {
       return false;
     }
   }

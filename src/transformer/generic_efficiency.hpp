@@ -1,0 +1,94 @@
+#pragma once
+/// \file generic_efficiency.hpp
+/// The general communication-efficiency transformer the paper leaves open
+/// (Section 6), after "Making local algorithms efficiently self-stabilizing
+/// in arbitrary asynchronous environments" (arXiv:2307.06635).
+///
+/// `rotating_check` covers only the universally-pairwise-checkable
+/// fragment: predicates a memoryless one-neighbor-per-step rotation can
+/// certify. The general construction removes that restriction by giving
+/// each process a *mirror* of every neighbor's communication state (an
+/// internal variable bank) plus a rotating audit pointer:
+///
+///   audit    — read the communication variables of the one neighbor the
+///              pointer names and compare them to its mirror (the only
+///              communication reads of a quiet step);
+///   collect  — on any discrepancy, refresh the whole mirror bank from
+///              the real neighborhood (a full-width read, paid only while
+///              stabilizing);
+///   evaluate — run the wrapped protocol's guards against the mirror at
+///              zero communication cost; if some guard fires, *confirm*
+///              it against the real neighborhood (this is the witness
+///              pinning a memoryless rotation cannot express: the mirror
+///              remembers the evidence between steps) and execute the
+///              confirmed action with the wrapped protocol's own
+///              semantics — every communication write of the transformed
+///              protocol is a genuine inner move on the real state;
+///   advance  — otherwise just rotate the audit pointer.
+///
+/// In the stabilized phase no mirror is stale and no comm-writing inner
+/// guard fires, so a step costs the communication variables of a *single*
+/// neighbor — independent of the degree — while the wrapped protocol, run
+/// bare, may pay its whole neighborhood forever (the full-read baselines
+/// do). Self-stabilization and silence carry over from the wrapped
+/// protocol: confirmed execution means the projected computation (audits
+/// and collects erased) is a fair computation of the wrapped protocol.
+///
+/// The transformed protocol's communication variables are exactly the
+/// wrapped protocol's (its legitimacy predicate applies unchanged); the
+/// mirror bank, the audit pointer, and the wrapped protocol's own
+/// internal variables are all internal.
+
+#include <memory>
+#include <string>
+
+#include "runtime/protocol.hpp"
+
+namespace sss {
+
+/// The transformed protocol. Wraps (and owns) any runnable protocol.
+class GenericEfficiency final : public Protocol {
+ public:
+  GenericEfficiency(const Graph& g, std::unique_ptr<Protocol> inner);
+
+  const std::string& name() const override { return name_; }
+  const ProtocolSpec& spec() const override { return spec_; }
+  /// The wrapped protocol's actions keep their indices; collect and
+  /// advance ride behind them.
+  int num_actions() const override { return inner_->num_actions() + 2; }
+  bool is_probabilistic() const override { return inner_->is_probabilistic(); }
+  /// One activation may be spent on the full mirror refresh before the
+  /// wrapped protocol's own solo trace surfaces (see
+  /// Protocol::solo_quiescence_margin).
+  int solo_quiescence_margin() const override {
+    return inner_->solo_quiescence_margin() + 1;
+  }
+
+  int first_enabled(GuardContext& ctx) const override;
+  void execute(int action, ActionContext& ctx) const override;
+  void install_constants(const Graph& g, Configuration& config) const override;
+
+  const Protocol& inner() const { return *inner_; }
+
+  /// Action indices of the transformer's own two actions (the wrapped
+  /// protocol's actions occupy [0, inner().num_actions())).
+  int collect_action() const { return inner_->num_actions(); }
+  int advance_action() const { return inner_->num_actions() + 1; }
+
+  /// Internal-variable index of the audit pointer.
+  int tcur_index() const { return tcur_index_; }
+  /// Internal-variable index of the mirror of neighbor `ch`'s
+  /// communication variable `var`.
+  int mirror_index(NbrIndex ch, int var) const {
+    return tcur_index_ + 1 + (ch - 1) * num_comm_ + var;
+  }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+  std::string name_;
+  ProtocolSpec spec_;
+  int num_comm_ = 0;    ///< = inner spec's num_comm
+  int tcur_index_ = 0;  ///< = inner spec's num_internal
+};
+
+}  // namespace sss

@@ -22,6 +22,20 @@ RotatingCheck::RotatingCheck(const Graph& g, const PairwiseCheckable& source)
   spec_.internal.emplace_back("cur", domain_channel());
 }
 
+namespace {
+const PairwiseCheckable& require_source(
+    const std::unique_ptr<PairwiseCheckable>& source) {
+  SSS_REQUIRE(source != nullptr, "ROTATING-CHECK needs a checker source");
+  return *source;
+}
+}  // namespace
+
+RotatingCheck::RotatingCheck(const Graph& g,
+                             std::unique_ptr<PairwiseCheckable> source)
+    : RotatingCheck(g, require_source(source)) {
+  owned_ = std::move(source);
+}
+
 int RotatingCheck::first_enabled(GuardContext& ctx) const {
   const auto cur = static_cast<NbrIndex>(ctx.self_internal(kCurVar));
   return source_.pair_suspicious(ctx, cur) ? kRepair : kAdvance;

@@ -64,7 +64,15 @@ class RotatingCheck final : public Protocol {
   static constexpr int kCurVar = 0;  ///< internal
 
   /// Keeps a reference to `source`; it must outlive the transformer.
+  /// This ad-hoc construction path is deprecated in favor of the
+  /// registry's composable "rotating-check" transformer entry (select a
+  /// checker source as its inner spec); it remains as a compat shim for
+  /// callers that own their source separately.
   RotatingCheck(const Graph& g, const PairwiseCheckable& source);
+
+  /// Owning variant: the registry's "rotating-check" entry wraps checker
+  /// sources it constructs itself.
+  RotatingCheck(const Graph& g, std::unique_ptr<PairwiseCheckable> source);
 
   const std::string& name() const override { return name_; }
   const ProtocolSpec& spec() const override { return spec_; }
@@ -77,6 +85,8 @@ class RotatingCheck final : public Protocol {
   void execute(int action, ActionContext& ctx) const override;
 
  private:
+  /// Set only by the owning constructor; `source_` points at it then.
+  std::unique_ptr<PairwiseCheckable> owned_;
   const PairwiseCheckable& source_;
   std::string name_;
   ProtocolSpec spec_;

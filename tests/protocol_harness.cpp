@@ -91,24 +91,24 @@ std::vector<Graph> harness_menagerie() {
   return graphs;
 }
 
-HarnessReport run_protocol_property_suite(const std::string& protocol_name,
+HarnessReport run_protocol_property_suite(const ProtocolSelection& selection,
                                           const HarnessOptions& options) {
-  const ProtocolRegistry::Entry& entry =
-      ProtocolRegistry::instance().info(protocol_name);
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const ProtocolRegistry::ComposedInfo info = registry.resolve(selection);
   HarnessReport report;
-  report.protocol = protocol_name;
-  report.problem = entry.problem;
+  report.protocol = info.label;
+  report.problem = info.problem;
   const std::unique_ptr<Problem> problem =
-      ProblemRegistry::instance().make(entry.problem);
+      ProblemRegistry::instance().make(info.problem);
 
-  // The grid sweeps every requested daemon the entry's stabilization
-  // claim covers (Entry::daemons, empty = all).
+  // The grid sweeps every requested daemon the composition's resolved
+  // stabilization claim covers (ComposedInfo::daemons, empty = all).
   std::vector<std::string> daemons =
       options.daemons.empty() ? daemon_names() : options.daemons;
-  if (!entry.daemons.empty()) {
+  if (!info.daemons.empty()) {
     std::erase_if(daemons, [&](const std::string& name) {
-      return std::find(entry.daemons.begin(), entry.daemons.end(), name) ==
-             entry.daemons.end();
+      return std::find(info.daemons.begin(), info.daemons.end(), name) ==
+             info.daemons.end();
     });
   }
   const std::vector<Graph> graphs =
@@ -116,15 +116,14 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
 
   std::uint64_t trial_index = 0;
   for (const Graph& g : graphs) {
-    const std::unique_ptr<Protocol> protocol =
-        ProtocolRegistry::instance().make(protocol_name, g, options.params);
+    const std::unique_ptr<Protocol> protocol = registry.make(selection, g);
     for (const std::string& daemon_name : daemons) {
       for (int s = 0; s < options.seeds_per_daemon; ++s) {
         const std::uint64_t seed = options.base_seed + trial_index++;
         ++report.trials;
         const auto violate = [&](std::string check, std::string detail) {
           report.violations.push_back(HarnessViolation{
-              protocol_name, g.name(), daemon_name, seed, std::move(check),
+              info.label, g.name(), daemon_name, seed, std::move(check),
               std::move(detail)});
         };
 
@@ -145,7 +144,7 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
           // Legitimacy: silent => the paired predicate holds.
           if (!problem->holds(g, engine.config())) {
             violate("legitimacy",
-                    "silent configuration violates " + entry.problem);
+                    "silent configuration violates " + info.problem);
           } else {
             // Closure + silence: the post-silence window never writes a
             // communication variable and never falsifies the predicate.
@@ -163,7 +162,7 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
               }
             }
             if (comm_stable && !problem->holds(g, engine.config())) {
-              violate("closure", entry.problem +
+              violate("closure", info.problem +
                                      " falsified during the post-silence "
                                      "window without a communication write");
             }
@@ -181,31 +180,38 @@ HarnessReport run_protocol_property_suite(const std::string& protocol_name,
   return report;
 }
 
+HarnessReport run_protocol_property_suite(const std::string& protocol_name,
+                                          const HarnessOptions& options) {
+  return run_protocol_property_suite(
+      ProtocolSelection::base(protocol_name, options.params), options);
+}
+
 std::vector<HarnessReport> run_registry_property_suite(
     const HarnessOptions& options) {
   std::vector<HarnessReport> reports;
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name :
+       ProtocolRegistry::instance().protocol_names()) {
     reports.push_back(run_protocol_property_suite(name, options));
   }
   return reports;
 }
 
 HarnessReport run_protocol_fault_closure_suite(
-    const std::string& protocol_name, const HarnessOptions& options) {
-  const ProtocolRegistry::Entry& entry =
-      ProtocolRegistry::instance().info(protocol_name);
+    const ProtocolSelection& selection, const HarnessOptions& options) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const ProtocolRegistry::ComposedInfo info = registry.resolve(selection);
   HarnessReport report;
-  report.protocol = protocol_name;
-  report.problem = entry.problem;
+  report.protocol = info.label;
+  report.problem = info.problem;
   const std::unique_ptr<Problem> problem =
-      ProblemRegistry::instance().make(entry.problem);
+      ProblemRegistry::instance().make(info.problem);
 
   std::vector<std::string> daemons =
       options.daemons.empty() ? daemon_names() : options.daemons;
-  if (!entry.daemons.empty()) {
+  if (!info.daemons.empty()) {
     std::erase_if(daemons, [&](const std::string& name) {
-      return std::find(entry.daemons.begin(), entry.daemons.end(), name) ==
-             entry.daemons.end();
+      return std::find(info.daemons.begin(), info.daemons.end(), name) ==
+             info.daemons.end();
     });
   }
   const std::vector<Graph> graphs =
@@ -213,15 +219,14 @@ HarnessReport run_protocol_fault_closure_suite(
 
   std::uint64_t trial_index = 0;
   for (const Graph& g : graphs) {
-    const std::unique_ptr<Protocol> protocol =
-        ProtocolRegistry::instance().make(protocol_name, g, options.params);
+    const std::unique_ptr<Protocol> protocol = registry.make(selection, g);
     for (const std::string& daemon_name : daemons) {
       for (int s = 0; s < options.seeds_per_daemon; ++s) {
         const std::uint64_t seed = options.base_seed + trial_index++;
         ++report.trials;
         const auto violate = [&](std::string check, std::string detail) {
           report.violations.push_back(HarnessViolation{
-              protocol_name, g.name(), daemon_name, seed, std::move(check),
+              info.label, g.name(), daemon_name, seed, std::move(check),
               std::move(detail)});
         };
 
@@ -252,7 +257,7 @@ HarnessReport run_protocol_fault_closure_suite(
         } else if (!problem->holds(g, engine.config())) {
           violate("fault-legitimacy",
                   "post-recovery silent configuration violates " +
-                      entry.problem);
+                      info.problem);
         }
       }
     }
@@ -260,10 +265,17 @@ HarnessReport run_protocol_fault_closure_suite(
   return report;
 }
 
+HarnessReport run_protocol_fault_closure_suite(
+    const std::string& protocol_name, const HarnessOptions& options) {
+  return run_protocol_fault_closure_suite(
+      ProtocolSelection::base(protocol_name, options.params), options);
+}
+
 std::vector<HarnessReport> run_registry_fault_closure_suite(
     const HarnessOptions& options) {
   std::vector<HarnessReport> reports;
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name :
+       ProtocolRegistry::instance().protocol_names()) {
     reports.push_back(run_protocol_fault_closure_suite(name, options));
   }
   return reports;

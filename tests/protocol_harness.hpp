@@ -5,9 +5,11 @@
 /// ProtocolRegistry gets convergence / legitimacy / closure / silence /
 /// lockstep-equivalence coverage for free instead of a hand-written suite.
 ///
-/// For a protocol name the harness resolves the paired legitimacy
-/// predicate through ProtocolRegistry::info().problem, then runs a
-/// (daemon x menagerie x seed) grid. Each trial asserts four properties:
+/// For a protocol selection (a name, or a nested transformer composition
+/// like generic-efficiency(coloring)) the harness resolves the paired
+/// legitimacy predicate and daemon claim through
+/// ProtocolRegistry::resolve(), then runs a (daemon x menagerie x seed)
+/// grid. Each trial asserts four properties:
 ///
 ///  * convergence — a run from a uniformly random configuration reaches a
 ///    configuration the exact quiescence check certifies silent within
@@ -32,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol_registry.hpp"
 #include "graph/graph.hpp"
 #include "runtime/engine.hpp"
 #include "support/params.hpp"
@@ -48,7 +51,9 @@ struct HarnessOptions {
   int closure_steps = 64;
   /// Engine-vs-ReferenceEngine lockstep length per trial.
   int lockstep_steps = 96;
-  /// Extra registry parameters forwarded to the protocol factory.
+  /// Extra registry parameters forwarded by the *name-based* entry points
+  /// (folded into the selection); the selection-based entry points carry
+  /// parameters inside the selection and ignore this field.
   ParamMap params;
   /// Graphs to sweep; empty = harness_menagerie().
   std::vector<Graph> menagerie;
@@ -94,11 +99,22 @@ struct HarnessReport {
 /// symmetry, bottlenecks, diameter extremes), fast to exhaust.
 std::vector<Graph> harness_menagerie();
 
-/// Runs the full property grid for one registry protocol name.
+/// Runs the full property grid for one (possibly composed) protocol
+/// selection. The grid sweeps the daemons the composition's resolved
+/// claim covers (ComposedInfo::daemons intersected with
+/// `options.daemons`).
+HarnessReport run_protocol_property_suite(const ProtocolSelection& selection,
+                                          const HarnessOptions& options = {});
+
+/// Name-based convenience: runs the grid for
+/// ProtocolSelection::base(protocol_name, options.params).
 HarnessReport run_protocol_property_suite(const std::string& protocol_name,
                                           const HarnessOptions& options = {});
 
-/// Runs the grid for every name in the ProtocolRegistry, in sorted order.
+/// Runs the grid for every *base* runnable entry in the ProtocolRegistry
+/// (kind kProtocol), in sorted order. Transformers need an inner
+/// selection to run, so composed grids are driven explicitly (see
+/// tests/test_generic_efficiency.cpp) rather than enumerated here.
 std::vector<HarnessReport> run_registry_property_suite(
     const HarnessOptions& options = {});
 
@@ -111,9 +127,13 @@ std::vector<HarnessReport> run_registry_property_suite(
 /// stabilize in the first place are vacuous here — the plain property
 /// suite owns that failure — so they are skipped without a violation.
 HarnessReport run_protocol_fault_closure_suite(
+    const ProtocolSelection& selection, const HarnessOptions& options = {});
+
+/// Name-based convenience, like the property-suite overload.
+HarnessReport run_protocol_fault_closure_suite(
     const std::string& protocol_name, const HarnessOptions& options = {});
 
-/// Runs the fault-closure grid for every registered protocol, in sorted
+/// Runs the fault-closure grid for every base runnable entry, in sorted
 /// order.
 std::vector<HarnessReport> run_registry_fault_closure_suite(
     const HarnessOptions& options = {});

@@ -70,7 +70,7 @@ void expect_mode_lockstep(const Graph& g, const Protocol& protocol,
 TEST(BulkExecute, EveryRegistryProtocolOptsIn) {
   // The whole registry is covered by the fast execute path; a protocol
   // that stays scalar should be a deliberate choice, visible here.
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     const Graph g = path(4);
     const std::unique_ptr<Protocol> protocol =
         ProtocolRegistry::instance().make(name, g, {});
@@ -84,7 +84,7 @@ TEST(BulkExecute, ForcedBulkEngineLockstepsForcedScalarEngine) {
   // protocols ride the serial bulk path here, proving the engine-RNG
   // draw order is replayed bit-for-bit.
   const std::vector<testing::NamedGraph> graphs = testing::sweep_graphs();
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     for (const auto& named : {graphs[1], graphs[3], graphs[5]}) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, named.graph, {});
@@ -106,7 +106,7 @@ TEST(BulkExecute, ParallelWorkersComposeWithBulkExecute) {
   std::vector<testing::NamedGraph> graphs;
   graphs.push_back({"grid3x4", grid(3, 4)});
   graphs.push_back({"pa200", preferential_attachment(200, 3, graph_rng)});
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     for (const auto& named : graphs) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, named.graph, {});

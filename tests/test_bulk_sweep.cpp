@@ -73,7 +73,7 @@ void expect_sweep_matches_scalar(const Graph& g, const Protocol& protocol,
 TEST(BulkSweep, EveryRegistryProtocolOptsIn) {
   // The whole registry is covered by the fast path; a new protocol that
   // stays scalar should be a deliberate choice, visible here.
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     const Graph g = path(4);
     const std::unique_ptr<Protocol> protocol =
         ProtocolRegistry::instance().make(name, g, {});
@@ -82,7 +82,7 @@ TEST(BulkSweep, EveryRegistryProtocolOptsIn) {
 }
 
 TEST(BulkSweep, SweepMatchesScalarProbesAcrossRegistryAndMenagerie) {
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     for (const auto& named : testing::sweep_graphs()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, named.graph, {});
@@ -154,7 +154,7 @@ void expect_mode_lockstep(const Graph& g, const Protocol& protocol,
 
 TEST(BulkSweep, ForcedBulkEngineLockstepsForcedScalarEngine) {
   const std::vector<testing::NamedGraph> graphs = testing::sweep_graphs();
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
     for (const auto& named : {graphs[0], graphs[4], graphs[6]}) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, named.graph, {});

@@ -136,7 +136,7 @@ std::vector<testing::NamedGraph> parallel_graphs() {
 
 TEST(ParallelStep, LockstepAcrossRegistryDaemonsAndThreadCounts) {
   for (const auto& named : parallel_graphs()) {
-    for (const std::string& name : ProtocolRegistry::instance().names()) {
+    for (const std::string& name : ProtocolRegistry::instance().protocol_names()) {
       const std::unique_ptr<Protocol> protocol =
           ProtocolRegistry::instance().make(name, named.graph, {});
       for (const std::string& daemon_name : daemon_names()) {

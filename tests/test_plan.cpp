@@ -278,5 +278,168 @@ TEST(Plan, RejectsUnknownAndMalformedInput) {
                PreconditionError);
 }
 
+TEST(Plan, ExpandsNestedProtocolSpecs) {
+  // Composed protocol specs ({"transform", "inner"}) nest recursively and
+  // expand beside base specs. A plain sweep leaves the legitimacy
+  // predicate unbound, exactly as for base specs.
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "composed",
+    "sweeps": [{
+      "graphs": [{"family": "star", "leaves": 4}],
+      "protocols": [
+        {"name": "coloring"},
+        {"transform": "generic-efficiency", "inner": {"name": "coloring"}},
+        {"transform": "generic-efficiency",
+         "inner": {"transform": "generic-efficiency",
+                   "inner": {"name": "full-read-coloring",
+                             "palette_size": 6}}}
+      ],
+      "daemons": ["distributed"],
+      "seeds_per_daemon": 1
+    }]
+  })");
+  ASSERT_EQ(plan.items.size(), 3u);
+  EXPECT_EQ(plan.items[0].label, "COLORING/star(4)");
+  EXPECT_EQ(plan.items[1].label, "GENERIC-EFFICIENCY(COLORING)/star(4)");
+  EXPECT_EQ(plan.items[2].label,
+            "GENERIC-EFFICIENCY(GENERIC-EFFICIENCY(FULL-READ-COLORING))"
+            "/star(4)");
+  for (const BatchItem& item : plan.items) {
+    EXPECT_EQ(item.problem, nullptr) << item.label;
+  }
+}
+
+TEST(Plan, ChurnSweepsInheritTheComposedProblem) {
+  // Churn availability needs a predicate; without an explicit "problem"
+  // key each item binds its composition's resolved problem — which for a
+  // transformer is the inner entry's, found through the nesting.
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "composed-churn",
+    "sweeps": [{
+      "graphs": [{"family": "cycle", "n": 6}],
+      "protocols": [
+        {"transform": "generic-efficiency", "inner": {"name": "coloring"}},
+        {"transform": "generic-efficiency", "inner": {"name": "mis"}}
+      ],
+      "daemons": ["distributed"],
+      "seeds_per_daemon": 1,
+      "churn": {"period": 64}
+    }]
+  })");
+  ASSERT_EQ(plan.items.size(), 2u);
+  ASSERT_NE(plan.items[0].problem, nullptr);
+  EXPECT_EQ(plan.items[0].problem->name(), "vertex-coloring");
+  ASSERT_NE(plan.items[1].problem, nullptr);
+  EXPECT_EQ(plan.items[1].problem->name(), "maximal-independent-set");
+}
+
+TEST(Plan, NestedProtocolSpecErrorsNameTheirPosition) {
+  const auto expand_error = [](const std::string& text) -> std::string {
+    try {
+      plan_from_manifest_text(text);
+    } catch (const PreconditionError& error) {
+      return error.what();
+    }
+    return {};
+  };
+  const char* kPrefix =
+      "{\"name\": \"x\", \"sweeps\": [{\n"
+      "  \"graphs\": [{\"family\": \"path\", \"n\": 4}],\n"
+      "  \"protocols\": [\n";
+
+  // Both "name" and "transform" on one spec.
+  const std::string both = expand_error(
+      std::string(kPrefix) +
+      "    {\"name\": \"coloring\", \"transform\": \"generic-efficiency\","
+      " \"inner\": {\"name\": \"coloring\"}}]}]}");
+  EXPECT_NE(both.find("accepts \"name\" or \"transform\", not both"),
+            std::string::npos)
+      << both;
+  EXPECT_NE(both.find("protocol spec at 4:5"), std::string::npos) << both;
+
+  // Neither.
+  EXPECT_NE(expand_error(std::string(kPrefix) + "    {\"root\": 2}]}]}")
+                .find("needs \"name\" (base protocol) or \"transform\""),
+            std::string::npos);
+
+  // "inner" on a base spec.
+  EXPECT_NE(expand_error(std::string(kPrefix) +
+                         "    {\"name\": \"coloring\","
+                         " \"inner\": {\"name\": \"mis\"}}]}]}")
+                .find("only valid alongside \"transform\""),
+            std::string::npos);
+
+  // "transform" without "inner".
+  EXPECT_NE(expand_error(std::string(kPrefix) +
+                         "    {\"transform\": \"generic-efficiency\"}]}]}")
+                .find("\"transform\" needs an \"inner\" protocol spec"),
+            std::string::npos);
+
+  // Non-object "inner", with the inner value's own position.
+  const std::string non_object = expand_error(
+      std::string(kPrefix) +
+      "    {\"transform\": \"generic-efficiency\",\n"
+      "     \"inner\": \"coloring\"}]}]}");
+  EXPECT_NE(non_object.find("must be a protocol spec object, got string"),
+            std::string::npos)
+      << non_object;
+  EXPECT_NE(non_object.find("\"inner\" at 5:15"), std::string::npos)
+      << non_object;
+
+  // Registry-level composition errors are wrapped with the spec's
+  // manifest position: a checker source is not runnable...
+  const std::string bare_checker = expand_error(
+      std::string(kPrefix) + "    {\"name\": \"pairwise-coloring\"}]}]}");
+  EXPECT_NE(bare_checker.find("protocol spec at 4:5"), std::string::npos)
+      << bare_checker;
+  EXPECT_NE(bare_checker.find("checker source"), std::string::npos)
+      << bare_checker;
+  // ... and rotating-check wraps checker sources, not protocols.
+  const std::string mis_wrapped = expand_error(
+      std::string(kPrefix) +
+      "    {\"transform\": \"rotating-check\","
+      " \"inner\": {\"name\": \"coloring\"}}]}]}");
+  EXPECT_NE(mis_wrapped.find("protocol spec at 4:5"), std::string::npos)
+      << mis_wrapped;
+  EXPECT_NE(mis_wrapped.find("wraps a checker source"), std::string::npos)
+      << mis_wrapped;
+
+  // Unknown parameters on the *inner* spec are caught too.
+  EXPECT_NE(expand_error(std::string(kPrefix) +
+                         "    {\"transform\": \"generic-efficiency\","
+                         " \"inner\": {\"name\": \"coloring\","
+                         " \"palete\": 4}}]}]}")
+                .find("unknown parameter"),
+            std::string::npos);
+}
+
+TEST(Plan, ComposedManifestRunsEndToEnd) {
+  // The composed item must actually run through the batch runner: the
+  // rotating-check transformer over its pairwise-coloring checker source,
+  // plus a generic-efficiency wrap, both answering to vertex-coloring.
+  const ExperimentPlan plan = plan_from_manifest_text(R"({
+    "name": "composed-run",
+    "sweeps": [{
+      "graphs": [{"family": "cycle", "n": 5}],
+      "protocols": [
+        {"transform": "rotating-check",
+         "inner": {"name": "pairwise-coloring"}},
+        {"transform": "generic-efficiency", "inner": {"name": "coloring"}}
+      ],
+      "daemons": ["distributed"],
+      "seeds_per_daemon": 2,
+      "max_steps": 200000
+    }]
+  })");
+  ASSERT_EQ(plan.items.size(), 2u);
+  BatchOptions serial;
+  serial.threads = 1;
+  const BatchResult result = run_batch(plan.items, serial);
+  for (const SweepSummary& summary : result.summaries) {
+    EXPECT_EQ(summary.runs, 2);
+    EXPECT_EQ(summary.silent_runs, 2);
+  }
+}
+
 }  // namespace
 }  // namespace sss

@@ -241,33 +241,33 @@ void register_toys() {
   }
   ProtocolRegistry& protocols = ProtocolRegistry::instance();
   if (!protocols.contains("broken-blinker")) {
-    protocols.register_protocol(
-        "broken-blinker", {}, "always-true",
+    const auto toy = [&](std::string name, std::string problem,
+                         ProtocolRegistry::Factory make) {
+      protocols.add({.name = std::move(name),
+                     .problem = std::move(problem),
+                     .make = std::move(make)});
+    };
+    toy("broken-blinker", "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<DelayedBlinker>(g);
         });
-    protocols.register_protocol(
-        "never-silent", {}, "always-true",
+    toy("never-silent", "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<NeverSilent>(g);
         });
-    protocols.register_protocol(
-        "instantly-silent", {}, "vertex-coloring",
+    toy("instantly-silent", "vertex-coloring",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<InstantlySilent>(g);
         });
-    protocols.register_protocol(
-        "wrong-sweep", {}, "always-true",
+    toy("wrong-sweep", "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<WrongSweep>(g);
         });
-    protocols.register_protocol(
-        "wrong-execute", {}, "always-true",
+    toy("wrong-execute", "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<WrongExecute>(g);
         });
-    protocols.register_protocol(
-        "poison-latch", {}, "always-true",
+    toy("poison-latch", "always-true",
         [](const Graph& g, const ParamMap&) -> std::unique_ptr<Protocol> {
           return std::make_unique<PoisonLatch>(g);
         });

@@ -21,19 +21,32 @@ namespace sss {
 namespace {
 
 TEST(ProtocolPropertySuite, RegistryCoversThePaperProtocolsAndBaselines) {
-  const std::vector<std::string> expected = {
+  const std::vector<std::string> expected_protocols = {
       "bfs-tree",          "coloring",
       "full-read-bfs-tree", "full-read-coloring",
       "full-read-leader-election", "full-read-matching",
-      "full-read-mis",     "leader-election",
-      "matching",          "mis"};
-  EXPECT_EQ(ProtocolRegistry::instance().names(), expected);
+      "full-read-mis",     "full-read-spanning-forest",
+      "leader-election",   "matching",
+      "mis",               "spanning-forest"};
+  EXPECT_EQ(ProtocolRegistry::instance().protocol_names(),
+            expected_protocols);
+  const std::vector<std::string> expected_all = {
+      "bfs-tree",          "coloring",
+      "full-read-bfs-tree", "full-read-coloring",
+      "full-read-leader-election", "full-read-matching",
+      "full-read-mis",     "full-read-spanning-forest",
+      "generic-efficiency", "leader-election",
+      "matching",          "mis",
+      "pairwise-coloring", "pairwise-separation",
+      "rotating-check",    "spanning-forest"};
+  EXPECT_EQ(ProtocolRegistry::instance().names(), expected_all);
 }
 
-TEST(ProtocolPropertySuite, EveryEntryNamesARegisteredProblem) {
+TEST(ProtocolPropertySuite, EveryBaseEntryNamesARegisteredProblem) {
   // The harness pairs protocols with predicates through the registry; an
   // entry with a dangling problem name would make the grid vacuous.
-  for (const std::string& name : ProtocolRegistry::instance().names()) {
+  for (const std::string& name :
+       ProtocolRegistry::instance().protocol_names()) {
     const std::string& problem = ProtocolRegistry::instance().info(name).problem;
     EXPECT_FALSE(problem.empty()) << name;
     EXPECT_TRUE(ProblemRegistry::instance().contains(problem))
@@ -44,16 +57,17 @@ TEST(ProtocolPropertySuite, EveryEntryNamesARegisteredProblem) {
 TEST(ProtocolPropertySuite, ConvergenceClosureSilenceEquivalenceGrid) {
   const std::vector<testing::HarnessReport> reports =
       testing::run_registry_property_suite();
-  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  ASSERT_EQ(reports.size(),
+            ProtocolRegistry::instance().protocol_names().size());
   int total_trials = 0;
   for (const testing::HarnessReport& report : reports) {
     EXPECT_TRUE(report.ok()) << report.str();
     total_trials += report.trials;
   }
-  // 10 protocols x 7 graphs x 6 daemons x 2 seeds, minus the grid cells
+  // 12 protocols x 7 graphs x 6 daemons x 2 seeds, minus the grid cells
   // outside full-read-coloring's daemon assumption (7 graphs x 2 excluded
   // daemons x 2 seeds).
-  EXPECT_EQ(total_trials, 840 - 28);
+  EXPECT_EQ(total_trials, 1008 - 28);
 }
 
 TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
@@ -68,7 +82,8 @@ TEST(ProtocolPropertySuite, BulkSweepForcedGridStaysInLockstep) {
   options.seeds_per_daemon = 1;
   const std::vector<testing::HarnessReport> reports =
       testing::run_registry_property_suite(options);
-  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  ASSERT_EQ(reports.size(),
+            ProtocolRegistry::instance().protocol_names().size());
   for (const testing::HarnessReport& report : reports) {
     EXPECT_TRUE(report.ok()) << report.str();
   }
@@ -86,7 +101,8 @@ TEST(ProtocolPropertySuite, ParallelSteppingForcedGridStaysInLockstep) {
   options.seeds_per_daemon = 1;
   const std::vector<testing::HarnessReport> reports =
       testing::run_registry_property_suite(options);
-  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  ASSERT_EQ(reports.size(),
+            ProtocolRegistry::instance().protocol_names().size());
   for (const testing::HarnessReport& report : reports) {
     EXPECT_TRUE(report.ok()) << report.str();
   }
@@ -102,14 +118,15 @@ TEST(ProtocolPropertySuite, ClosureUnderFaultsAcrossTheRegistryGrid) {
   options.seeds_per_daemon = 1;
   const std::vector<testing::HarnessReport> reports =
       testing::run_registry_fault_closure_suite(options);
-  ASSERT_EQ(reports.size(), ProtocolRegistry::instance().names().size());
+  ASSERT_EQ(reports.size(),
+            ProtocolRegistry::instance().protocol_names().size());
   int total_trials = 0;
   for (const testing::HarnessReport& report : reports) {
     EXPECT_TRUE(report.ok()) << report.str();
     total_trials += report.trials;
   }
   // Same grid shape as the property suite at one seed per daemon.
-  EXPECT_EQ(total_trials, 420 - 14);
+  EXPECT_EQ(total_trials, 504 - 14);
 }
 
 TEST(ProtocolPropertySuite, NonDefaultParametersRunTheSameGrid) {

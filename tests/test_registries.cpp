@@ -124,22 +124,120 @@ TEST(GraphFamilyRegistry, RejectsBadNamesAndParams) {
   EXPECT_THROW(registry.build("grid", {{"rows", 3}}), PreconditionError);
 }
 
-TEST(ProtocolRegistry, EveryProtocolIsRegisteredAndConstructs) {
+TEST(ProtocolRegistry, EveryBaseProtocolIsRegisteredAndConstructs) {
   const std::vector<std::string> expected = {
       "coloring",  "full-read-coloring",        "matching",
       "full-read-matching",                     "mis",
       "full-read-mis",                          "bfs-tree",
       "full-read-bfs-tree",                     "leader-election",
-      "full-read-leader-election"};
+      "full-read-leader-election",              "spanning-forest",
+      "full-read-spanning-forest"};
   const ProtocolRegistry& registry = ProtocolRegistry::instance();
-  EXPECT_EQ(registry.names().size(), expected.size());
+  EXPECT_EQ(registry.protocol_names().size(), expected.size());
   const Graph g = petersen();
   for (const std::string& name : expected) {
     EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.info(name).kind,
+              ProtocolRegistry::Entry::Kind::kProtocol)
+        << name;
     const std::unique_ptr<Protocol> protocol = registry.make(name, g);
     ASSERT_NE(protocol, nullptr) << name;
     EXPECT_FALSE(protocol->name().empty()) << name;
   }
+}
+
+TEST(ProtocolRegistry, TransformersAndCheckerSourcesAreRegistered) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  // names() spans all kinds; protocol_names() only the base protocols.
+  EXPECT_EQ(registry.names().size(),
+            registry.protocol_names().size() + 4);
+
+  const ProtocolRegistry::Entry& efficiency =
+      registry.info("generic-efficiency");
+  EXPECT_EQ(efficiency.kind, ProtocolRegistry::Entry::Kind::kTransformer);
+  EXPECT_TRUE(efficiency.wraps_protocol());
+  EXPECT_TRUE(efficiency.runnable());
+
+  const ProtocolRegistry::Entry& rotating = registry.info("rotating-check");
+  EXPECT_EQ(rotating.kind, ProtocolRegistry::Entry::Kind::kTransformer);
+  EXPECT_FALSE(rotating.wraps_protocol());  // wraps checker sources
+
+  for (const char* source : {"pairwise-coloring", "pairwise-separation"}) {
+    const ProtocolRegistry::Entry& entry = registry.info(source);
+    EXPECT_EQ(entry.kind, ProtocolRegistry::Entry::Kind::kCheckerSource)
+        << source;
+    EXPECT_FALSE(entry.runnable()) << source;
+  }
+}
+
+TEST(ProtocolRegistry, ComposedSelectionsConstructAndResolve) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const Graph g = petersen();
+
+  // Every base protocol is wrappable by generic-efficiency.
+  for (const std::string& name : registry.protocol_names()) {
+    const ProtocolSelection wrapped = ProtocolSelection::wrap(
+        "generic-efficiency", ProtocolSelection::base(name));
+    const ProtocolRegistry::ComposedInfo info = registry.resolve(wrapped);
+    EXPECT_EQ(info.label, "generic-efficiency(" + name + ")");
+    EXPECT_EQ(info.problem, registry.info(name).problem) << name;
+    const std::unique_ptr<Protocol> protocol = registry.make(wrapped, g);
+    ASSERT_NE(protocol, nullptr) << name;
+  }
+
+  // rotating-check over a checker source, through the same machinery.
+  const ProtocolSelection rotating = ProtocolSelection::wrap(
+      "rotating-check", ProtocolSelection::base("pairwise-coloring"));
+  const ProtocolRegistry::ComposedInfo info = registry.resolve(rotating);
+  EXPECT_EQ(info.label, "rotating-check(pairwise-coloring)");
+  EXPECT_EQ(info.problem, "vertex-coloring");
+  EXPECT_FALSE(info.daemons.empty());  // inherits the no-co-firing claim
+  EXPECT_NE(registry.make(rotating, g), nullptr);
+
+  // Transformers nest: efficiency(efficiency(coloring)) is constructible.
+  const ProtocolSelection nested = ProtocolSelection::wrap(
+      "generic-efficiency",
+      ProtocolSelection::wrap("generic-efficiency",
+                              ProtocolSelection::base("coloring")));
+  EXPECT_EQ(registry.resolve(nested).label,
+            "generic-efficiency(generic-efficiency(coloring))");
+  EXPECT_NE(registry.make(nested, g), nullptr);
+}
+
+TEST(ProtocolRegistry, RejectsMalformedCompositions) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const Graph g = cycle(5);
+  // A bare transformer has nothing to wrap.
+  EXPECT_THROW(registry.make("generic-efficiency", g), PreconditionError);
+  EXPECT_THROW(registry.make("rotating-check", g), PreconditionError);
+  // A checker source is not runnable, bare or wrapped by the wrong kind.
+  EXPECT_THROW(registry.make("pairwise-coloring", g), PreconditionError);
+  EXPECT_THROW(
+      registry.make(ProtocolSelection::wrap(
+                        "generic-efficiency",
+                        ProtocolSelection::base("pairwise-coloring")),
+                    g),
+      PreconditionError);
+  // rotating-check wraps checker sources only.
+  EXPECT_THROW(
+      registry.make(ProtocolSelection::wrap(
+                        "rotating-check", ProtocolSelection::base("coloring")),
+                    g),
+      PreconditionError);
+  // A base protocol does not take an inner spec.
+  EXPECT_THROW(
+      registry.make(ProtocolSelection::wrap(
+                        "coloring", ProtocolSelection::base("mis")),
+                    g),
+      PreconditionError);
+  // Unknown parameters are rejected at the level they appear.
+  EXPECT_THROW(
+      registry.make(ProtocolSelection::wrap(
+                        "generic-efficiency",
+                        ProtocolSelection::base("coloring",
+                                                {{"pallete_size", 4}})),
+                    g),
+      PreconditionError);
 }
 
 TEST(ProtocolRegistry, EveryEntryAdvertisesParamsAndProblem) {
@@ -155,7 +253,12 @@ TEST(ProtocolRegistry, EveryEntryAdvertisesParamsAndProblem) {
   EXPECT_EQ(registry.info("leader-election").params,
             (std::vector<std::string>{"id_scheme", "id_seed"}));
   EXPECT_EQ(registry.info("leader-election").problem, "leader-election");
-  for (const std::string& name : registry.names()) {
+  EXPECT_EQ(registry.info("spanning-forest").params,
+            (std::vector<std::string>{"roots"}));
+  EXPECT_EQ(registry.info("spanning-forest").problem, "bfs-spanning-forest");
+  // Every *base* entry pairs with a registered predicate; transformers may
+  // leave theirs empty (= inherit the inner entry's).
+  for (const std::string& name : registry.protocol_names()) {
     EXPECT_TRUE(
         ProblemRegistry::instance().contains(registry.info(name).problem))
         << name;
@@ -194,8 +297,9 @@ TEST(ProtocolRegistry, RejectsBadNamesAndParams) {
 TEST(ProblemRegistry, NamesAliasesAndPredicates) {
   const ProblemRegistry& registry = ProblemRegistry::instance();
   const std::vector<std::string> canonical = {
-      "bfs-spanning-tree", "leader-election", "maximal-independent-set",
-      "maximal-matching", "mutual-pr-matching", "vertex-coloring"};
+      "bfs-spanning-forest", "bfs-spanning-tree", "leader-election",
+      "maximal-independent-set", "maximal-matching", "mutual-pr-matching",
+      "vertex-coloring"};
   EXPECT_EQ(registry.names(), canonical);
   for (const std::string& name : canonical) {
     EXPECT_NE(registry.make(name), nullptr);
@@ -205,6 +309,8 @@ TEST(ProblemRegistry, NamesAliasesAndPredicates) {
   EXPECT_EQ(registry.make("matching")->name(), "maximal-matching");
   EXPECT_EQ(registry.make("bfs-tree")->name(), "bfs-spanning-tree");
   EXPECT_EQ(registry.make("bfs")->name(), "bfs-spanning-tree");
+  EXPECT_EQ(registry.make("forest")->name(), "bfs-spanning-forest");
+  EXPECT_EQ(registry.make("bfs-forest")->name(), "bfs-spanning-forest");
   EXPECT_EQ(registry.make("leader")->name(), "leader-election");
   EXPECT_THROW(registry.make("domination"), PreconditionError);
 }

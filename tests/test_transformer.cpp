@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/problems.hpp"
+#include "core/protocol_registry.hpp"
 #include "graph/builders.hpp"
 #include "runtime/engine.hpp"
 #include "support/require.hpp"
@@ -112,6 +115,35 @@ TEST(RotatingCheck, StabilizingPhaseMayReadFullWidth) {
   const RunStats stats = engine.run({});
   ASSERT_TRUE(stats.silent);
   EXPECT_GT(stats.max_reads_per_process_step, 1);
+}
+
+TEST(RotatingCheck, RegistryCompositionMatchesTheCompatShim) {
+  // The reference-taking (g, source&) constructor is kept as a compat
+  // shim for callers that own their checker source separately; the
+  // canonical path is the registry's composable "rotating-check" entry.
+  // Both must yield the same protocol: same spec shape, identical
+  // trajectories from the same seed.
+  const Graph g = cycle(6);
+  const PairwiseColoring source(g);
+  const RotatingCheck shim(g, source);
+  const std::unique_ptr<Protocol> composed =
+      ProtocolRegistry::instance().make(
+          ProtocolSelection::wrap("rotating-check",
+                                  ProtocolSelection::base("pairwise-coloring")),
+          g);
+  ASSERT_EQ(composed->spec().num_comm(), shim.spec().num_comm());
+  ASSERT_EQ(composed->spec().num_internal(), shim.spec().num_internal());
+  EXPECT_EQ(composed->name(), shim.name());
+  Engine a(g, shim, make_distributed_random_daemon(), 21);
+  Engine b(g, *composed, make_distributed_random_daemon(), 21);
+  a.randomize_state();
+  b.randomize_state();
+  ASSERT_TRUE(a.config() == b.config());
+  for (int s = 0; s < 300; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_TRUE(a.config() == b.config());
 }
 
 TEST(RotatingCheck, RecoversFromFaults) {

@@ -7,7 +7,7 @@
 ///                             [--parallel-threads N] [--sweep-mode MODE]
 ///                             [--quiet]
 ///   sss_lab validate manifest.json
-///   sss_lab list
+///   sss_lab list [--json]
 ///   sss_lab diff a.jsonl b.jsonl [--quiet]
 ///   sss_lab serve [--socket path]
 ///
@@ -17,7 +17,10 @@
 /// while trials finish. `--bench NAME` additionally writes the per-item
 /// summaries as BENCH_<NAME>.json, the artifact format the bench-gate CI
 /// diffs. `validate` expands without running; `list` prints every
-/// registered graph family, protocol, problem, and daemon name.
+/// registered graph family, protocol, problem, and daemon name —
+/// `list --json` emits the same registry dump as one machine-readable
+/// JSON document (schema documented in README.md and on print_list_json
+/// below).
 ///
 /// `diff` compares two JSONL result streams row by row, keyed by the
 /// (item, trial) coordinates every JsonlSink row carries, so two streams
@@ -82,7 +85,9 @@ int usage() {
       "                        item (bit-identical output in any mode)\n"
       "      --quiet           suppress the summary table\n"
       "  validate <manifest.json>        expand only; print the plan shape\n"
-      "  list                            print all registered names\n"
+      "  list [--json]                   print all registered names\n"
+      "      --json            one machine-readable JSON document instead\n"
+      "                        of the human table (schema: README.md)\n"
       "  diff <a.jsonl> <b.jsonl> [--quiet]\n"
       "                                  compare two result streams keyed\n"
       "                                  by (item, trial); exit 1 on any\n"
@@ -153,6 +158,99 @@ void print_list() {
   };
   print("problems", ProblemRegistry::instance().names());
   print("daemons", daemon_names());
+}
+
+/// `list --json`: the whole registry surface as one JSON document, so
+/// scripts can discover what a build supports without parsing the human
+/// table. Schema (stable field set; arrays are sorted by name):
+///
+///   {"families":  [{"name", "params": [{"name", "required"}]}],
+///    "protocols": [{"name", "kind": "protocol"|"transformer"|
+///                   "checker-source", "params": [names],
+///                   "problem": string|null, "daemons": [names],
+///                   "runnable": bool, "wraps_protocol": bool,
+///                   "wraps": "protocol"|"checker-source" (transformers
+///                   only), "bulk": [subset of "sweep","execute"]
+///                   (probed; omitted when defaults cannot build)}],
+///    "problems":  [names], "daemons": [names]}
+///
+/// `bulk` mirrors the probe the human listing does: capabilities are
+/// instance properties, so each runnable entry's defaults are built on a
+/// tiny cycle; entries that cannot build there omit the field.
+void print_list_json() {
+  std::ostringstream out;
+  const auto string_array = [](const std::vector<std::string>& names) {
+    std::vector<std::string> quoted;
+    quoted.reserve(names.size());
+    for (const std::string& name : names) quoted.push_back(json_quote(name));
+    return "[" + join(quoted, ", ") + "]";
+  };
+
+  out << "{\n  \"families\": [";
+  const GraphFamilyRegistry& families = GraphFamilyRegistry::instance();
+  bool first = true;
+  for (const std::string& name : families.names()) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": " << json_quote(name)
+        << ", \"params\": [";
+    first = false;
+    bool first_param = true;
+    for (const ParamSpec& param : families.family(name).params) {
+      out << (first_param ? "" : ", ") << "{\"name\": "
+          << json_quote(param.name) << ", \"required\": "
+          << (param.required ? "true" : "false") << "}";
+      first_param = false;
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"protocols\": [";
+
+  const ProtocolRegistry& protocols = ProtocolRegistry::instance();
+  const Graph probe_graph =
+      GraphFamilyRegistry::instance().build("cycle", {{"n", ParamValue(4.0)}});
+  const auto kind_label = [](ProtocolRegistry::Entry::Kind kind) {
+    switch (kind) {
+      case ProtocolRegistry::Entry::Kind::kProtocol:
+        return "protocol";
+      case ProtocolRegistry::Entry::Kind::kTransformer:
+        return "transformer";
+      case ProtocolRegistry::Entry::Kind::kCheckerSource:
+        return "checker-source";
+    }
+    return "unknown";
+  };
+  first = true;
+  for (const std::string& name : protocols.names()) {
+    const ProtocolRegistry::Entry& entry = protocols.info(name);
+    out << (first ? "\n" : ",\n") << "    {\"name\": " << json_quote(name)
+        << ", \"kind\": " << json_quote(kind_label(entry.kind))
+        << ", \"params\": " << string_array(entry.params) << ", \"problem\": "
+        << (entry.problem.empty() ? "null" : json_quote(entry.problem))
+        << ", \"daemons\": " << string_array(entry.daemons)
+        << ", \"runnable\": " << (entry.runnable() ? "true" : "false")
+        << ", \"wraps_protocol\": "
+        << (entry.wraps_protocol() ? "true" : "false");
+    first = false;
+    if (entry.kind == ProtocolRegistry::Entry::Kind::kTransformer) {
+      out << ", \"wraps\": " << json_quote(kind_label(entry.wraps));
+    }
+    if (entry.kind == ProtocolRegistry::Entry::Kind::kProtocol) {
+      try {
+        const std::unique_ptr<Protocol> probe =
+            protocols.make(name, probe_graph);
+        std::vector<std::string> bulk;
+        if (probe->has_bulk_sweep()) bulk.push_back("sweep");
+        if (probe->has_bulk_execute()) bulk.push_back("execute");
+        out << ", \"bulk\": " << string_array(bulk);
+      } catch (const std::exception&) {
+        // Not buildable on the probe graph; the field stays omitted.
+      }
+    }
+    out << "}";
+  }
+  out << "\n  ],\n  \"problems\": "
+      << string_array(ProblemRegistry::instance().names())
+      << ",\n  \"daemons\": " << string_array(daemon_names()) << "\n}\n";
+  std::fputs(out.str().c_str(), stdout);
 }
 
 void print_plan_shape(const ExperimentPlan& plan) {
@@ -492,9 +590,15 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "list") {
-      if (!args.empty()) return usage();
-      print_list();
-      return 0;
+      if (args.empty()) {
+        print_list();
+        return 0;
+      }
+      if (args.size() == 1 && args.front() == "--json") {
+        print_list_json();
+        return 0;
+      }
+      return usage();
     }
     if (command == "diff") return diff_command(args);
     if (command == "serve") return serve_command(args);
